@@ -1,0 +1,30 @@
+"""Shared context for the benchmark suite.
+
+Scale defaults to 1/400 of the paper's genome sizes so the whole suite runs
+in minutes; set ``REPRO_BENCH_SCALE`` (e.g. ``0.01``) for larger runs and
+``REPRO_BENCH_DATASETS`` (comma-separated) to restrict inputs.  Rendered
+tables land in ``results/`` next to this directory.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import BenchContext
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="session")
+def ctx() -> BenchContext:
+    return BenchContext.from_env(
+        cache_dir=os.path.join(_ROOT, ".dataset_cache"),
+        results_dir=os.path.join(_ROOT, "results"),
+    )
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

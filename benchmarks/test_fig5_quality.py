@@ -1,0 +1,19 @@
+"""Fig. 5 — precision/recall of JEM-mapper vs Mashmap on simulated inputs."""
+
+from conftest import run_once
+
+from repro.bench import exp_fig5
+
+
+def test_fig5(ctx, benchmark):
+    out = run_once(benchmark, exp_fig5, ctx)
+    print("\n" + out.text)
+    for name, row in out.data.items():
+        jem, mashmap = row["jem"], row["mashmap"]
+        # the paper's headline: both tools produce well over 95% precision
+        assert jem.precision > 0.95, f"{name}: JEM precision {jem.precision:.3f}"
+        assert mashmap.precision > 0.95, f"{name}: Mashmap precision {mashmap.precision:.3f}"
+        # and high recall, with the two tools within a few points
+        assert jem.recall > 0.90, f"{name}: JEM recall {jem.recall:.3f}"
+        assert abs(jem.recall - mashmap.recall) < 0.05
+        assert abs(jem.precision - mashmap.precision) < 0.05

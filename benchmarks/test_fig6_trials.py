@@ -1,0 +1,33 @@
+"""Fig. 6 — effect of the number of trials T: JEM vs classical MinHash."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import exp_fig6
+
+
+def test_fig6(ctx, benchmark):
+    out = run_once(benchmark, exp_fig6, ctx)
+    print("\n" + out.text)
+    trials = list(out.data["trials"])
+    jem_recall = out.data["jem_recall"]
+    mh_recall = out.data["minhash_recall"]
+
+    i20 = trials.index(20)
+    i30 = trials.index(30)
+    i_max = len(trials) - 1
+
+    # JEM reaches >95% precision and recall with only ~20 trials (paper's claim)
+    assert jem_recall[i20] > 95.0
+    assert out.data["jem_precision"][i20] > 95.0
+    # and saturates: adding trials beyond 30 changes recall only marginally
+    assert abs(jem_recall[i_max] - jem_recall[i30]) < 3.0
+
+    # classical MinHash is clearly behind JEM at low trial counts...
+    assert mh_recall[i20] < jem_recall[i20] - 2.0
+    assert mh_recall[0] < jem_recall[0] - 10.0
+    # ...and needs many more trials to approach JEM's quality
+    assert mh_recall[i_max] > mh_recall[0] + 10.0  # it does improve with T
+
+    # recall curves are (weakly) increasing in T for both schemes
+    assert np.all(np.diff(np.maximum.accumulate(jem_recall)) >= 0)

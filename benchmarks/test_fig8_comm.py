@@ -1,0 +1,19 @@
+"""Fig. 8 — computation vs communication fractions for two large inputs."""
+
+from conftest import run_once
+
+from repro.bench import exp_fig8
+
+
+def test_fig8(ctx, benchmark):
+    out = run_once(benchmark, exp_fig8, ctx)
+    print("\n" + out.text)
+    for name, row in out.data.items():
+        comm = row["comm_pct"]
+        # communication overhead grows with p...
+        assert comm[-1] > comm[0], f"{name}: comm fraction not growing {comm}"
+        # ...but computation stays dominant, comm well under half at p=64
+        # (the paper reports <25%; the modelled regime must stay compute-bound)
+        assert comm[-1] < 50.0, f"{name}: comm fraction exploded {comm}"
+        for c in comm:
+            assert 0.0 <= c <= 100.0

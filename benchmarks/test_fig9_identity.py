@@ -1,0 +1,16 @@
+"""Fig. 9 — percent-identity distribution on the real-like O. sativa input."""
+
+from conftest import run_once
+
+from repro.bench import exp_fig9
+
+
+def test_fig9(ctx, benchmark):
+    out = run_once(benchmark, exp_fig9, ctx)
+    print("\n" + out.text)
+    identities = out.data["identities"]
+    assert identities.size >= 50
+    # the paper's headline: the identity mass sits in the 95-100% bins
+    assert out.data["frac_ge_95"] > 0.90, f"only {out.data['frac_ge_95']:.2%} >= 95%"
+    # and essentially nothing is an outright mismatch
+    assert (identities < 50).mean() < 0.02

@@ -1,0 +1,27 @@
+"""Table I — dataset statistics for all eight inputs."""
+
+from conftest import run_once
+
+from repro.bench import exp_table1
+from repro.eval.datasets import DATASETS
+
+
+def test_table1(ctx, benchmark):
+    out = run_once(benchmark, exp_table1, ctx)
+    print("\n" + out.text)
+    data = out.data
+    assert len(data) >= 1
+    for name, row in data.items():
+        # contigs exist, are >= 500 bp by construction of the filter,
+        # and reads hit the configured coverage
+        assert row["contigs"].count > 0
+        assert row["contigs"].min_length >= 500
+        spec = DATASETS[name]
+        assert row["reads"].total_bases >= spec.hifi_coverage * row["genome_length"] * 0.99
+        # HiFi length regime ~ the profile median
+        assert row["reads"].mean_length > 0.5 * min(spec.hifi_median_length, row["genome_length"] // 4)
+
+    if "e_coli" in data and "human_chr7" in data:
+        # the paper's central contrast: bacteria assemble into much longer
+        # contigs than repeat-rich eukaryotic chromosomes
+        assert data["e_coli"]["contigs"].mean_length > 2 * data["human_chr7"]["contigs"].mean_length

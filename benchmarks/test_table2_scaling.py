@@ -1,0 +1,41 @@
+"""Table II — strong scaling of JEM-mapper vs Mashmap (t=64)."""
+
+from conftest import run_once
+
+from repro.bench import exp_table2
+from repro.bench.experiments import P_VALUES
+
+
+def test_table2(ctx, benchmark):
+    out = run_once(benchmark, exp_table2, ctx)
+    print("\n" + out.text)
+    for name, row in out.data.items():
+        jem = row["jem"]
+        # runtime decreases from p=4 to p=64 (strong scaling holds)
+        assert jem[64] < jem[4] * 1.05, f"{name}: no speedup ({jem})"
+        rel_speedup = jem[4] / jem[64]
+        # paper: 1.8x at p=8 up to ~4.1x at p=64 (relative to p=4); assert
+        # the same saturating-but-real scaling regime — but only where the
+        # p=4 run is big enough that fixed per-rank overheads don't already
+        # dominate (tiny floored datasets at small bench scales)
+        if jem[4] >= 0.05:
+            assert 1.5 < rel_speedup < 16.0, f"{name}: implausible scaling {rel_speedup:.2f}"
+        # monotone non-increasing runtimes (tolerance for timing noise on
+        # millisecond-sized per-rank measurements at bench scale)
+        times = [jem[p] for p in P_VALUES]
+        for a, b in zip(times, times[1:]):
+            assert b <= a * 1.25 + 0.005
+
+    # "who wins" — sequentially, JEM beats Mashmap on the clear majority of
+    # the large inputs (its end-to-end advantage grows with input size; at
+    # tiny bench scales fixed per-call overheads can flip a small dataset)
+    seq_ratios = [row["seq_speedup_vs_mashmap"] for row in out.data.values()]
+    seq_wins = sum(r > 1.0 for r in seq_ratios)
+    assert seq_wins >= max(1, len(seq_ratios) - 2), (
+        f"JEM lost sequentially too often: {seq_ratios}"
+    )
+    # and on the largest input the p=64 JEM run beats 64-thread Mashmap
+    largest = max(out.data, key=lambda n: out.data[n]["jem_seq"])
+    assert out.data[largest]["speedup_vs_mashmap"] > 1.0, (
+        f"{largest}: modelled Mashmap t=64 won at p=64"
+    )

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Sweep the number of MinHash trials T — a small-scale Fig. 6.
+
+Shows why the minimizer-based Jaccard estimator needs far fewer random
+trials than classical MinHash: JEM sketches are constrained to ℓ-length
+intervals, so each trial has a much higher chance of hitting the true
+overlap region.
+"""
+
+from repro.baselines import ClassicalMinHashMapper
+from repro.core import JEMConfig, JEMMapper
+from repro.eval import evaluate_mapping, generate_dataset, prepare_benchmark
+
+
+def main() -> None:
+    print("generating a scaled B. splendens dataset...")
+    dataset = generate_dataset("b_splendens", scale=1 / 1000, seed=1)
+    base = JEMConfig(trials=100)
+    segments, infos, bench = prepare_benchmark(dataset, base)
+    print(f"{len(dataset.contigs)} contigs, {len(segments)} query segments\n")
+
+    header = f"{'T':>4} | {'JEM prec':>9} {'JEM recall':>10} | {'MinHash prec':>12} {'MinHash recall':>14}"
+    print(header)
+    print("-" * len(header))
+    for trials in (5, 10, 20, 30, 50, 100):
+        cfg = base.with_trials(trials)
+        jem = JEMMapper(cfg)
+        jem.index(dataset.contigs)
+        jq = evaluate_mapping(jem.map_segments(segments, infos), bench)
+        mh = ClassicalMinHashMapper(cfg)
+        mh.index(dataset.contigs)
+        mq = evaluate_mapping(mh.map_segments(segments, infos), bench)
+        print(
+            f"{trials:>4} | {100 * jq.precision:>8.2f}% {100 * jq.recall:>9.2f}% |"
+            f" {100 * mq.precision:>11.2f}% {100 * mq.recall:>13.2f}%"
+        )
+    print("\nJEM saturates by T~20-30; classical MinHash is still climbing at T=100")
+    print("(the paper's Fig. 6, at reduced scale).")
+
+
+if __name__ == "__main__":
+    main()

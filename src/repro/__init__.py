@@ -1,0 +1,46 @@
+"""repro — JEM-mapper: parallel sketch-based mapping of long reads to contigs.
+
+Reproduction of Rahman, Bhowmik & Kalyanaraman, *An Efficient Parallel
+Sketch-based Algorithm for Mapping Long Reads to Contigs*, IPDPSW 2023.
+
+Quickstart::
+
+    from repro import JEMConfig, JEMMapper
+    mapper = JEMMapper(JEMConfig())
+    mapper.index(contigs)                # contigs: SequenceSet
+    result = mapper.map_reads(long_reads)
+"""
+
+from .core import (
+    JEMConfig,
+    JEMMapper,
+    MappingResult,
+    load_index,
+    save_index,
+)
+from .errors import ReproError
+from .scaffold import Scaffolder
+from .seq import SeqRecord, SequenceSet, read_fasta, read_fastq, write_fasta, write_fastq
+from .sketch import HashFamily, MinimizerList, minimizers
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "JEMConfig",
+    "JEMMapper",
+    "MappingResult",
+    "save_index",
+    "load_index",
+    "Scaffolder",
+    "ReproError",
+    "SeqRecord",
+    "SequenceSet",
+    "read_fasta",
+    "read_fastq",
+    "write_fasta",
+    "write_fastq",
+    "HashFamily",
+    "MinimizerList",
+    "minimizers",
+    "__version__",
+]

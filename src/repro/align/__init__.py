@@ -1,0 +1,13 @@
+"""Alignment substrate: banded edit distance and percent identity (BLAST substitute)."""
+
+from .banded import UNALIGNABLE, banded_edit_distance, edit_distance, percent_identity
+from .identity import locate_segment, segment_identity
+
+__all__ = [
+    "UNALIGNABLE",
+    "banded_edit_distance",
+    "edit_distance",
+    "percent_identity",
+    "locate_segment",
+    "segment_identity",
+]

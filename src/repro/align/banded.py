@@ -1,0 +1,118 @@
+"""Banded edit-distance alignment, vectorised row by row.
+
+Used as the BLAST substitute for Fig. 9: after JEM-mapper pairs a read end
+segment with a contig, the percent identity of the pair is computed by
+aligning the segment against the located contig region.
+
+The DP recurrence D[i, j] = min(D[i-1, j] + 1, D[i, j-1] + 1,
+D[i-1, j-1] + [a_i != b_j]) is evaluated one row at a time with numpy.  The
+in-row dependency D[i, j-1] + 1 (a gap in ``a``) is a prefix scan:
+
+    D[i, j] = min_j' <= j ( cand[j'] + (j - j') )
+            = ( running-min of (cand[j'] - j') ) + j
+
+so each row costs three full-width vector operations.  A band of
+half-width ``band`` around the main diagonal bounds work and memory to
+O(n * band).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["edit_distance", "banded_edit_distance", "percent_identity", "UNALIGNABLE"]
+
+#: Distance reported when the band cannot connect the corners.
+UNALIGNABLE = int(1 << 40)
+
+
+def _scan_row_gaps(cand: np.ndarray) -> np.ndarray:
+    """Resolve the in-row gap dependency: out[j] = min_{j'<=j}(cand[j'] + j - j')."""
+    ramp = np.arange(cand.size, dtype=np.int64)
+    return np.minimum.accumulate(cand - ramp) + ramp
+
+
+def edit_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Exact (unbanded) Levenshtein distance — reference implementation."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.size == 0 or b.size == 0:
+        return int(a.size + b.size)
+    prev = np.arange(b.size + 1, dtype=np.int64)  # D[0, :]
+    for i in range(1, a.size + 1):
+        cand = np.empty(b.size + 1, dtype=np.int64)
+        cand[0] = i
+        cand[1:] = np.minimum(prev[1:] + 1, prev[:-1] + (b != a[i - 1]))
+        prev = _scan_row_gaps(cand)
+    return int(prev[-1])
+
+
+def banded_edit_distance(a: np.ndarray, b: np.ndarray, band: int) -> int:
+    """Edit distance restricted to a diagonal band |j - i| <= band.
+
+    Exact whenever the true distance is <= band (every optimal path then
+    stays inside the band); returns :data:`UNALIGNABLE` when the band
+    cannot connect (0, 0) to (n, m).
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    n, m = a.size, b.size
+    if band < 1:
+        raise ReproError(f"band must be >= 1, got {band}")
+    if n == 0 or m == 0:
+        return n + m
+    if abs(n - m) > band:
+        return UNALIGNABLE
+    big = np.int64(UNALIGNABLE)
+    lo_prev, hi_prev = 0, min(m, band)  # inclusive column bounds of row 0
+    prev = np.arange(lo_prev, hi_prev + 1, dtype=np.int64)  # D[0, j] = j
+    for i in range(1, n + 1):
+        lo = max(0, i - band)
+        hi = min(m, i + band)
+        cand = np.full(hi - lo + 1, big, dtype=np.int64)
+        # deletion (gap in b): D[i-1, j] + 1 over the column overlap
+        olo, ohi = max(lo, lo_prev), min(hi, hi_prev)
+        if olo <= ohi:
+            np.minimum(
+                cand[olo - lo : ohi - lo + 1],
+                prev[olo - lo_prev : ohi - lo_prev + 1] + 1,
+                out=cand[olo - lo : ohi - lo + 1],
+            )
+        # substitution/match: D[i-1, j-1] + cost
+        slo, shi = max(lo, lo_prev + 1, 1), min(hi, hi_prev + 1)
+        if slo <= shi:
+            js = np.arange(slo, shi + 1)
+            cost = (b[js - 1] != a[i - 1]).astype(np.int64)
+            np.minimum(
+                cand[slo - lo : shi - lo + 1],
+                prev[js - 1 - lo_prev] + cost,
+                out=cand[slo - lo : shi - lo + 1],
+            )
+        if lo == 0:
+            cand[0] = min(int(cand[0]), i)  # D[i, 0] = i
+        prev = _scan_row_gaps(cand)
+        lo_prev, hi_prev = lo, hi
+    if not lo_prev <= m <= hi_prev:
+        return UNALIGNABLE
+    result = int(prev[m - lo_prev])
+    return result if result < UNALIGNABLE else UNALIGNABLE
+
+
+def percent_identity(a: np.ndarray, b: np.ndarray, band: int = 64) -> float:
+    """Approximate BLAST-style percent identity of two sequences.
+
+    identity = 100 * (1 - D / max(|a|, |b|)), with D the banded edit
+    distance — a tight approximation at the >90 % identities Fig. 9
+    reports.  Returns 0.0 when the pair does not align within the band.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    longest = max(a.size, b.size)
+    if longest == 0:
+        return 100.0
+    d = banded_edit_distance(a, b, band)
+    if d >= UNALIGNABLE:
+        return 0.0
+    return max(0.0, 100.0 * (1.0 - d / longest))

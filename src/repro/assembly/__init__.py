@@ -1,0 +1,7 @@
+"""De Bruijn graph short-read assembler (Minia substitute)."""
+
+from .assembler import AssemblyConfig, assemble
+from .dbg import DeBruijnGraph
+from .kmer_count import count_kmers, solid_kmers
+
+__all__ = ["AssemblyConfig", "assemble", "DeBruijnGraph", "count_kmers", "solid_kmers"]

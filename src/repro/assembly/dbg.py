@@ -1,0 +1,149 @@
+"""De Bruijn graph over a solid k-mer set, with unitig compaction.
+
+Nodes are packed k-mers (both strands present — the count stage inserts the
+reverse complement of every observed k-mer, so the graph is strand-closed).
+Edges connect k-mers overlapping by k-1 bases.  Degrees and the
+"compressible edge" relation (out-degree 1 into in-degree 1) are computed
+for every node at once with ``searchsorted`` membership tests; unitig
+extraction then just follows a precomputed ``next[]`` pointer array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AssemblyError
+
+__all__ = ["DeBruijnGraph"]
+
+
+class DeBruijnGraph:
+    """Node-centric de Bruijn graph on a sorted packed k-mer array."""
+
+    def __init__(self, kmers: np.ndarray, k: int) -> None:
+        kmers = np.ascontiguousarray(kmers, dtype=np.uint64)
+        if kmers.size > 1 and (kmers[1:] <= kmers[:-1]).any():
+            raise AssemblyError("k-mer array must be sorted and unique")
+        if not 1 <= k <= 31:
+            raise AssemblyError(f"k must be in [1, 31], got {k}")
+        self.kmers = kmers
+        self.k = k
+        self._mask = np.uint64((1 << (2 * k)) - 1)
+        self._succ: np.ndarray | None = None  # (n, 4) successor node index or -1
+        self._pred_count: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return int(self.kmers.size)
+
+    # -- membership / adjacency --------------------------------------------
+
+    def contains(self, queries: np.ndarray) -> np.ndarray:
+        """Bool mask: which packed k-mers are nodes of the graph."""
+        queries = np.asarray(queries, dtype=np.uint64)
+        idx = np.searchsorted(self.kmers, queries)
+        ok = idx < self.kmers.size
+        out = np.zeros(queries.shape, dtype=bool)
+        out[ok] = self.kmers[idx[ok]] == queries[ok]
+        return out
+
+    def _index_of(self, queries: np.ndarray) -> np.ndarray:
+        """Node index per query, -1 for absent k-mers."""
+        queries = np.asarray(queries, dtype=np.uint64)
+        idx = np.searchsorted(self.kmers, queries).astype(np.int64)
+        idx[idx >= self.kmers.size] = -1
+        present = (idx >= 0) & (self.kmers[idx] == queries)
+        idx[~present] = -1
+        return idx
+
+    def _build_adjacency(self) -> None:
+        if self._succ is not None:
+            return
+        n = len(self)
+        succ = np.full((n, 4), -1, dtype=np.int64)
+        pred_count = np.zeros(n, dtype=np.int64)
+        shifted = (self.kmers << np.uint64(2)) & self._mask
+        for b in range(4):
+            cand = shifted | np.uint64(b)
+            idx = self._index_of(cand)
+            succ[:, b] = idx
+            hit = idx >= 0
+            np.add.at(pred_count, idx[hit], 1)
+        self._succ = succ
+        self._pred_count = pred_count
+
+    @property
+    def out_degree(self) -> np.ndarray:
+        self._build_adjacency()
+        return (self._succ >= 0).sum(axis=1)
+
+    @property
+    def in_degree(self) -> np.ndarray:
+        """In-degree per node (edges from any present predecessor)."""
+        self._build_adjacency()
+        return self._pred_count
+
+    # -- unitig compaction ---------------------------------------------------
+
+    def _next_pointers(self) -> np.ndarray:
+        """next[v] = w when edge v->w is compressible, else -1.
+
+        Compressible means v has exactly one successor w and w has exactly
+        one predecessor — the non-branching condition of unitig compaction.
+        """
+        self._build_adjacency()
+        outdeg = self.out_degree
+        indeg = self.in_degree
+        # unique successor (valid only where outdeg == 1)
+        unique_succ = self._succ.max(axis=1)  # -1s lose to the real index
+        nxt = np.where(
+            (outdeg == 1) & (unique_succ >= 0) & (indeg[unique_succ] == 1),
+            unique_succ,
+            -1,
+        )
+        return nxt
+
+    def unitig_node_chains(self) -> list[np.ndarray]:
+        """Maximal non-branching node chains (each node in exactly one chain)."""
+        n = len(self)
+        if n == 0:
+            return []
+        nxt = self._next_pointers()
+        has_compressible_in = np.zeros(n, dtype=bool)
+        has_compressible_in[nxt[nxt >= 0]] = True
+        visited = np.zeros(n, dtype=bool)
+        chains: list[np.ndarray] = []
+        for start in np.flatnonzero(~has_compressible_in):
+            chain = [int(start)]
+            visited[start] = True
+            v = int(nxt[start])
+            while v >= 0 and not visited[v]:
+                chain.append(v)
+                visited[v] = True
+                v = int(nxt[v])
+            chains.append(np.asarray(chain, dtype=np.int64))
+        # Remaining nodes lie on pure cycles of compressible edges.
+        for seed in np.flatnonzero(~visited):
+            if visited[seed]:
+                continue
+            chain = [int(seed)]
+            visited[seed] = True
+            v = int(nxt[seed])
+            while v >= 0 and not visited[v]:
+                chain.append(v)
+                visited[v] = True
+                v = int(nxt[v])
+            chains.append(np.asarray(chain, dtype=np.int64))
+        return chains
+
+    def chain_to_codes(self, chain: np.ndarray) -> np.ndarray:
+        """Spell the sequence of a node chain (k + len(chain) - 1 bases)."""
+        if chain.size == 0:
+            raise AssemblyError("empty chain")
+        k = self.k
+        first = int(self.kmers[chain[0]])
+        head = np.empty(k, dtype=np.uint8)
+        for j in range(k - 1, -1, -1):
+            head[j] = first & 3
+            first >>= 2
+        tail = (self.kmers[chain[1:]] & np.uint64(3)).astype(np.uint8)
+        return np.concatenate([head, tail])

@@ -1,0 +1,84 @@
+"""Exact k-mer counting over a read set, numpy-native.
+
+The assembler needs solid (abundance-filtered) k-mers.  Counting is one
+concatenate + ``np.unique(return_counts=True)`` over the packed forward
+k-mers of every read *and* its reverse complement, so a k-mer and its RC
+always carry the same count — the double-stranded view a de Bruijn
+assembler requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AssemblyError
+from ..seq.records import SequenceSet
+from ..sketch.kmers import MAX_K, kmer_ranks, valid_kmer_mask
+
+__all__ = ["count_kmers", "solid_kmers"]
+
+
+def _revcomp_ranks(ranks: np.ndarray, k: int) -> np.ndarray:
+    """Vectorised reverse complement of packed k-mer ranks."""
+    x = np.asarray(ranks, dtype=np.uint64)
+    out = np.zeros_like(x)
+    for _ in range(k):
+        out = (out << np.uint64(2)) | ((x & np.uint64(3)) ^ np.uint64(3))
+        x = x >> np.uint64(2)
+    return out
+
+
+def _in_read_window_mask(offsets: np.ndarray, total: int, k: int) -> np.ndarray:
+    """Mask over window starts of the concatenated buffer: true when the
+    k-window lies entirely inside one read (doesn't straddle a boundary)."""
+    n_windows = total - k + 1
+    mask = np.ones(n_windows, dtype=bool)
+    if k == 1:
+        return mask
+    # For every internal boundary at offset b, starts in [b - k + 1, b) are bad.
+    boundaries = offsets[1:-1]
+    if boundaries.size:
+        bad = boundaries[:, None] - np.arange(1, k, dtype=np.int64)[None, :]
+        bad = bad.reshape(-1)
+        bad = bad[(bad >= 0) & (bad < n_windows)]
+        mask[bad] = False
+    return mask
+
+
+def count_kmers(reads: SequenceSet, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Count every k-mer of the read set on both strands.
+
+    Returns ``(kmers, counts)``: sorted unique packed forward-orientation
+    k-mers (both strands present) with their occurrence counts.
+
+    The packing runs once over the *concatenated* read buffer; windows that
+    straddle a read boundary (or contain an invalid base) are masked out.
+    This keeps the whole count at a handful of full-width numpy passes
+    regardless of the read count.
+    """
+    if not 1 <= k <= MAX_K:
+        raise AssemblyError(f"k must be in [1, {MAX_K}], got {k}")
+    buffer = reads.buffer
+    if buffer.size < k:
+        return np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
+    ranks = kmer_ranks(buffer, k)
+    keep = valid_kmer_mask(buffer, k) & _in_read_window_mask(reads.offsets, buffer.size, k)
+    ranks = ranks[keep]
+    if ranks.size == 0:
+        return np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
+    allk = np.concatenate([ranks, _revcomp_ranks(ranks, k)])
+    kmers, counts = np.unique(allk, return_counts=True)
+    return kmers, counts.astype(np.int64)
+
+
+def solid_kmers(reads: SequenceSet, k: int, min_count: int = 2) -> np.ndarray:
+    """Sorted unique k-mers occurring at least ``min_count`` times.
+
+    ``min_count`` filters sequencing-error k-mers (an error creates up to k
+    novel k-mers that are unlikely to recur), the same role as Minia's
+    abundance threshold.
+    """
+    if min_count < 1:
+        raise AssemblyError(f"min_count must be >= 1, got {min_count}")
+    kmers, counts = count_kmers(reads, k)
+    return kmers[counts >= min_count]

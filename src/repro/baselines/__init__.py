@@ -1,0 +1,13 @@
+"""Baseline mappers: classical MinHash, Mashmap-like, and minimap-lite."""
+
+from .classical_minhash import ClassicalMinHashMapper
+from .mashmap import MashmapConfig, MashmapLikeMapper
+from .minimap_lite import MinimapLite, Placement
+
+__all__ = [
+    "ClassicalMinHashMapper",
+    "MashmapConfig",
+    "MashmapLikeMapper",
+    "MinimapLite",
+    "Placement",
+]

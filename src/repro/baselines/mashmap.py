@@ -1,0 +1,270 @@
+"""Mashmap-like mapper (Jain et al., RECOMB 2017) — the paper's main baseline.
+
+Algorithmic contrast with JEM-mapper, as the paper describes it
+(Section III-B.2): Mashmap keeps, for every minimizer, a list of all
+positions where it occurs in the subjects.  At query time the shared
+minimizers between the query and the subjects are gathered as positional
+*anchors*; the subject region with the maximal local intersection — the
+densest window of length ℓ over the anchor positions — wins, and the
+winnowed Jaccard estimate of that window decides whether to report it.
+
+This implementation follows that two-stage structure:
+
+* **L1** — candidate subjects = those sharing at least ``min_shared``
+  minimizers with the query;
+* **L2** — per candidate, slide a window of the query length over the
+  sorted anchor positions and count *distinct* query minimizers inside;
+  best window count / |W(query)| estimates the Jaccard.
+
+Work per query is proportional to the total number of anchor positions
+(every occurrence of every shared minimizer), which is what makes the tool
+slower than JEM-mapper's constant-T lookups — the performance relationship
+Table II measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.mapper import MappingResult
+from ..core.segments import extract_end_segments
+from ..errors import MappingError
+from ..seq.records import SequenceSet
+from ..sketch.minimizers import minimizers, minimizers_set
+
+__all__ = ["MashmapConfig", "MashmapLikeMapper"]
+
+
+@dataclass(frozen=True)
+class MashmapConfig:
+    """Mashmap-like parameters.
+
+    ``w`` defaults to 20, much denser winnowing than JEM's w = 100: the
+    real Mashmap picks its own sampling density from the segment length and
+    target estimation error, which for 1 kbp segments is in the tens — this
+    is where its higher per-query cost (and marginally better recall,
+    Fig. 5) comes from.
+    """
+
+    k: int = 16
+    w: int = 20
+    ell: int = 1000
+    min_shared: int = 2
+    min_jaccard: float = 0.02
+    scoring: str = "intersection"  # or "winnowed"
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.k <= 16:
+            raise MappingError(f"k must be in [1, 16], got {self.k}")
+        if self.w < 1 or self.ell < self.k:
+            raise MappingError("invalid w/ell")
+        if self.min_shared < 1:
+            raise MappingError("min_shared must be >= 1")
+        if self.scoring not in ("intersection", "winnowed"):
+            raise MappingError(f"unknown scoring {self.scoring!r}")
+
+
+class MashmapLikeMapper:
+    """Position-list minimizer mapper with maximal-local-intersection scoring."""
+
+    def __init__(self, config: MashmapConfig | None = None) -> None:
+        self.config = config if config is not None else MashmapConfig()
+        self._values: np.ndarray | None = None  # sorted minimizer values
+        self._subjects: np.ndarray | None = None  # contig id per occurrence
+        self._positions: np.ndarray | None = None  # position per occurrence
+        self._subject_names: list[str] = []
+        self._bs_values: np.ndarray | None = None  # by-subject layout
+        self._bs_positions: np.ndarray | None = None
+        self._bs_offsets: np.ndarray | None = None
+
+    @property
+    def subject_names(self) -> list[str]:
+        return self._subject_names
+
+    def index(self, contigs: SequenceSet) -> None:
+        """Build the positional minimizer index over all subjects."""
+        if len(contigs) == 0:
+            raise MappingError("cannot index an empty contig set")
+        cfg = self.config
+        vals: list[np.ndarray] = []
+        subs: list[np.ndarray] = []
+        poss: list[np.ndarray] = []
+        for i, ml in enumerate(minimizers_set(contigs, cfg.k, cfg.w)):
+            if len(ml) == 0:
+                continue
+            vals.append(ml.ranks)
+            subs.append(np.full(len(ml), i, dtype=np.int64))
+            poss.append(ml.positions)
+        if not vals:
+            raise MappingError("no subject produced minimizers")
+        values = np.concatenate(vals)
+        subjects = np.concatenate(subs)
+        positions = np.concatenate(poss)
+        order = np.argsort(values, kind="stable")
+        self._values = values[order]
+        self._subjects = subjects[order]
+        self._positions = positions[order]
+        self._subject_names = list(contigs.names)
+        # by-subject layout (position-sorted per subject) for the winnowed
+        # L2 stage: lets a window's full minimizer set be sliced out
+        by_subject = np.lexsort((positions, subjects))
+        self._bs_values = values[by_subject]
+        self._bs_positions = positions[by_subject]
+        counts = np.bincount(subjects, minlength=len(contigs))
+        self._bs_offsets = np.zeros(len(contigs) + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._bs_offsets[1:])
+
+    def _anchors(self, qranks: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(query minimizer idx, subject, position) for all shared occurrences."""
+        left = np.searchsorted(self._values, qranks, side="left")
+        right = np.searchsorted(self._values, qranks, side="right")
+        lengths = right - left
+        total = int(lengths.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        q_idx = np.repeat(np.arange(qranks.size, dtype=np.int64), lengths)
+        run_starts = np.zeros(qranks.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=run_starts[1:])
+        flat = np.arange(total, dtype=np.int64) - run_starts[q_idx] + left[q_idx]
+        return q_idx, self._subjects[flat], self._positions[flat]
+
+    def _score_candidate(
+        self, q_of_anchor: np.ndarray, positions: np.ndarray, window: int
+    ) -> int:
+        """Max distinct query minimizers in any ℓ-window (L2 stage).
+
+        Anchors must belong to one subject and be sorted by position.  A
+        two-pointer sweep with a multiplicity counter tracks how many
+        *distinct* query minimizers fall in the current window.
+        """
+        counts: dict[int, int] = {}
+        distinct = 0
+        best = 0
+        lo = 0
+        for hi in range(positions.size):
+            q = int(q_of_anchor[hi])
+            c = counts.get(q, 0)
+            if c == 0:
+                distinct += 1
+            counts[q] = c + 1
+            while positions[hi] - positions[lo] > window:
+                ql = int(q_of_anchor[lo])
+                counts[ql] -= 1
+                if counts[ql] == 0:
+                    distinct -= 1
+                lo += 1
+            if distinct > best:
+                best = distinct
+        return best
+
+    def _best_window(
+        self, q_of_anchor: np.ndarray, positions: np.ndarray, window: int
+    ) -> tuple[int, int]:
+        """(best distinct count, window start index) over ℓ-windows."""
+        counts: dict[int, int] = {}
+        distinct = 0
+        best = 0
+        best_lo = 0
+        lo = 0
+        for hi in range(positions.size):
+            q = int(q_of_anchor[hi])
+            c = counts.get(q, 0)
+            if c == 0:
+                distinct += 1
+            counts[q] = c + 1
+            while positions[hi] - positions[lo] > window:
+                ql = int(q_of_anchor[lo])
+                counts[ql] -= 1
+                if counts[ql] == 0:
+                    distinct -= 1
+                lo += 1
+            if distinct > best:
+                best = distinct
+                best_lo = lo
+        return best, best_lo
+
+    def winnowed_jaccard(
+        self, query_minis: np.ndarray, window_minis: np.ndarray
+    ) -> float:
+        """Mashmap's winnowed Jaccard estimate between two minimizer sets.
+
+        With s = |W(Q)|: take S = the s smallest members (by hash order —
+        the packed rank serves as the hash) of W(Q) ∪ W(window); the
+        estimate is |S ∩ W(Q) ∩ W(window)| / s (Jain et al. 2017, Eq. 4).
+        """
+        a = np.unique(np.asarray(query_minis, dtype=np.uint64))
+        b = np.unique(np.asarray(window_minis, dtype=np.uint64))
+        if a.size == 0 or b.size == 0:
+            raise MappingError("winnowed Jaccard needs non-empty minimizer sets")
+        s = int(a.size)
+        union = np.union1d(a, b)[:s]  # s smallest of the union
+        shared = np.intersect1d(a, b, assume_unique=True)
+        both = np.intersect1d(union, shared, assume_unique=True)
+        return both.size / s
+
+    def map_segments(self, segments: SequenceSet, infos=None) -> MappingResult:
+        if self._values is None:
+            raise MappingError("index() must be called before mapping")
+        cfg = self.config
+        n = len(segments)
+        best_subject = np.full(n, -1, dtype=np.int64)
+        best_count = np.zeros(n, dtype=np.int64)
+        for qi in range(n):
+            ml = minimizers(segments.codes_of(qi), cfg.k, cfg.w)
+            if len(ml) == 0:
+                continue
+            qranks = np.unique(ml.ranks)
+            sketch_size = qranks.size
+            q_idx, subs, poss = self._anchors(qranks)
+            if q_idx.size == 0:
+                continue
+            # group anchors per subject, positions sorted within
+            order = np.lexsort((poss, subs))
+            subs, poss, q_idx = subs[order], poss[order], q_idx[order]
+            boundaries = np.flatnonzero(np.diff(subs)) + 1
+            starts = np.concatenate([[0], boundaries])
+            ends = np.concatenate([boundaries, [subs.size]])
+            top_subject, top_score = -1, 0
+            for s, e in zip(starts, ends):
+                # L1 filter: cheap distinct upper bound first
+                if e - s < cfg.min_shared:
+                    continue
+                if cfg.scoring == "winnowed":
+                    shared, window_lo = self._best_window(q_idx[s:e], poss[s:e], cfg.ell)
+                    if shared < cfg.min_shared:
+                        continue
+                    sid = int(subs[s])
+                    lo_pos = int(poss[s:e][window_lo])
+                    base = int(self._bs_offsets[sid])
+                    top = int(self._bs_offsets[sid + 1])
+                    seg_pos = self._bs_positions[base:top]
+                    w_lo = base + int(np.searchsorted(seg_pos, lo_pos, side="left"))
+                    w_hi = base + int(
+                        np.searchsorted(seg_pos, lo_pos + cfg.ell, side="right")
+                    )
+                    estimate = self.winnowed_jaccard(qranks, self._bs_values[w_lo:w_hi])
+                    score = int(round(estimate * sketch_size))
+                    if estimate < cfg.min_jaccard:
+                        continue
+                else:
+                    shared = self._score_candidate(q_idx[s:e], poss[s:e], cfg.ell)
+                    if shared < cfg.min_shared or shared / sketch_size < cfg.min_jaccard:
+                        continue
+                    score = shared
+                if score > top_score or (score == top_score and subs[s] < top_subject):
+                    top_subject, top_score = int(subs[s]), score
+            if top_subject >= 0:
+                best_subject[qi] = top_subject
+                best_count[qi] = top_score
+        from ..core.hitcounter import BestHits
+
+        return MappingResult.from_best_hits(
+            segments.names, BestHits(best_subject, best_count), infos
+        )
+
+    def map_reads(self, reads: SequenceSet) -> MappingResult:
+        segments, infos = extract_end_segments(reads, self.config.ell)
+        return self.map_segments(segments, infos)

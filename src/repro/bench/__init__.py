@@ -1,0 +1,45 @@
+"""Benchmark harness: one experiment per paper table/figure, plus ablations."""
+
+from .ablations import (
+    ABLATIONS,
+    ablation_counter,
+    ablation_segments,
+    ablation_topx,
+    ablation_window,
+)
+from .experiments import (
+    EXPERIMENTS,
+    BenchContext,
+    ExperimentOutput,
+    ThreadScalingModel,
+    exp_fig5,
+    exp_fig6,
+    exp_fig7,
+    exp_fig8,
+    exp_fig9,
+    exp_table1,
+    exp_table2,
+)
+
+#: Everything runnable through ``jem-mapper bench``.
+ALL_EXPERIMENTS = {**EXPERIMENTS, **ABLATIONS}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ABLATIONS",
+    "ALL_EXPERIMENTS",
+    "BenchContext",
+    "ExperimentOutput",
+    "ThreadScalingModel",
+    "exp_table1",
+    "exp_table2",
+    "exp_fig5",
+    "exp_fig6",
+    "exp_fig7",
+    "exp_fig8",
+    "exp_fig9",
+    "ablation_topx",
+    "ablation_segments",
+    "ablation_window",
+    "ablation_counter",
+]

@@ -1,0 +1,314 @@
+"""Command-line interface: ``jem-mapper`` / ``python -m repro``.
+
+Subcommands:
+
+* ``simulate`` — generate one of the Table I datasets to FASTA/FASTQ files;
+* ``map``      — map long reads (FASTA/FASTQ) to contigs (FASTA) and write
+  a TSV of ⟨segment, contig, hits⟩ (mapper: jem / mashmap / minhash;
+  ``-p`` > 1 runs the simulated-SPMD parallel driver);
+* ``eval``     — end-to-end quality evaluation on a generated dataset;
+* ``bench``    — regenerate one (or all) of the paper's tables/figures;
+* ``datasets`` — list the dataset registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+from . import __version__
+from .baselines.classical_minhash import ClassicalMinHashMapper
+from .baselines.mashmap import MashmapConfig, MashmapLikeMapper
+from .bench import ALL_EXPERIMENTS as EXPERIMENTS
+from .bench.experiments import BenchContext
+from .core.config import JEMConfig
+from .core.mapper import JEMMapper
+from .eval.datasets import DEFAULT_SCALE, dataset_names, load_or_generate
+from .eval.pipeline import run_mappers
+from .parallel.driver import run_parallel_jem
+from .seq.io_fasta import read_fasta, write_fasta
+from .seq.io_fastq import write_fastq
+from .seq.records import SequenceSet
+from .seq.stats import set_stats
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--k", type=int, default=16, help="k-mer size (default 16)")
+    parser.add_argument("--w", type=int, default=100, help="minimizer window (default 100)")
+    parser.add_argument("--ell", type=int, default=1000, help="end-segment length (default 1000)")
+    parser.add_argument("--trials", type=int, default=30, help="MinHash trials T (default 30)")
+    parser.add_argument("--seed", type=int, default=20230157, help="hash-constant seed")
+
+
+def _config_from(args: argparse.Namespace) -> JEMConfig:
+    return JEMConfig(k=args.k, w=args.w, ell=args.ell, trials=args.trials, seed=args.seed)
+
+
+def _read_sequences(path: str) -> SequenceSet:
+    if path.endswith((".fq", ".fastq", ".fq.gz", ".fastq.gz")):
+        from .seq.io_fastq import read_fastq
+
+        return read_fastq(path)
+    return read_fasta(path)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jem-mapper",
+        description="JEM-mapper: parallel sketch-based mapping of long reads to contigs",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="generate a Table I dataset to disk")
+    p_sim.add_argument("dataset", choices=dataset_names())
+    p_sim.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--out", default=".", help="output directory")
+
+    p_index = sub.add_parser("index", help="build and save a JEM index from contigs")
+    p_index.add_argument("-s", "--subjects", required=True, help="contigs FASTA")
+    p_index.add_argument("-o", "--output", required=True, help="index file (.npz)")
+    _add_config_args(p_index)
+
+    p_map = sub.add_parser("map", help="map long reads to contigs")
+    p_map.add_argument("-q", "--queries", required=True, help="long reads FASTA/FASTQ")
+    p_map.add_argument("-s", "--subjects", help="contigs FASTA")
+    p_map.add_argument("--index", help="saved JEM index (alternative to -s)")
+    p_map.add_argument("-o", "--output", default="-", help="output TSV ('-' = stdout)")
+    p_map.add_argument(
+        "--mapper", choices=("jem", "mashmap", "minhash"), default="jem"
+    )
+    p_map.add_argument("-p", "--processes", type=int, default=1,
+                       help="simulated ranks for the parallel driver (jem only)")
+    p_map.add_argument("--paf", action="store_true",
+                       help="write PAF with coordinates instead of the TSV "
+                            "(requires -s, not --index)")
+    _add_config_args(p_map)
+
+    p_scaf = sub.add_parser("scaffold", help="hybrid scaffolding from reads + contigs")
+    p_scaf.add_argument("-q", "--queries", required=True, help="long reads FASTA/FASTQ")
+    p_scaf.add_argument("-s", "--subjects", required=True, help="contigs FASTA")
+    p_scaf.add_argument("-o", "--output", required=True, help="scaffolds FASTA")
+    p_scaf.add_argument("--min-support", type=int, default=2,
+                        help="reads required to accept a contig link")
+    _add_config_args(p_scaf)
+
+    p_eval = sub.add_parser("eval", help="quality evaluation on a generated dataset")
+    p_eval.add_argument("dataset", choices=dataset_names())
+    p_eval.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p_eval.add_argument("--data-seed", type=int, default=0)
+    p_eval.add_argument("--cache-dir", default=".dataset_cache")
+    p_eval.add_argument(
+        "--mappers", default="jem,mashmap", help="comma list: jem,mashmap,minhash"
+    )
+    _add_config_args(p_eval)
+
+    p_bench = sub.add_parser("bench", help="regenerate a paper table/figure")
+    p_bench.add_argument("experiment", choices=list(EXPERIMENTS) + ["all"])
+    p_bench.add_argument("--scale", type=float, default=None)
+    p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument("--datasets", default=None, help="comma list to restrict inputs")
+    p_bench.add_argument("--cache-dir", default=".dataset_cache")
+    p_bench.add_argument("--results-dir", default="results")
+
+    sub.add_parser("datasets", help="list the dataset registry")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    dataset = load_or_generate(args.dataset, scale=args.scale, seed=args.seed)
+    os.makedirs(args.out, exist_ok=True)
+    genome_path = os.path.join(args.out, f"{args.dataset}_genome.fasta")
+    contig_path = os.path.join(args.out, f"{args.dataset}_contigs.fasta")
+    reads_path = os.path.join(args.out, f"{args.dataset}_reads.fastq")
+    write_fasta(
+        genome_path,
+        SequenceSet(
+            dataset.genome,
+            np.array([0, dataset.genome.size], dtype=np.int64),
+            [f"{args.dataset}_reference"],
+        ),
+    )
+    write_fasta(contig_path, dataset.contigs)
+    write_fastq(reads_path, dataset.reads)
+    print(f"genome : {genome_path} ({dataset.genome.size:,} bp)")
+    print(f"contigs: {contig_path} ({set_stats(dataset.contigs).format_row()})")
+    print(f"reads  : {reads_path} ({set_stats(dataset.reads).format_row()})")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from .core.persist import save_index
+
+    config = _config_from(args)
+    subjects = read_fasta(args.subjects)
+    mapper = JEMMapper(config)
+    t0 = time.perf_counter()
+    table = mapper.index(subjects)
+    path = save_index(mapper, args.output)
+    print(f"indexed {len(subjects)} contigs in {time.perf_counter() - t0:.2f}s: "
+          f"{table.total_entries:,} sketch entries ({table.nbytes / 1e6:.1f} MB) -> {path}")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    if (args.subjects is None) == (args.index is None):
+        print("error: provide exactly one of -s/--subjects or --index", file=sys.stderr)
+        return 2
+    config = _config_from(args)
+    queries = _read_sequences(args.queries)
+    t0 = time.perf_counter()
+    if args.index is not None:
+        from .core.persist import load_index
+
+        mapper = load_index(args.index)
+        result = mapper.map_reads(queries)
+        subject_names = mapper.subject_names
+        timing = f"# jem (saved index): {time.perf_counter() - t0:.3f}s wall"
+    elif args.mapper == "jem" and args.processes > 1:
+        subjects = read_fasta(args.subjects)
+        run = run_parallel_jem(subjects, queries, config, p=args.processes)
+        result = run.mapping
+        subject_names = list(subjects.names)
+        timing = (
+            f"# parallel p={args.processes}: modelled time {run.total_time:.3f}s, "
+            f"comm {100 * run.steps.comm_fraction:.1f}%"
+        )
+    else:
+        subjects = read_fasta(args.subjects)
+        if args.mapper == "jem":
+            mapper = JEMMapper(config)
+        elif args.mapper == "mashmap":
+            mapper = MashmapLikeMapper(MashmapConfig(k=config.k, ell=config.ell))
+        else:
+            mapper = ClassicalMinHashMapper(config)
+        mapper.index(subjects)
+        result = mapper.map_reads(queries)
+        subject_names = mapper.subject_names
+        timing = f"# {args.mapper}: {time.perf_counter() - t0:.3f}s wall"
+    if args.paf:
+        if args.index is not None:
+            print("error: --paf needs contig sequences; use -s", file=sys.stderr)
+            return 2
+        from .core.paf import write_paf
+        from .core.segments import extract_end_segments
+
+        segments, _ = extract_end_segments(queries, config.ell)
+        n = write_paf(args.output, result, segments, subjects,
+                      trials=config.trials, k=config.k)
+        print(f"wrote {n} PAF records", file=sys.stderr)
+        return 0
+    out = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
+    try:
+        out.write(f"# jem-mapper {__version__} {timing}\n")
+        out.write("segment\tcontig\thits\n")
+        for i in range(len(result)):
+            sid = int(result.subject[i])
+            label = subject_names[sid] if sid >= 0 else "*"
+            out.write(f"{result.segment_names[i]}\t{label}\t{int(result.hit_count[i])}\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    mapped = result.n_mapped
+    print(f"mapped {mapped}/{len(result)} segments ({100 * mapped / max(len(result), 1):.1f}%)",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_scaffold(args: argparse.Namespace) -> int:
+    from .scaffold import Scaffolder
+
+    config = _config_from(args)
+    contigs = read_fasta(args.subjects)
+    reads = _read_sequences(args.queries)
+    scaffolder = Scaffolder(config, min_support=args.min_support)
+    t0 = time.perf_counter()
+    result = scaffolder.scaffold(contigs, reads)
+    write_fasta(args.output, result.sequences)
+    print(
+        f"{len(contigs)} contigs + {len(reads)} reads -> "
+        f"{result.n_scaffolds} scaffolds ({result.n_links_used} links) "
+        f"in {time.perf_counter() - t0:.1f}s; span "
+        f"{result.span(contigs.lengths):,} bp -> {args.output}"
+    )
+    for i, path in enumerate(result.paths[:5]):
+        chain = " - ".join(
+            f"{contigs.names[c]}{'+' if o == 1 else '-'}"
+            for c, o in zip(path.order, path.orientations)
+        )
+        print(f"  scaffold_{i:04d}: {chain}")
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    dataset = load_or_generate(
+        args.dataset, scale=args.scale, seed=args.data_seed, cache_dir=args.cache_dir
+    )
+    config = _config_from(args)
+    mappers = tuple(m.strip() for m in args.mappers.split(",") if m.strip())
+    result = run_mappers(dataset, config, mappers=mappers)
+    print(f"dataset {args.dataset}: genome={dataset.genome.size:,} bp, "
+          f"{len(dataset.contigs)} contigs, {len(dataset.reads)} reads")
+    for label, run in result.runs.items():
+        print(run.quality.format_row(label)
+              + f"  [index {run.index_seconds:.2f}s + map {run.map_seconds:.2f}s]")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    overrides: dict = {
+        "seed": args.seed,
+        "cache_dir": args.cache_dir,
+        "results_dir": args.results_dir,
+    }
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.datasets:
+        overrides["datasets"] = tuple(args.datasets.split(","))
+    ctx = BenchContext.from_env(**overrides)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.perf_counter()
+        output = EXPERIMENTS[name](ctx)
+        print(output.text)
+        print(f"[{name}: {time.perf_counter() - t0:.1f}s; saved to "
+              f"{os.path.join(ctx.results_dir, name + '.txt')}]\n")
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    from .eval.datasets import DATASETS
+
+    print(f"{'name':<16} {'organism':<28} {'genome bp':>12} repeats")
+    for name, spec in DATASETS.items():
+        print(
+            f"{name:<16} {spec.organism:<28} {spec.full_genome_length:>12,} "
+            f"{spec.repeat_fraction:.0%} x {spec.repeat_length} bp "
+            f"@ {spec.repeat_divergence:.1%} divergence"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "index": _cmd_index,
+        "map": _cmd_map,
+        "scaffold": _cmd_scaffold,
+        "eval": _cmd_eval,
+        "bench": _cmd_bench,
+        "datasets": _cmd_datasets,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

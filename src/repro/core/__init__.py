@@ -1,0 +1,38 @@
+"""JEM-mapper core: configuration, segments, sketch table, hit counting, mapper."""
+
+from .config import JEMConfig
+from .hitcounter import BestHits, count_hits_lazy, count_hits_vectorised
+from .mapper import JEMMapper, MappingResult
+from .paf import paf_records, write_paf
+from .persist import load_index, save_index
+from .segments import PREFIX, SUFFIX, SegmentInfo, extract_end_segments
+from .sketch_table import SketchTable, TrialHits
+from .streaming import map_file, map_reads_stream
+from .tiling import TileInfo, extract_tiled_segments, map_reads_tiled
+from .topx import TopHits, count_hits_topx
+
+__all__ = [
+    "JEMConfig",
+    "JEMMapper",
+    "MappingResult",
+    "BestHits",
+    "count_hits_lazy",
+    "count_hits_vectorised",
+    "TopHits",
+    "count_hits_topx",
+    "save_index",
+    "load_index",
+    "paf_records",
+    "write_paf",
+    "map_file",
+    "map_reads_stream",
+    "TileInfo",
+    "extract_tiled_segments",
+    "map_reads_tiled",
+    "PREFIX",
+    "SUFFIX",
+    "SegmentInfo",
+    "extract_end_segments",
+    "SketchTable",
+    "TrialHits",
+]

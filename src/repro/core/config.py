@@ -1,0 +1,65 @@
+"""Configuration for JEM-mapper.
+
+Defaults are the paper's: k = 16, w = 100, ℓ = 1000, T = 30
+(Section IV-A, "Software configuration").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+from ..sketch.hashing import HashFamily
+
+__all__ = ["JEMConfig"]
+
+
+@dataclass(frozen=True)
+class JEMConfig:
+    """All tunables of the JEM-mapper pipeline.
+
+    Attributes
+    ----------
+    k:
+        k-mer size (paper: 16; must be <= 16 for packed minimizers).
+    w:
+        Minimizer window: one k-mer is selected out of ``w`` consecutive
+        k-mers (paper: 100).
+    ell:
+        End-segment length ℓ, also the subject interval length (paper: 1000).
+    trials:
+        Number of MinHash trials T (paper: 30).
+    seed:
+        Seed for the hash-constant generator; fixing it makes every run of
+        the mapper bit-reproducible.
+    min_hits:
+        Minimum number of trial collisions required to report a mapping
+        (1 = report any best hit, the paper's behaviour).
+    """
+
+    k: int = 16
+    w: int = 100
+    ell: int = 1000
+    trials: int = 30
+    seed: int = 20230157  # IPDPSW 2023, paper page 157
+    min_hits: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.k <= 16:
+            raise ConfigError(f"k must be in [1, 16], got {self.k}")
+        if self.w < 1:
+            raise ConfigError(f"w must be >= 1, got {self.w}")
+        if self.ell < self.k:
+            raise ConfigError(f"ell ({self.ell}) must be >= k ({self.k})")
+        if self.trials < 1:
+            raise ConfigError(f"trials must be >= 1, got {self.trials}")
+        if self.min_hits < 1:
+            raise ConfigError(f"min_hits must be >= 1, got {self.min_hits}")
+
+    def hash_family(self) -> HashFamily:
+        """The T-function hash family determined by (trials, seed)."""
+        return HashFamily.generate(self.trials, self.seed)
+
+    def with_trials(self, trials: int) -> "JEMConfig":
+        """Copy with a different T (used by the Fig. 6 sweep)."""
+        return replace(self, trials=trials)

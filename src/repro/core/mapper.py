@@ -1,0 +1,175 @@
+"""JEM-mapper — the paper's primary contribution (Algorithms 1 and 2).
+
+Public usage::
+
+    from repro import JEMConfig, JEMMapper
+
+    mapper = JEMMapper(JEMConfig(k=16, w=100, ell=1000, trials=30))
+    mapper.index(contigs)                 # Algorithm 1 over all subjects
+    result = mapper.map_reads(long_reads) # end segments + Algorithm 2
+
+``result`` pairs every read end segment with its best-matching contig (or
+-1), ready for precision/recall evaluation or scaffolding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import MappingError
+from ..seq.records import SequenceSet
+from ..sketch.hashing import HashFamily
+from ..sketch.jem import query_sketch_values, subject_sketch_pairs
+from .config import JEMConfig
+from .hitcounter import BestHits, count_hits_vectorised
+from .segments import SegmentInfo, extract_end_segments
+from .sketch_table import SketchTable
+
+__all__ = ["JEMMapper", "MappingResult"]
+
+
+@dataclass
+class MappingResult:
+    """Output of the L2C mapping Φ : Q → S.
+
+    One row per query segment.  ``subject[i]`` is the contig index in the
+    indexed contig set (-1 when unmapped) and ``hit_count[i]`` the number of
+    trial collisions supporting it.
+    """
+
+    segment_names: list[str]
+    subject: np.ndarray
+    hit_count: np.ndarray
+    infos: list[SegmentInfo] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return int(self.subject.size)
+
+    @property
+    def mapped_mask(self) -> np.ndarray:
+        return self.subject >= 0
+
+    @property
+    def n_mapped(self) -> int:
+        return int(np.count_nonzero(self.mapped_mask))
+
+    @property
+    def mapped_fraction(self) -> float:
+        return self.n_mapped / len(self) if len(self) else 0.0
+
+    def pairs(self, subject_names: list[str] | None = None) -> list[tuple[str, str]]:
+        """(segment name, contig name-or-index) for every mapped segment."""
+        out = []
+        for i in np.flatnonzero(self.mapped_mask):
+            s = int(self.subject[i])
+            label = subject_names[s] if subject_names is not None else str(s)
+            out.append((self.segment_names[int(i)], label))
+        return out
+
+    @classmethod
+    def from_best_hits(
+        cls, names: list[str], hits: BestHits, infos: list[SegmentInfo] | None = None
+    ) -> "MappingResult":
+        return cls(
+            segment_names=list(names),
+            subject=hits.subject,
+            hit_count=hits.count,
+            infos=list(infos) if infos is not None else [],
+        )
+
+
+class JEMMapper:
+    """Sketch-based long-read-to-contig mapper.
+
+    The mapper is *deterministic* for a fixed :class:`JEMConfig` (the hash
+    constants derive from ``config.seed``), and the index can be built
+    incrementally from partitions (:meth:`index_partitioned`) — that is the
+    sequential equivalent of the paper's parallel steps S2+S3.
+    """
+
+    def __init__(self, config: JEMConfig | None = None) -> None:
+        self.config = config if config is not None else JEMConfig()
+        self._family: HashFamily = self.config.hash_family()
+        self._table: SketchTable | None = None
+        self._subject_names: list[str] = []
+
+    # -- index construction (Algorithm 1 over subjects) ---------------------
+
+    @property
+    def table(self) -> SketchTable:
+        if self._table is None:
+            raise MappingError("index() must be called before mapping")
+        return self._table
+
+    @property
+    def is_indexed(self) -> bool:
+        return self._table is not None
+
+    @property
+    def subject_names(self) -> list[str]:
+        return self._subject_names
+
+    def index(self, contigs: SequenceSet) -> SketchTable:
+        """Sketch all subjects and build the per-trial tables S[1..T]."""
+        if len(contigs) == 0:
+            raise MappingError("cannot index an empty contig set")
+        cfg = self.config
+        keys = subject_sketch_pairs(contigs, cfg.k, cfg.w, cfg.ell, self._family)
+        self._table = SketchTable.from_pairs(keys, n_subjects=len(contigs))
+        self._subject_names = list(contigs.names)
+        return self._table
+
+    def index_partitioned(self, partitions: list[SequenceSet]) -> SketchTable:
+        """Build the index from disjoint contig partitions.
+
+        Each partition is sketched with subject ids offset by its position —
+        the same global ids the parallel driver assigns — and the per-trial
+        tables are unioned, mirroring S2 + S3.  The result is identical to
+        :meth:`index` on the concatenated set.
+        """
+        if not partitions:
+            raise MappingError("no partitions given")
+        cfg = self.config
+        parts: list[SketchTable] = []
+        offset = 0
+        names: list[str] = []
+        for part in partitions:
+            keys = subject_sketch_pairs(
+                part, cfg.k, cfg.w, cfg.ell, self._family, subject_id_offset=offset
+            )
+            offset += len(part)
+            names.extend(part.names)
+            parts.append(SketchTable.from_pairs(keys, n_subjects=offset))
+        self._table = SketchTable.union(parts)
+        self._subject_names = names
+        return self._table
+
+    # -- mapping (Algorithm 2) ----------------------------------------------
+
+    def map_segments(self, segments: SequenceSet, infos: list[SegmentInfo] | None = None) -> MappingResult:
+        """Map pre-extracted query segments against the index."""
+        table = self.table
+        cfg = self.config
+        sketches = query_sketch_values(segments, cfg.k, cfg.w, self._family)
+        hits = count_hits_vectorised(
+            table, sketches.values, min_hits=cfg.min_hits, query_mask=sketches.has
+        )
+        return MappingResult.from_best_hits(segments.names, hits, infos)
+
+    def map_reads(self, reads: SequenceSet) -> MappingResult:
+        """Extract prefix/suffix end segments of length ℓ and map them."""
+        segments, infos = extract_end_segments(reads, self.config.ell)
+        return self.map_segments(segments, infos)
+
+    def map_segments_topx(self, segments: SequenceSet, x: int = 3) -> "TopHits":
+        """Ranked top-x hits per segment (Section IV-C's proposed extension)."""
+        from .topx import count_hits_topx
+
+        cfg = self.config
+        sketches = query_sketch_values(segments, cfg.k, cfg.w, self._family)
+        return count_hits_topx(
+            self.table, sketches.values, x=x,
+            min_hits=cfg.min_hits, query_mask=sketches.has,
+        )

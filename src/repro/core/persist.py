@@ -1,0 +1,69 @@
+"""Index persistence: save/load a built JEM index as one ``.npz`` bundle.
+
+A production mapper indexes the contig set once and maps many read batches
+against it; this module makes the sketch table a durable artifact.  The
+bundle records the full :class:`JEMConfig` so a loaded mapper is guaranteed
+to sketch queries with the same constants the index was built with —
+loading with a mismatched config is impossible by construction.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..errors import MappingError
+from .config import JEMConfig
+from .mapper import JEMMapper
+from .sketch_table import SketchTable
+
+__all__ = ["save_index", "load_index", "INDEX_FORMAT_VERSION"]
+
+#: Bumped on any incompatible change to the on-disk layout.
+INDEX_FORMAT_VERSION = 1
+
+
+def save_index(mapper: JEMMapper, path: str | os.PathLike) -> str:
+    """Write a mapper's index (table + config + subject names) to ``path``.
+
+    Returns the path written.  The mapper must be indexed.
+    """
+    table = mapper.table  # raises MappingError when not indexed
+    cfg = mapper.config
+    payload: dict = {
+        "format_version": np.int64(INDEX_FORMAT_VERSION),
+        "config": np.array(
+            [cfg.k, cfg.w, cfg.ell, cfg.trials, cfg.seed, cfg.min_hits], dtype=np.int64
+        ),
+        "n_subjects": np.int64(table.n_subjects),
+        "subject_names": np.array(mapper.subject_names),
+    }
+    for t, keys in enumerate(table.keys):
+        payload[f"trial_{t:03d}"] = keys
+    path = os.fspath(path)
+    np.savez_compressed(path, **payload)
+    # np.savez appends .npz when missing; report the real file name
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_index(path: str | os.PathLike) -> JEMMapper:
+    """Reconstruct a ready-to-map :class:`JEMMapper` from a saved index."""
+    path = os.fspath(path)
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != INDEX_FORMAT_VERSION:
+            raise MappingError(
+                f"index format {version} unsupported (expected {INDEX_FORMAT_VERSION})"
+            )
+        k, w, ell, trials, seed, min_hits = (int(v) for v in data["config"])
+        config = JEMConfig(k=k, w=w, ell=ell, trials=trials, seed=seed, min_hits=min_hits)
+        keys = [data[f"trial_{t:03d}"] for t in range(trials)]
+        n_subjects = int(data["n_subjects"])
+        names = [str(n) for n in data["subject_names"]]
+    mapper = JEMMapper(config)
+    mapper._table = SketchTable(keys, n_subjects=n_subjects)
+    mapper._subject_names = names
+    return mapper

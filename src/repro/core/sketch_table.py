@@ -1,0 +1,137 @@
+"""The per-trial sketch table S[1..T] (Fig. 2 of the paper).
+
+Each trial's table is one **sorted** ``uint64`` array of packed
+``(sketch k-mer value << 32) | subject id`` keys.  Because keys sort by
+value first, looking up every query value of a trial is a pair of
+``searchsorted`` calls, and the union of tables from different ranks
+(the Allgatherv of step S3) is a concatenate-and-sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SketchError
+from ..sketch.jem import pack_key, unpack_keys
+
+__all__ = ["SketchTable", "TrialHits"]
+
+
+class TrialHits:
+    """Collisions of one trial's lookups, in flat (query, subject) form.
+
+    Attributes
+    ----------
+    query_index:
+        For every collision, the index of the query that produced it.
+    subjects:
+        The colliding subject id (parallel to ``query_index``).
+    """
+
+    __slots__ = ("query_index", "subjects")
+
+    def __init__(self, query_index: np.ndarray, subjects: np.ndarray) -> None:
+        self.query_index = query_index
+        self.subjects = subjects
+
+    def __len__(self) -> int:
+        return int(self.query_index.size)
+
+
+class SketchTable:
+    """T per-trial sorted key arrays plus subject-count metadata."""
+
+    __slots__ = ("keys", "n_subjects")
+
+    def __init__(self, keys: list[np.ndarray], n_subjects: int) -> None:
+        if not keys:
+            raise SketchError("sketch table needs at least one trial")
+        self.keys = [np.ascontiguousarray(k, dtype=np.uint64) for k in keys]
+        for arr in self.keys:
+            if arr.size > 1 and (arr[1:] < arr[:-1]).any():
+                raise SketchError("trial key arrays must be sorted")
+        self.n_subjects = int(n_subjects)
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def trials(self) -> int:
+        return len(self.keys)
+
+    @property
+    def total_entries(self) -> int:
+        return int(sum(k.size for k in self.keys))
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the key arrays — the Allgatherv volume of step S3."""
+        return int(sum(k.nbytes for k in self.keys))
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_pairs(
+        cls, per_trial_keys: list[np.ndarray], n_subjects: int, *, presorted: bool = True
+    ) -> "SketchTable":
+        """Build from per-trial packed-key arrays (sorting if needed)."""
+        if presorted:
+            return cls(per_trial_keys, n_subjects)
+        return cls([np.unique(np.asarray(k, dtype=np.uint64)) for k in per_trial_keys], n_subjects)
+
+    @classmethod
+    def union(cls, parts: list["SketchTable"]) -> "SketchTable":
+        """Union of tables built by different ranks — the S3 gather.
+
+        Trials must agree across parts; duplicate keys (same sketch from the
+        same subject observed on two ranks, impossible under disjoint
+        partitions but tolerated) are collapsed.
+        """
+        if not parts:
+            raise SketchError("cannot union zero tables")
+        trials = parts[0].trials
+        if any(p.trials != trials for p in parts):
+            raise SketchError("trial count mismatch across table parts")
+        merged = [
+            np.unique(np.concatenate([p.keys[t] for p in parts])) for t in range(trials)
+        ]
+        return cls(merged, max(p.n_subjects for p in parts))
+
+    # -- queries -----------------------------------------------------------
+
+    def lookup_trial(self, t: int, query_values: np.ndarray) -> TrialHits:
+        """All (query, subject) collisions of trial ``t``.
+
+        ``query_values[i]`` is query i's sketch k-mer for this trial; every
+        subject whose trial-t sketch list contains that k-mer is returned.
+        """
+        if not 0 <= t < self.trials:
+            raise SketchError(f"trial {t} out of range [0, {self.trials})")
+        keys = self.keys[t]
+        qv = np.asarray(query_values, dtype=np.uint64)
+        left = np.searchsorted(keys, pack_key(qv, np.zeros(qv.size, dtype=np.uint64)))
+        right = np.searchsorted(
+            keys, pack_key(qv, np.full(qv.size, 0xFFFFFFFF, dtype=np.uint64)), side="right"
+        )
+        lengths = right - left
+        total = int(lengths.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return TrialHits(empty, empty)
+        query_index = np.repeat(np.arange(qv.size, dtype=np.int64), lengths)
+        # Gather the concatenation of keys[left[i]:right[i]] without a loop:
+        # within each run, offsets count up from the run's 'left'.
+        run_starts = np.zeros(qv.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=run_starts[1:])
+        flat = np.arange(total, dtype=np.int64) - run_starts[query_index] + left[query_index]
+        _, subjects = unpack_keys(keys[flat])
+        return TrialHits(query_index, subjects)
+
+    def lookup_scalar(self, t: int, value: int) -> np.ndarray:
+        """Subjects colliding with one sketch value (reference/lazy path)."""
+        hits = self.lookup_trial(t, np.array([value], dtype=np.uint64))
+        return hits.subjects
+
+    def values_of_trial(self, t: int) -> np.ndarray:
+        """Distinct sketch values present in trial ``t`` (diagnostics)."""
+        values, _ = unpack_keys(self.keys[t])
+        return np.unique(values)

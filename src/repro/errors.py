@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SequenceError",
+    "ParseError",
+    "ConfigError",
+    "SketchError",
+    "MappingError",
+    "CommError",
+    "AssemblyError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SequenceError(ReproError):
+    """Invalid sequence data (bad characters, empty input, bad lengths)."""
+
+
+class ParseError(ReproError):
+    """Malformed FASTA/FASTQ or other on-disk format."""
+
+    def __init__(self, message: str, *, path: str | None = None, line: int | None = None):
+        location = ""
+        if path is not None:
+            location += f"{path}"
+        if line is not None:
+            location += f":{line}"
+        if location:
+            message = f"{location}: {message}"
+        super().__init__(message)
+        self.path = path
+        self.line = line
+
+
+class ConfigError(ReproError):
+    """Invalid configuration parameter combination."""
+
+
+class SketchError(ReproError):
+    """Failure while building or querying sketches."""
+
+
+class MappingError(ReproError):
+    """Failure in the mapping stage."""
+
+
+class CommError(ReproError):
+    """Misuse of the communicator / SPMD engine."""
+
+
+class AssemblyError(ReproError):
+    """Failure inside the de Bruijn graph assembler."""
+
+
+class DatasetError(ReproError):
+    """Unknown dataset name or inconsistent dataset artifacts."""

@@ -1,0 +1,74 @@
+"""Per-contig mapping coverage — QC for the scaffolding use-case.
+
+For hybrid scaffolding, what matters is not only segment-level precision
+but whether every contig *end* accumulates read-end evidence: a contig
+whose ends attract no mappings can never be linked into a scaffold.  This
+module aggregates a :class:`MappingResult` into per-contig counts and
+flags "dark" contigs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.mapper import MappingResult
+from ..errors import MappingError
+from ..seq.records import SequenceSet
+
+__all__ = ["ContigCoverage", "contig_coverage"]
+
+
+@dataclass(frozen=True)
+class ContigCoverage:
+    """Mapping-evidence counts per contig."""
+
+    hits: np.ndarray  # segments mapped to each contig
+    n_contigs: int
+    n_segments: int
+
+    @property
+    def dark_contigs(self) -> np.ndarray:
+        """Indices of contigs that attracted no mappings at all."""
+        return np.flatnonzero(self.hits == 0)
+
+    @property
+    def dark_fraction(self) -> float:
+        return self.dark_contigs.size / self.n_contigs if self.n_contigs else 0.0
+
+    @property
+    def mean_hits(self) -> float:
+        return float(self.hits.mean()) if self.n_contigs else 0.0
+
+    @property
+    def max_hits(self) -> int:
+        return int(self.hits.max()) if self.n_contigs else 0
+
+    def format_report(self, contig_names: list[str] | None = None, *, top: int = 5) -> str:
+        lines = [
+            f"contig coverage: {self.n_segments:,} mapped segments over "
+            f"{self.n_contigs:,} contigs "
+            f"(mean {self.mean_hits:.1f}, max {self.max_hits})",
+            f"dark contigs (no evidence): {self.dark_contigs.size} "
+            f"({100 * self.dark_fraction:.1f}%)",
+        ]
+        order = np.argsort(self.hits)[::-1][:top]
+        for idx in order:
+            label = contig_names[int(idx)] if contig_names else f"#{int(idx)}"
+            lines.append(f"  {label}: {int(self.hits[idx])} segments")
+        return "\n".join(lines)
+
+
+def contig_coverage(result: MappingResult, contigs: SequenceSet) -> ContigCoverage:
+    """Count mapped segments per contig (repeat-magnet and dark-contig QC)."""
+    n = len(contigs)
+    if n == 0:
+        raise MappingError("empty contig set")
+    mapped = result.subject[result.subject >= 0]
+    if mapped.size and int(mapped.max()) >= n:
+        raise MappingError(
+            f"mapping references contig {int(mapped.max())} outside set of {n}"
+        )
+    hits = np.bincount(mapped, minlength=n).astype(np.int64)
+    return ContigCoverage(hits=hits, n_contigs=n, n_segments=int(mapped.size))

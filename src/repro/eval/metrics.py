@@ -1,0 +1,124 @@
+"""Quality metrics — the TP/FP/FN/TN classification of Section IV-B.
+
+Given the benchmark ``Bench`` (all true pairs) and a mapper's output
+``Test`` (at most one best-hit pair per segment), classification is at
+segment granularity — a segment can satisfy the benchmark with any one of
+its true contigs, since "there is room for only one best hit":
+
+* TP — a mapped segment whose output pair is in Bench;
+* FP — a mapped segment whose output pair is not in Bench;
+* FN — a segment that has at least one true contig but was not recalled
+  (either unmapped, or mapped to a wrong contig — which is why the paper
+  notes every false positive is by implication also a false negative, and
+  recall is upper-bounded by precision);
+* TN — segments with no true contig that were correctly left unmapped.
+
+precision = TP / (TP + FP);  recall = TP / (TP + FN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.mapper import MappingResult
+from .truth import Benchmark
+
+__all__ = ["QualityReport", "evaluate_mapping", "recall_at_x", "threshold_sweep"]
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Confusion counts and derived rates for one mapper on one dataset."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+    n_segments: int
+    n_mapped: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    def format_row(self, label: str = "") -> str:
+        return (
+            f"{label:<24} precision={100 * self.precision:6.2f}%  "
+            f"recall={100 * self.recall:6.2f}%  "
+            f"TP={self.tp} FP={self.fp} FN={self.fn}  "
+            f"mapped={self.n_mapped}/{self.n_segments}"
+        )
+
+
+def threshold_sweep(
+    result: MappingResult, bench: Benchmark, thresholds: "np.ndarray | list[int]"
+) -> list[QualityReport]:
+    """Precision/recall at increasing hit-count thresholds.
+
+    A mapping is kept at threshold h iff its trial-collision count is >= h;
+    the best hit itself never changes, so one mapping run yields the whole
+    confidence curve.  Raising h trades recall for precision — the
+    "algorithmic optimizations to further improve quality" axis the paper's
+    future work names.
+    """
+    reports = []
+    for h in thresholds:
+        keep = result.hit_count >= int(h)
+        filtered = MappingResult(
+            segment_names=result.segment_names,
+            subject=np.where(keep, result.subject, -1),
+            hit_count=np.where(keep, result.hit_count, 0),
+            infos=result.infos,
+        )
+        reports.append(evaluate_mapping(filtered, bench))
+    return reports
+
+
+def recall_at_x(tophits, bench: Benchmark) -> float:
+    """Fraction of truth-bearing segments recovered by *any* of the top-x hits.
+
+    At x = 1 this equals :func:`evaluate_mapping`'s recall; the paper's
+    Section IV-C argues it rises quickly with x because most recall loss is
+    a near-miss in the best-hit slot.
+    """
+    recovered = tophits.hit_any(
+        lambda q, s: bench.contains(q.astype(np.uint64), s.astype(np.uint64))
+    )
+    n_with_truth = int(bench.segment_has_truth.sum())
+    if n_with_truth == 0:
+        return 0.0
+    return float((recovered & bench.segment_has_truth).sum()) / n_with_truth
+
+
+def evaluate_mapping(result: MappingResult, bench: Benchmark) -> QualityReport:
+    """Score a mapping against the benchmark at segment granularity."""
+    mapped = result.mapped_mask
+    seg_idx = np.flatnonzero(mapped)
+    subjects = result.subject[mapped]
+    is_true = bench.contains(seg_idx.astype(np.uint64), subjects.astype(np.uint64))
+    tp = int(is_true.sum())
+    fp = int((~is_true).sum())
+    n_with_truth = int(bench.segment_has_truth.sum())
+    fn = n_with_truth - tp
+    tn = bench.n_segments - n_with_truth - int((~bench.segment_has_truth[seg_idx]).sum())
+    return QualityReport(
+        tp=tp,
+        fp=fp,
+        fn=fn,
+        tn=max(tn, 0),
+        n_segments=bench.n_segments,
+        n_mapped=int(mapped.sum()),
+    )

@@ -1,0 +1,48 @@
+"""Plain-text rendering of tables and figure series.
+
+Every experiment prints through these helpers so benchmark output looks
+like the paper's tables: one row per input, aligned columns, and explicit
+series for the figures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_series", "format_seconds"]
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:,.0f}s"
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """ASCII table with auto-sized columns."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[j]), *(len(row[j]) for row in cells)) if cells else len(headers[j])
+        for j in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str, x_label: str, xs: Sequence[object], series: dict[str, Sequence[float]],
+    *, fmt: str = "{:.4g}",
+) -> str:
+    """A figure rendered as one column per x value, one row per series."""
+    headers = [x_label] + [str(x) for x in xs]
+    rows = [[name] + [fmt.format(v) for v in values] for name, values in series.items()]
+    return render_table(title, headers, rows)

@@ -1,0 +1,24 @@
+"""Distributed-memory substrate: communicator, partitioning, cost model, driver."""
+
+from .comm import Communicator, SerialComm, ThreadComm, spmd_run
+from .costmodel import CostModel, StepTimes, modelled_runtime
+from .driver import ParallelRunResult, run_parallel_jem, run_parallel_jem_threaded
+from .mp_backend import map_reads_multiprocess
+from .partition import partition_bounds, partition_imbalance, partition_set
+
+__all__ = [
+    "Communicator",
+    "SerialComm",
+    "ThreadComm",
+    "spmd_run",
+    "CostModel",
+    "StepTimes",
+    "modelled_runtime",
+    "ParallelRunResult",
+    "run_parallel_jem",
+    "run_parallel_jem_threaded",
+    "map_reads_multiprocess",
+    "partition_bounds",
+    "partition_imbalance",
+    "partition_set",
+]

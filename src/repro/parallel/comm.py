@@ -1,0 +1,205 @@
+"""MPI-like communicator abstraction with a thread-backed SPMD engine.
+
+The paper's implementation uses C/C++ + MPI; mpi4py is not available in
+this environment, so the library defines the subset of the MPI interface
+the algorithm needs (mpi4py naming conventions: lowercase = pickled
+objects, capitalised-v = numpy buffer collectives) and provides:
+
+* :class:`SerialComm` — size 1, every collective is the identity;
+* :class:`ThreadComm` — p communicator endpoints backed by threads and
+  barriers, with real MPI semantics (every rank must reach a collective);
+  used by :func:`spmd_run` to execute an SPMD function over p ranks.
+
+The numpy data movement is genuine (arrays are concatenated across ranks
+exactly as ``MPI_Allgatherv`` would), so communicated byte counts — which
+feed the cost model — are measured, not estimated.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+from ..errors import CommError
+
+__all__ = ["Communicator", "SerialComm", "ThreadComm", "spmd_run"]
+
+
+class Communicator:
+    """Minimal MPI-flavoured interface used by the parallel driver."""
+
+    @property
+    def rank(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        raise NotImplementedError
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        raise NotImplementedError
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        raise NotImplementedError
+
+    def allgather(self, obj: Any) -> list[Any]:
+        raise NotImplementedError
+
+    def Allgatherv(self, sendbuf: np.ndarray) -> np.ndarray:
+        """Concatenation of every rank's (variable-length) array, everywhere."""
+        raise NotImplementedError
+
+    @property
+    def bytes_communicated(self) -> int:
+        """Total bytes this endpoint contributed to collectives."""
+        raise NotImplementedError
+
+
+class SerialComm(Communicator):
+    """The p = 1 communicator: every collective is the identity."""
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    def barrier(self) -> None:
+        return None
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        return obj
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any]:
+        return [obj]
+
+    def allgather(self, obj: Any) -> list[Any]:
+        return [obj]
+
+    def Allgatherv(self, sendbuf: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(sendbuf)
+
+    @property
+    def bytes_communicated(self) -> int:
+        return 0
+
+
+class _SharedState:
+    """Rendezvous state shared by the p endpoints of a ThreadComm world."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.slots: list[Any] = [None] * size
+        self.lock = threading.Lock()
+
+
+class ThreadComm(Communicator):
+    """One rank's endpoint of a p-way thread communicator.
+
+    Collectives follow the MPI contract: deadlock-free only if every rank
+    calls them in the same order.  A shared slot array plus two barrier
+    phases (deposit, read) implements each collective.
+    """
+
+    def __init__(self, state: _SharedState, rank: int) -> None:
+        self._state = state
+        self._rank = rank
+        self._bytes = 0
+
+    @classmethod
+    def world(cls, size: int) -> list["ThreadComm"]:
+        """Create all p endpoints of a communicator world."""
+        if size < 1:
+            raise CommError(f"communicator size must be >= 1, got {size}")
+        state = _SharedState(size)
+        return [cls(state, r) for r in range(size)]
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._state.size
+
+    @property
+    def bytes_communicated(self) -> int:
+        return self._bytes
+
+    def barrier(self) -> None:
+        self._state.barrier.wait()
+
+    def _exchange(self, obj: Any) -> list[Any]:
+        """Deposit this rank's object; return everyone's after the barrier."""
+        self._state.slots[self._rank] = obj
+        self._state.barrier.wait()
+        out = list(self._state.slots)
+        self._state.barrier.wait()  # nobody resets slots before all have read
+        return out
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        return self._exchange(obj if self._rank == root else None)[root]
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        everything = self._exchange(obj)
+        return everything if self._rank == root else None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        return self._exchange(obj)
+
+    def Allgatherv(self, sendbuf: np.ndarray) -> np.ndarray:
+        sendbuf = np.ascontiguousarray(sendbuf)
+        parts = self._exchange(sendbuf)
+        self._bytes += int(sendbuf.nbytes)
+        return np.concatenate(parts) if parts else sendbuf
+
+
+def spmd_run(
+    fn: Callable[[Communicator], Any], size: int, *, timeout: float | None = 300.0
+) -> list[Any]:
+    """Run ``fn(comm)`` on every rank of a ThreadComm world; return results.
+
+    The single-rank case short-circuits to a :class:`SerialComm` call on
+    the current thread.  Exceptions on any rank are re-raised after the
+    world is joined (first failing rank wins).
+    """
+    if size == 1:
+        return [fn(SerialComm())]
+    comms = ThreadComm.world(size)
+    results: list[Any] = [None] * size
+    failures: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def runner(r: int) -> None:
+        try:
+            results[r] = fn(comms[r])
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            with lock:
+                failures.append((r, exc))
+            comms[r]._state.barrier.abort()
+
+    threads = [threading.Thread(target=runner, args=(r,), daemon=True) for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+        if t.is_alive():
+            raise CommError("SPMD run timed out (deadlocked collective?)")
+    if failures:
+        # A rank's real exception aborts the barrier, making the others see
+        # BrokenBarrierError — report the root cause, not the fallout.
+        failures.sort(
+            key=lambda f: (isinstance(f[1], threading.BrokenBarrierError), f[0])
+        )
+        rank, exc = failures[0]
+        raise CommError(f"rank {rank} failed: {exc!r}") from exc
+    return results

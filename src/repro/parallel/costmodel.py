@@ -1,0 +1,113 @@
+"""Analytic communication/parallel-time model (the cluster substitute).
+
+This host has a single CPU core and no interconnect, so wall-clock
+concurrency cannot be observed directly.  The paper's own complexity
+analysis (Section III-C.1) writes the gather step as
+
+    T_comm = tau * log p + mu * |S_global|        (latency-bandwidth form)
+
+and the compute steps as per-rank work that the driver *measures* by
+executing every rank's program.  The model combines the two:
+
+    T(p) = max_r load_r + max_r sketch_r + T_comm(p, bytes) + max_r map_r
+
+Defaults for tau and mu are calibrated so the communication *fraction*
+lands in the regime Fig. 8 reports (growing with p, under 25 % at p = 64)
+given this implementation's measured compute speeds; absolute seconds are
+not comparable to the paper's C++/cluster numbers and are never claimed to
+be (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CommError
+
+__all__ = ["CostModel", "StepTimes", "modelled_runtime"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency-bandwidth (alpha-beta) model of the collectives.
+
+    Attributes
+    ----------
+    tau:
+        Per-message latency in seconds (Ethernet-class default).
+    mu:
+        Seconds per byte transferred (reciprocal bandwidth).
+    io_bandwidth:
+        Bytes/s for the shared-filesystem input load of step S1.
+    """
+
+    tau: float = 5.0e-4
+    mu: float = 6.0e-9
+    io_bandwidth: float = 500.0e6
+
+    def __post_init__(self) -> None:
+        if self.tau < 0 or self.mu < 0 or self.io_bandwidth <= 0:
+            raise CommError("cost model constants must be positive")
+
+    def allgatherv_time(self, p: int, total_bytes: int) -> float:
+        """Time for an Allgatherv moving ``total_bytes`` across p ranks.
+
+        Ring/recursive-doubling hybrid: latency term tau*ceil(log2 p) plus
+        a bandwidth term over the data every rank must receive from the
+        others ((p-1)/p of the union).
+        """
+        if p < 1:
+            raise CommError(f"p must be >= 1, got {p}")
+        if p == 1:
+            return 0.0
+        log_p = int(np.ceil(np.log2(p)))
+        return self.tau * log_p + self.mu * total_bytes * (p - 1) / p
+
+    def input_load_time(self, p: int, total_bytes: int) -> float:
+        """Parallel input read: total bytes split across p readers."""
+        return total_bytes / (self.io_bandwidth * p)
+
+
+@dataclass
+class StepTimes:
+    """Per-rank measured compute seconds for the four steps S1..S4."""
+
+    load: np.ndarray
+    sketch: np.ndarray
+    map: np.ndarray
+    gather_comm: float = 0.0
+    comm_bytes: int = 0
+
+    @property
+    def p(self) -> int:
+        return int(self.load.size)
+
+    @property
+    def compute_time(self) -> float:
+        """Makespan of the compute phases (max over ranks per phase)."""
+        return float(self.load.max() + self.sketch.max() + self.map.max())
+
+    @property
+    def total_time(self) -> float:
+        return self.compute_time + self.gather_comm
+
+    @property
+    def comm_fraction(self) -> float:
+        total = self.total_time
+        return self.gather_comm / total if total > 0 else 0.0
+
+    def breakdown(self) -> dict[str, float]:
+        """Step makespans — the Fig. 7a stacked bars."""
+        return {
+            "input_load": float(self.load.max()),
+            "subject_sketch": float(self.sketch.max()),
+            "sketch_gather": float(self.gather_comm),
+            "query_map": float(self.map.max()),
+        }
+
+
+def modelled_runtime(steps: StepTimes, model: CostModel) -> float:
+    """Total modelled parallel runtime for a measured run."""
+    return steps.compute_time + model.allgatherv_time(steps.p, steps.comm_bytes)

@@ -1,0 +1,108 @@
+"""Process-based parallel execution of the JEM-mapper pipeline.
+
+The in-process driver (:func:`~repro.parallel.driver.run_parallel_jem`)
+*simulates* p ranks to measure per-rank costs; this module actually runs
+the two data-parallel phases — subject sketching (S2) and query mapping
+(S4) — across worker processes with ``multiprocessing``, for hosts that do
+have spare cores.  The gather (S3) happens in the parent, playing the role
+of the Allgatherv root.
+
+Workers receive their sequence block by pickling a zero-copy slice of the
+columnar :class:`SequenceSet` (the buffer slice is contiguous, so pickling
+copies exactly the bytes that an MPI scatter would send).  Output equals
+the sequential mapper's bit for bit — the test suite asserts it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any
+
+import numpy as np
+
+from ..core.config import JEMConfig
+from ..core.hitcounter import count_hits_vectorised
+from ..core.mapper import MappingResult
+from ..core.segments import extract_end_segments
+from ..core.sketch_table import SketchTable
+from ..errors import CommError
+from ..seq.records import SequenceSet
+from ..sketch.jem import query_sketch_values, subject_sketch_pairs
+from .driver import _merge_rank_results
+from .partition import partition_bounds, partition_set
+
+__all__ = ["map_reads_multiprocess"]
+
+
+def _sketch_worker(payload: tuple) -> list[np.ndarray]:
+    """S2 on one subject block (executed in a worker process)."""
+    subjects, config, offset = payload
+    family = config.hash_family()
+    return subject_sketch_pairs(
+        subjects, config.k, config.w, config.ell, family, subject_id_offset=offset
+    )
+
+
+def _map_worker(payload: tuple) -> MappingResult:
+    """S4 on one read block against the gathered table."""
+    reads, config, table_keys, n_subjects = payload
+    if len(reads) == 0:
+        return MappingResult(
+            [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), []
+        )
+    table = SketchTable(table_keys, n_subjects=n_subjects)
+    family = config.hash_family()
+    segments, infos = extract_end_segments(reads, config.ell)
+    sketches = query_sketch_values(segments, config.k, config.w, family)
+    hits = count_hits_vectorised(
+        table, sketches.values, min_hits=config.min_hits, query_mask=sketches.has
+    )
+    return MappingResult.from_best_hits(segments.names, hits, infos)
+
+
+def map_reads_multiprocess(
+    contigs: SequenceSet,
+    reads: SequenceSet,
+    config: JEMConfig | None = None,
+    *,
+    processes: int = 2,
+    mp_context: str = "spawn",
+) -> MappingResult:
+    """Full pipeline with worker-process parallelism; returns the mapping.
+
+    ``processes`` is the worker count for both phases; the input is
+    block-partitioned by base count exactly like the distributed driver.
+    """
+    config = config if config is not None else JEMConfig()
+    if processes < 1:
+        raise CommError(f"processes must be >= 1, got {processes}")
+    subject_parts = partition_set(contigs, processes)
+    subject_offsets = partition_bounds(contigs.offsets, processes)[:-1]
+    read_parts = partition_set(reads, processes)
+    read_offsets = partition_bounds(reads.offsets, processes)[:-1]
+
+    if processes == 1:
+        local = _sketch_worker((subject_parts[0], config, 0))
+        merged = [np.unique(k) for k in local]
+        result = _map_worker((read_parts[0], config, merged, len(contigs)))
+        return _merge_rank_results([result], [0])
+
+    ctx = mp.get_context(mp_context)
+    with ctx.Pool(processes) as pool:
+        # S2: sketch subject blocks in parallel
+        sketch_jobs = [
+            (subject_parts[r], config, int(subject_offsets[r]))
+            for r in range(processes)
+        ]
+        per_rank_keys = pool.map(_sketch_worker, sketch_jobs)
+        # S3: union in the parent (the Allgatherv root role)
+        merged = [
+            np.unique(np.concatenate([per_rank_keys[r][t] for r in range(processes)]))
+            for t in range(config.trials)
+        ]
+        # S4: map read blocks in parallel against the gathered table
+        map_jobs = [
+            (read_parts[r], config, merged, len(contigs)) for r in range(processes)
+        ]
+        rank_results = pool.map(_map_worker, map_jobs)
+    return _merge_rank_results(rank_results, [int(b) for b in read_offsets])

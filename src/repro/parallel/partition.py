@@ -1,0 +1,55 @@
+"""Block partitioning of sequence sets by base count (step S1).
+
+The paper loads inputs so every process holds O(M/p) query bases and O(N/p)
+subject bases.  Sequences are kept whole (a sequence lives on exactly one
+rank), so the partitioner picks contiguous sequence ranges whose cumulative
+base counts best approximate the ideal equal split — one ``searchsorted``
+over the offsets array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CommError
+from ..seq.records import SequenceSet
+
+__all__ = ["partition_bounds", "partition_set", "partition_imbalance"]
+
+
+def partition_bounds(offsets: np.ndarray, p: int) -> np.ndarray:
+    """Sequence-index boundaries of a p-way base-balanced block partition.
+
+    Returns ``bounds`` of length p+1 with rank r owning sequences
+    ``[bounds[r], bounds[r+1])``.  Boundaries are monotone and cover all
+    sequences; empty ranks are possible when p exceeds the sequence count.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if p < 1:
+        raise CommError(f"p must be >= 1, got {p}")
+    n = offsets.size - 1
+    total = int(offsets[-1])
+    targets = (np.arange(1, p, dtype=np.int64) * total) // p
+    # cut at the sequence boundary closest to each ideal byte target
+    cuts = np.searchsorted(offsets, targets, side="left")
+    # searchsorted may land one past the closer boundary; snap to nearer
+    cuts = np.clip(cuts, 0, n)
+    prev = np.clip(cuts - 1, 0, n)
+    pick_prev = np.abs(offsets[prev] - targets) <= np.abs(offsets[cuts] - targets)
+    cuts = np.where(pick_prev, prev, cuts)
+    bounds = np.concatenate([[0], np.maximum.accumulate(cuts), [n]])
+    return bounds.astype(np.int64)
+
+
+def partition_set(sequences: SequenceSet, p: int) -> list[SequenceSet]:
+    """Split a set into p contiguous, base-balanced blocks (zero-copy views)."""
+    bounds = partition_bounds(sequences.offsets, p)
+    return [sequences.slice(int(bounds[r]), int(bounds[r + 1])) for r in range(p)]
+
+
+def partition_imbalance(parts: list[SequenceSet]) -> float:
+    """max/mean base-count ratio across ranks (1.0 = perfectly balanced)."""
+    sizes = np.array([part.total_bases for part in parts], dtype=np.float64)
+    if sizes.sum() == 0:
+        return 1.0
+    return float(sizes.max() / sizes.mean())

@@ -1,0 +1,14 @@
+"""Hybrid scaffolding on top of JEM-mapper (the paper's target application)."""
+
+from .graph import ScaffoldGraph, ScaffoldPath
+from .links import ContigLink, build_links
+from .scaffolder import ScaffoldResult, Scaffolder
+
+__all__ = [
+    "ScaffoldGraph",
+    "ScaffoldPath",
+    "ContigLink",
+    "build_links",
+    "ScaffoldResult",
+    "Scaffolder",
+]

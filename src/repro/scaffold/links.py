@@ -1,0 +1,130 @@
+"""Contig links from long-read end mappings.
+
+A long read whose prefix maps to contig A and whose suffix maps to contig
+B ≠ A witnesses that A and B are nearby in the genome — the information the
+paper's Section I motivates ("to help link contigs covering different but
+nearby parts of the genome").  This module turns a
+:class:`~repro.core.mapper.MappingResult` into oriented, gap-annotated
+contig links:
+
+* the *orientation* of each endpoint comes from anchor-based placement of
+  the segment on its contig (:func:`repro.align.identity.locate_segment`);
+* the *gap estimate* is the read length minus the parts of the read covered
+  by the two contigs, given where each end landed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.identity import locate_segment
+from ..core.mapper import MappingResult
+from ..core.segments import PREFIX, extract_end_segments
+from ..errors import MappingError
+from ..seq.records import SequenceSet
+
+__all__ = ["ContigLink", "build_links"]
+
+
+@dataclass
+class ContigLink:
+    """An oriented link between two contigs, aggregated over reads.
+
+    ``a_end``/``b_end`` follow the usual scaffolding convention: which end
+    of each contig faces the junction (``'head'`` = the contig's start,
+    ``'tail'`` = its end).  ``gap`` is the median estimated gap in bp
+    (negative = the contigs likely overlap).
+    """
+
+    a: int
+    b: int
+    a_end: str
+    b_end: str
+    support: int
+    gap: int
+
+    @property
+    def key(self) -> tuple[int, str, int, str]:
+        return (self.a, self.a_end, self.b, self.b_end)
+
+
+def _endpoint(placed, contig_len: int, kind: str) -> tuple[str, int] | None:
+    """Which contig end faces the junction, plus contig bases the read covers.
+
+    A read *prefix* mapped forward means the read continues past the
+    segment in the contig's forward direction — it exits through the
+    contig's *tail*; mapped reverse, through its *head*.  A *suffix*
+    arrives from the read interior, so the relation flips.  The covered
+    base count (junction-facing end to the far edge of the placement) feeds
+    the gap estimate.
+    """
+    if placed is None:
+        return None
+    _qlo, _qhi, clo, chi, strand = placed
+    exits_forward = (kind == PREFIX) == (strand == 1)
+    if exits_forward:
+        return ("tail", contig_len - clo)
+    return ("head", chi)
+
+
+def build_links(
+    contigs: SequenceSet,
+    reads: SequenceSet,
+    mapping: MappingResult,
+    *,
+    ell: int = 1000,
+    min_support: int = 2,
+    k: int = 16,
+    w: int = 20,
+) -> list[ContigLink]:
+    """Aggregate read-end mappings into supported contig links.
+
+    ``mapping`` must come from mapping *the end segments of ``reads``* (two
+    consecutive rows per read, prefix first), which is what
+    :meth:`JEMMapper.map_reads` produces.
+    """
+    if len(mapping) != 2 * len(reads):
+        raise MappingError(
+            f"mapping has {len(mapping)} rows for {len(reads)} reads; "
+            "expected 2 segments per read"
+        )
+    segments, _ = extract_end_segments(reads, ell)
+    raw: dict[tuple[int, str, int, str], list[int]] = defaultdict(list)
+    for r in range(len(reads)):
+        ia, ib = 2 * r, 2 * r + 1
+        a, b = int(mapping.subject[ia]), int(mapping.subject[ib])
+        if a < 0 or b < 0 or a == b:
+            continue
+        pa = _endpoint(
+            locate_segment(segments.codes_of(ia), contigs.codes_of(a), k, w),
+            int(contigs.lengths[a]), "prefix",
+        )
+        pb = _endpoint(
+            locate_segment(segments.codes_of(ib), contigs.codes_of(b), k, w),
+            int(contigs.lengths[b]), "suffix",
+        )
+        if pa is None or pb is None:
+            continue
+        (a_end, a_cov), (b_end, b_cov) = pa, pb
+        read_len = int(reads.lengths[r])
+        gap = read_len - a_cov - b_cov
+        # canonical key direction: smaller contig id first
+        if a <= b:
+            raw[(a, a_end, b, b_end)].append(gap)
+        else:
+            raw[(b, b_end, a, a_end)].append(gap)
+    links = []
+    for (a, a_end, b, b_end), gaps in raw.items():
+        if len(gaps) < min_support:
+            continue
+        links.append(
+            ContigLink(
+                a=a, b=b, a_end=a_end, b_end=b_end,
+                support=len(gaps), gap=int(np.median(gaps)),
+            )
+        )
+    links.sort(key=lambda l: (-l.support, l.a, l.b))
+    return links

@@ -1,0 +1,43 @@
+"""Sequence substrate: alphabet, 2-bit encoding, containers, I/O, statistics."""
+
+from .alphabet import ALPHABET, INVALID_CODE, complement_codes
+from .encode import (
+    count_invalid,
+    decode,
+    encode,
+    random_codes,
+    reverse_complement,
+    reverse_complement_str,
+)
+from .io_fasta import iter_fasta, read_fasta, write_fasta
+from .io_fastq import iter_fastq, read_fastq, write_fastq
+from .packed import pack_codes, packed_nbytes, unpack_codes
+from .records import SeqRecord, SequenceSet, SequenceSetBuilder
+from .stats import SetStats, n50, set_stats
+
+__all__ = [
+    "ALPHABET",
+    "INVALID_CODE",
+    "complement_codes",
+    "encode",
+    "decode",
+    "reverse_complement",
+    "reverse_complement_str",
+    "random_codes",
+    "count_invalid",
+    "SeqRecord",
+    "SequenceSet",
+    "SequenceSetBuilder",
+    "read_fasta",
+    "iter_fasta",
+    "write_fasta",
+    "read_fastq",
+    "iter_fastq",
+    "write_fastq",
+    "pack_codes",
+    "unpack_codes",
+    "packed_nbytes",
+    "SetStats",
+    "set_stats",
+    "n50",
+]

@@ -1,0 +1,74 @@
+"""DNA alphabet: 2-bit codes, complement tables and lookup arrays.
+
+The whole library works on numpy ``uint8`` *code arrays* rather than Python
+strings.  The canonical (lexicographic) code assignment is::
+
+    a -> 0, c -> 1, g -> 2, t -> 3
+
+which makes the packed integer value of a k-mer equal to its rank in the
+paper's canonical ordering |Sigma|^k (Section III-A).  Any byte that is not
+``acgtACGT`` is mapped to :data:`INVALID_CODE` (4); downstream k-mer
+extraction masks windows containing such codes, mirroring how production
+mappers skip ambiguous ``N`` bases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ALPHABET",
+    "CODE_A",
+    "CODE_C",
+    "CODE_G",
+    "CODE_T",
+    "INVALID_CODE",
+    "BYTE_TO_CODE",
+    "CODE_TO_BYTE",
+    "COMPLEMENT_CODE",
+    "complement_codes",
+]
+
+#: The DNA alphabet in canonical (lexicographic) order.
+ALPHABET = "acgt"
+
+CODE_A = np.uint8(0)
+CODE_C = np.uint8(1)
+CODE_G = np.uint8(2)
+CODE_T = np.uint8(3)
+
+#: Code used for any byte outside ``acgtACGT`` (e.g. ``N``).
+INVALID_CODE = np.uint8(4)
+
+
+def _build_byte_to_code() -> np.ndarray:
+    table = np.full(256, INVALID_CODE, dtype=np.uint8)
+    for i, base in enumerate(ALPHABET):
+        table[ord(base)] = i
+        table[ord(base.upper())] = i
+    return table
+
+
+def _build_code_to_byte() -> np.ndarray:
+    # Decode INVALID_CODE as 'n' so decode(encode(s)) is total.
+    table = np.frombuffer(b"acgtn", dtype=np.uint8).copy()
+    return table
+
+
+#: 256-entry lookup: ASCII byte value -> 2-bit code (or INVALID_CODE).
+BYTE_TO_CODE = _build_byte_to_code()
+
+#: 5-entry lookup: code -> ASCII byte (lowercase; INVALID_CODE -> 'n').
+CODE_TO_BYTE = _build_code_to_byte()
+
+#: Complement per code: a<->t, c<->g; INVALID_CODE maps to itself.
+COMPLEMENT_CODE = np.array([3, 2, 1, 0, 4], dtype=np.uint8)
+
+
+def complement_codes(codes: np.ndarray) -> np.ndarray:
+    """Return the element-wise complement of a code array.
+
+    Valid codes are complemented with ``3 - code``; the invalid code is
+    preserved.  The input is not modified.
+    """
+    return COMPLEMENT_CODE[codes]

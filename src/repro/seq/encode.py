@@ -1,0 +1,76 @@
+"""Vectorised conversion between DNA strings and 2-bit code arrays.
+
+All hot paths are numpy table lookups over the raw bytes of the input, so
+encoding/decoding costs O(n) with a small constant and no Python-level loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SequenceError
+from .alphabet import BYTE_TO_CODE, CODE_TO_BYTE, INVALID_CODE, complement_codes
+
+__all__ = [
+    "encode",
+    "decode",
+    "reverse_complement",
+    "reverse_complement_str",
+    "random_codes",
+    "count_invalid",
+]
+
+
+def encode(seq: str | bytes, *, validate: bool = False) -> np.ndarray:
+    """Encode a DNA string into a ``uint8`` code array.
+
+    Parameters
+    ----------
+    seq:
+        The sequence; case-insensitive.  Characters outside ``acgtACGT``
+        become :data:`~repro.seq.alphabet.INVALID_CODE`.
+    validate:
+        If true, raise :class:`~repro.errors.SequenceError` when the input
+        contains any invalid character instead of silently coding it.
+    """
+    if isinstance(seq, str):
+        raw = seq.encode("ascii", errors="replace")
+    else:
+        raw = bytes(seq)
+    codes = BYTE_TO_CODE[np.frombuffer(raw, dtype=np.uint8)]
+    if validate and (codes == INVALID_CODE).any():
+        bad = int(np.argmax(codes == INVALID_CODE))
+        raise SequenceError(
+            f"invalid base {raw[bad:bad + 1]!r} at position {bad} (length {len(raw)})"
+        )
+    return codes
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode a code array back into a lowercase DNA string."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and int(codes.max()) > INVALID_CODE:
+        raise SequenceError(f"code array contains value > {int(INVALID_CODE)}")
+    return CODE_TO_BYTE[codes].tobytes().decode("ascii")
+
+
+def reverse_complement(codes: np.ndarray) -> np.ndarray:
+    """Return the reverse complement of a code array (new array)."""
+    return complement_codes(np.asarray(codes, dtype=np.uint8))[::-1].copy()
+
+
+def reverse_complement_str(seq: str) -> str:
+    """Reverse-complement a DNA string (convenience wrapper)."""
+    return decode(reverse_complement(encode(seq)))
+
+
+def random_codes(length: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform random code array of the given length (no invalid codes)."""
+    if length < 0:
+        raise SequenceError(f"negative sequence length {length}")
+    return rng.integers(0, 4, size=length, dtype=np.uint8)
+
+
+def count_invalid(codes: np.ndarray) -> int:
+    """Number of positions holding the invalid code."""
+    return int(np.count_nonzero(np.asarray(codes) == INVALID_CODE))

@@ -1,0 +1,101 @@
+"""Streaming FASTA reader/writer.
+
+Supports plain and gzip-compressed files (by suffix), multi-line records,
+comments in headers, and strict error reporting with file/line positions.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+from collections.abc import Iterable, Iterator
+from typing import IO
+
+from ..errors import ParseError
+from .encode import encode
+from .records import SeqRecord, SequenceSet, SequenceSetBuilder
+
+__all__ = ["read_fasta", "iter_fasta", "write_fasta"]
+
+
+def _open_text(path: str | os.PathLike, mode: str) -> IO[str]:
+    path = os.fspath(path)
+    if path.endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="ascii")
+    return open(path, mode + "t", encoding="ascii")
+
+
+def iter_fasta(path: str | os.PathLike) -> Iterator[SeqRecord]:
+    """Yield :class:`SeqRecord` objects from a FASTA file, streaming.
+
+    The record name is the header token up to the first whitespace; the rest
+    of the header line is stored in ``meta['description']`` when present.
+    """
+    path = os.fspath(path)
+    name: str | None = None
+    description = ""
+    parts: list[str] = []
+    lineno = 0
+    with _open_text(path, "r") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.rstrip("\n\r")
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield _make_record(name, description, parts)
+                header = line[1:].strip()
+                if not header:
+                    raise ParseError("empty FASTA header", path=path, line=lineno)
+                name, _, description = header.partition(" ")
+                parts = []
+            else:
+                if name is None:
+                    raise ParseError(
+                        f"sequence data before any '>' header: {line[:30]!r}",
+                        path=path,
+                        line=lineno,
+                    )
+                parts.append(line)
+        if name is not None:
+            yield _make_record(name, description, parts)
+
+
+def _make_record(name: str, description: str, parts: list[str]) -> SeqRecord:
+    meta = {"description": description} if description else {}
+    return SeqRecord(name=name, codes=encode("".join(parts)), meta=meta)
+
+
+def read_fasta(path: str | os.PathLike) -> SequenceSet:
+    """Read a whole FASTA file into a :class:`SequenceSet`."""
+    builder = SequenceSetBuilder()
+    for rec in iter_fasta(path):
+        builder.add(rec.name, rec.codes, rec.meta)
+    return builder.build()
+
+
+def write_fasta(
+    path: str | os.PathLike,
+    records: SequenceSet | Iterable[SeqRecord],
+    *,
+    width: int = 80,
+) -> int:
+    """Write records to a FASTA file; returns the number of records written.
+
+    ``width`` controls line wrapping of the sequence body (0 disables it).
+    """
+    count = 0
+    with _open_text(path, "w") as handle:
+        for rec in records:
+            description = rec.meta.get("description", "")
+            header = f">{rec.name}" + (f" {description}" if description else "")
+            handle.write(header + "\n")
+            seq = rec.sequence
+            if width and width > 0:
+                for start in range(0, len(seq), width):
+                    handle.write(seq[start : start + width] + "\n")
+            else:
+                handle.write(seq + "\n")
+            count += 1
+    return count

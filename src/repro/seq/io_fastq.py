@@ -1,0 +1,92 @@
+"""Streaming FASTQ reader/writer (4-line records, Phred+33 qualities)."""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import ParseError
+from .encode import encode
+from .io_fasta import _open_text
+from .records import SeqRecord, SequenceSet, SequenceSetBuilder
+
+__all__ = ["read_fastq", "iter_fastq", "write_fastq", "PHRED_OFFSET"]
+
+#: Sanger/Illumina 1.8+ quality encoding offset.
+PHRED_OFFSET = 33
+
+
+def iter_fastq(path: str | os.PathLike) -> Iterator[SeqRecord]:
+    """Yield records from a FASTQ file, streaming, with quality arrays."""
+    path = os.fspath(path)
+    with _open_text(path, "r") as handle:
+        lineno = 0
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            lineno += 1
+            header = header.rstrip("\n\r")
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise ParseError(
+                    f"expected '@' header, got {header[:30]!r}", path=path, line=lineno
+                )
+            seq_line = handle.readline().rstrip("\n\r")
+            plus_line = handle.readline().rstrip("\n\r")
+            qual_line = handle.readline().rstrip("\n\r")
+            lineno += 3
+            if not plus_line.startswith("+"):
+                raise ParseError(
+                    f"expected '+' separator, got {plus_line[:30]!r}",
+                    path=path,
+                    line=lineno - 1,
+                )
+            if len(qual_line) != len(seq_line):
+                raise ParseError(
+                    f"quality length {len(qual_line)} != sequence length {len(seq_line)}",
+                    path=path,
+                    line=lineno,
+                )
+            name, _, description = header[1:].partition(" ")
+            quality = (
+                np.frombuffer(qual_line.encode("ascii"), dtype=np.uint8) - PHRED_OFFSET
+            )
+            meta = {"description": description} if description else {}
+            yield SeqRecord(name=name, codes=encode(seq_line), quality=quality, meta=meta)
+
+
+def read_fastq(path: str | os.PathLike) -> SequenceSet:
+    """Read a whole FASTQ file into a :class:`SequenceSet` (qualities dropped)."""
+    builder = SequenceSetBuilder()
+    for rec in iter_fastq(path):
+        builder.add(rec.name, rec.codes, rec.meta)
+    return builder.build()
+
+
+def write_fastq(
+    path: str | os.PathLike,
+    records: SequenceSet | Iterable[SeqRecord],
+    *,
+    default_quality: int = 40,
+) -> int:
+    """Write records to FASTQ; records without qualities get a constant score."""
+    count = 0
+    with _open_text(path, "w") as handle:
+        for rec in records:
+            seq = rec.sequence
+            quality = rec.quality
+            if quality is None:
+                qual_line = chr(default_quality + PHRED_OFFSET) * len(seq)
+            else:
+                qual_line = (
+                    (np.asarray(quality, dtype=np.uint8) + PHRED_OFFSET)
+                    .tobytes()
+                    .decode("ascii")
+                )
+            handle.write(f"@{rec.name}\n{seq}\n+\n{qual_line}\n")
+            count += 1
+    return count

@@ -1,0 +1,73 @@
+"""2-bit packed sequence storage (4 bases per byte).
+
+At the paper's full scale the query set alone is ~10 Gbp; one byte per
+base is 4× more memory and disk than the alphabet needs.  These utilities
+pack code arrays four-to-a-byte and back, vectorised, and the dataset
+cache uses them so on-disk bundles shrink ~4× before compression.
+
+Packing is lossy for non-acgt codes: the invalid code (4) cannot be
+represented in 2 bits, so :func:`pack_codes` records invalid positions in
+a companion index array and :func:`unpack_codes` restores them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SequenceError
+from .alphabet import INVALID_CODE
+
+__all__ = ["pack_codes", "unpack_codes", "packed_nbytes"]
+
+
+def packed_nbytes(n_bases: int) -> int:
+    """Bytes needed to pack ``n_bases`` codes."""
+    return (n_bases + 3) // 4
+
+
+def pack_codes(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Pack a code array into 2 bits per base.
+
+    Returns ``(packed, invalid_positions)``: the packed ``uint8`` array
+    (little-endian within each byte: base i occupies bits 2*(i%4)) and the
+    sorted positions that held the invalid code (stored as 0 in the packed
+    stream).
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and int(codes.max()) > INVALID_CODE:
+        raise SequenceError("code array contains values > 4")
+    invalid = np.flatnonzero(codes == INVALID_CODE).astype(np.int64)
+    clean = (codes & np.uint8(3)).copy()
+    clean[invalid] = 0
+    n = clean.size
+    padded = np.zeros(packed_nbytes(n) * 4, dtype=np.uint8)
+    padded[:n] = clean
+    quads = padded.reshape(-1, 4)
+    packed = (
+        quads[:, 0]
+        | (quads[:, 1] << np.uint8(2))
+        | (quads[:, 2] << np.uint8(4))
+        | (quads[:, 3] << np.uint8(6))
+    )
+    return packed, invalid
+
+
+def unpack_codes(
+    packed: np.ndarray, n_bases: int, invalid_positions: np.ndarray | None = None
+) -> np.ndarray:
+    """Inverse of :func:`pack_codes`."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    if packed.size != packed_nbytes(n_bases):
+        raise SequenceError(
+            f"packed array has {packed.size} bytes; {n_bases} bases need "
+            f"{packed_nbytes(n_bases)}"
+        )
+    out = np.empty(packed.size * 4, dtype=np.uint8)
+    out[0::4] = packed & np.uint8(3)
+    out[1::4] = (packed >> np.uint8(2)) & np.uint8(3)
+    out[2::4] = (packed >> np.uint8(4)) & np.uint8(3)
+    out[3::4] = (packed >> np.uint8(6)) & np.uint8(3)
+    out = out[:n_bases]
+    if invalid_positions is not None and len(invalid_positions):
+        out[np.asarray(invalid_positions, dtype=np.int64)] = INVALID_CODE
+    return out

@@ -1,0 +1,63 @@
+"""Summary statistics over sequence sets — the quantities reported in Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .records import SequenceSet
+
+__all__ = ["SetStats", "set_stats", "n50"]
+
+
+@dataclass(frozen=True)
+class SetStats:
+    """Aggregate statistics of a sequence set (one Table I row half)."""
+
+    count: int
+    total_bases: int
+    mean_length: float
+    std_length: float
+    min_length: int
+    max_length: int
+    n50: int
+
+    def format_row(self) -> str:
+        return (
+            f"n={self.count:>8,}  total={self.total_bases:>13,} bp  "
+            f"len={self.mean_length:,.0f} ± {self.std_length:,.0f}  "
+            f"N50={self.n50:,}"
+        )
+
+
+def n50(lengths: np.ndarray) -> int:
+    """N50: the length L such that sequences of length >= L cover half the total."""
+    lengths = np.sort(np.asarray(lengths, dtype=np.int64))[::-1]
+    if lengths.size == 0:
+        return 0
+    half = lengths.sum() / 2.0
+    covered = np.cumsum(lengths)
+    return int(lengths[np.searchsorted(covered, half)])
+
+
+def set_stats(sequences: SequenceSet, *, min_length: int = 0) -> SetStats:
+    """Compute :class:`SetStats`, optionally counting only sequences >= ``min_length``.
+
+    Table I reports contigs of length >= 500 bp; pass ``min_length=500`` to
+    reproduce that filtering without materialising a filtered set.
+    """
+    lengths = sequences.lengths
+    if min_length > 0:
+        lengths = lengths[lengths >= min_length]
+    if lengths.size == 0:
+        return SetStats(0, 0, 0.0, 0.0, 0, 0, 0)
+    return SetStats(
+        count=int(lengths.size),
+        total_bases=int(lengths.sum()),
+        mean_length=float(lengths.mean()),
+        std_length=float(lengths.std()),
+        min_length=int(lengths.min()),
+        max_length=int(lengths.max()),
+        n50=n50(lengths),
+    )

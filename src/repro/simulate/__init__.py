@@ -1,0 +1,18 @@
+"""Data simulation substrate: genomes, HiFi long reads, Illumina short reads."""
+
+from .errors_model import HIFI_ERRORS, ErrorModel, apply_errors
+from .genome import GenomeProfile, simulate_genome
+from .hifi import HiFiProfile, simulate_hifi_reads
+from .illumina import IlluminaProfile, simulate_short_reads
+
+__all__ = [
+    "ErrorModel",
+    "HIFI_ERRORS",
+    "apply_errors",
+    "GenomeProfile",
+    "simulate_genome",
+    "HiFiProfile",
+    "simulate_hifi_reads",
+    "IlluminaProfile",
+    "simulate_short_reads",
+]

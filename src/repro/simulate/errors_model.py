@@ -1,0 +1,91 @@
+"""Sequencing error models, vectorised.
+
+Two regimes matter for the paper:
+
+* HiFi long reads — 99.9 % accuracy, i.e. ~0.1 % errors, mixed
+  substitutions and small indels;
+* Illumina short reads — ~1 % errors, almost entirely substitutions.
+
+:func:`apply_errors` draws one event per base (match / substitution /
+insertion / deletion) in a single pass and rebuilds the read without a
+Python per-base loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+
+__all__ = ["ErrorModel", "HIFI_ERRORS", "apply_errors"]
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """Per-base event probabilities."""
+
+    substitution: float = 0.0
+    insertion: float = 0.0
+    deletion: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.substitution + self.insertion + self.deletion
+        if min(self.substitution, self.insertion, self.deletion) < 0 or total >= 1.0:
+            raise DatasetError(f"invalid error rates (sum {total})")
+
+    @property
+    def total(self) -> float:
+        return self.substitution + self.insertion + self.deletion
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 - self.total
+
+
+#: PacBio HiFi: 99.9 % accuracy (Section I of the paper).
+HIFI_ERRORS = ErrorModel(substitution=0.0006, insertion=0.0002, deletion=0.0002)
+
+
+def apply_errors(
+    codes: np.ndarray, model: ErrorModel, rng: np.random.Generator
+) -> np.ndarray:
+    """Return a mutated copy of ``codes`` under the error model.
+
+    Substitutions replace a base with one of the three others (uniform);
+    insertions add one random base after the position; deletions drop the
+    base.  Event draws are independent per base.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    n = codes.size
+    if n == 0 or model.total == 0.0:
+        return codes.copy()
+    u = rng.random(n)
+    sub_mask = u < model.substitution
+    ins_mask = (u >= model.substitution) & (u < model.substitution + model.insertion)
+    del_mask = (u >= model.substitution + model.insertion) & (u < model.total)
+
+    out = codes.copy()
+    n_sub = int(sub_mask.sum())
+    if n_sub:
+        # add 1..3 mod 4: always a *different* base
+        out[sub_mask] = (out[sub_mask] + rng.integers(1, 4, size=n_sub, dtype=np.uint8)) % 4
+
+    if not ins_mask.any() and not del_mask.any():
+        return out
+
+    # Rebuild with indels: each kept base contributes 1 output position,
+    # each insertion contributes 1 extra.
+    keep = ~del_mask
+    contrib = keep.astype(np.int64) + ins_mask.astype(np.int64)
+    total = int(contrib.sum())
+    result = np.empty(total, dtype=np.uint8)
+    ends = np.cumsum(contrib)
+    starts = ends - contrib
+    # kept original bases land at their start offsets
+    result[starts[keep]] = out[keep]
+    # inserted random bases land right after the (kept or not) source base
+    ins_positions = ends[ins_mask] - 1
+    result[ins_positions] = rng.integers(0, 4, size=int(ins_mask.sum()), dtype=np.uint8)
+    return result

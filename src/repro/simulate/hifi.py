@@ -1,0 +1,94 @@
+"""PacBio HiFi long-read simulator (substitute for Sim-it, ref [26]).
+
+Matches the paper's read regime: median length ~10 kbp with a spread
+(Table I shows 10,205 ± 3,418 bp), 99.9 % accuracy, reads drawn uniformly
+from the genome on both strands at a configurable coverage (the paper uses
+a low 10x).  Every read carries its ground-truth reference interval and
+strand in the record meta — the information the evaluation benchmark needs
+(Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..seq.records import SequenceSet, SequenceSetBuilder
+from .errors_model import HIFI_ERRORS, ErrorModel, apply_errors
+
+__all__ = ["HiFiProfile", "simulate_hifi_reads"]
+
+
+@dataclass(frozen=True)
+class HiFiProfile:
+    """Long-read simulation parameters.
+
+    ``median_length``/``length_sigma`` parameterise a log-normal length
+    distribution (median exp(mu)); lengths are clipped to
+    ``[min_length, genome length]``.
+    """
+
+    coverage: float = 10.0
+    median_length: int = 10_000
+    length_sigma: float = 0.33
+    min_length: int = 1_000
+    errors: ErrorModel = HIFI_ERRORS
+    both_strands: bool = True
+
+    def __post_init__(self) -> None:
+        if self.coverage <= 0:
+            raise DatasetError(f"coverage must be > 0, got {self.coverage}")
+        if self.median_length < self.min_length:
+            raise DatasetError("median_length must be >= min_length")
+        if self.length_sigma < 0:
+            raise DatasetError("length_sigma must be >= 0")
+
+
+def simulate_hifi_reads(
+    genome: np.ndarray,
+    profile: HiFiProfile | None = None,
+    rng: np.random.Generator | int | None = None,
+    *,
+    name_prefix: str = "hifi",
+) -> SequenceSet:
+    """Sample HiFi reads from a genome until the target coverage is reached.
+
+    Each record's meta holds ``ref_start``, ``ref_end`` (the error-free
+    source interval, half-open) and ``ref_strand`` (+1 forward, -1 reverse);
+    the stored sequence is the (possibly reverse-complemented) source with
+    sequencing errors applied.
+    """
+    profile = profile if profile is not None else HiFiProfile()
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    genome = np.asarray(genome, dtype=np.uint8)
+    glen = genome.size
+    if glen < profile.min_length:
+        raise DatasetError(
+            f"genome ({glen} bp) shorter than min read length {profile.min_length}"
+        )
+    target_bases = profile.coverage * glen
+    builder = SequenceSetBuilder()
+    sampled = 0
+    idx = 0
+    mu = np.log(profile.median_length)
+    while sampled < target_bases:
+        length = int(np.exp(rng.normal(mu, profile.length_sigma)))
+        length = max(profile.min_length, min(length, glen))
+        start = int(rng.integers(0, glen - length + 1))
+        source = genome[start : start + length]
+        strand = 1
+        if profile.both_strands and rng.random() < 0.5:
+            strand = -1
+            source = (3 - source)[::-1]
+        read = apply_errors(source, profile.errors, rng)
+        builder.add(
+            f"{name_prefix}_{idx:07d}",
+            read,
+            {"ref_start": start, "ref_end": start + length, "ref_strand": strand},
+        )
+        sampled += length
+        idx += 1
+    return builder.build()

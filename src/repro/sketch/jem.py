@@ -1,0 +1,201 @@
+"""The minimizer-based Jaccard estimator (JEM) sketch — Algorithm 1.
+
+Subjects (contigs): the minimizer list M_o(s, w) is computed, an interval of
+length ℓ (the read end-segment length) slides over the minimizers *by
+position*, and for every interval and every trial t the minimizer with the
+smallest hash h_t becomes a sketch entry ``(k-mer, subject)`` in the trial-t
+table.
+
+Queries (read end segments): the segment is exactly ℓ long, so its whole
+minimizer list is a single interval and each trial contributes one sketch
+k-mer ("we then pick T JEM sketches in a similar fashion", Fig. 3).
+
+Everything is batched across sequences: minimizer lists are concatenated
+with per-sequence base offsets spaced far enough apart that a positional
+interval can never cross a sequence boundary, which lets one global
+``searchsorted`` find every interval and one sparse-table RMQ per trial
+answer every interval minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SketchError
+from ..seq.records import SequenceSet
+from .hashing import HashFamily
+from .minimizers import MinimizerList, minimizers_set
+from .rmq import SparseTableRMQ
+
+__all__ = [
+    "pack_key",
+    "unpack_keys",
+    "jem_sketch_single",
+    "subject_sketch_pairs",
+    "query_sketch_values",
+    "QuerySketches",
+]
+
+_LOW32 = np.uint64(0xFFFFFFFF)
+
+
+def pack_key(values: np.ndarray, subjects: np.ndarray) -> np.ndarray:
+    """Pack (sketch k-mer value, subject id) into one ``uint64`` key.
+
+    Keys sort by value first, subject second, which is exactly the layout
+    the per-trial sketch table needs for ``searchsorted`` lookups.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    subjects = np.asarray(subjects, dtype=np.uint64)
+    if values.size and int(values.max()) >> 32:
+        raise SketchError("sketch values must fit in 32 bits (k <= 16)")
+    if subjects.size and int(subjects.max()) >> 32:
+        raise SketchError("subject ids must fit in 32 bits")
+    return (values << np.uint64(32)) | subjects
+
+
+def unpack_keys(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_key`: returns (values, subject ids)."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    return keys >> np.uint64(32), (keys & _LOW32).astype(np.int64)
+
+
+def jem_sketch_single(minis: MinimizerList, family: HashFamily) -> np.ndarray:
+    """T sketch k-mers of one sequence treated as a single interval.
+
+    Reference implementation used for queries of length ℓ and in tests; the
+    batched :func:`query_sketch_values` must agree with it exactly.
+    """
+    if len(minis) == 0:
+        raise SketchError("no minimizers to sketch")
+    out = np.empty(family.size, dtype=np.uint64)
+    for t in range(family.size):
+        hashed = family.apply(t, minis.ranks)
+        out[t] = minis.ranks[int(np.argmin(hashed))]
+    return out
+
+
+def _concat_minimizer_lists(
+    lists: list[MinimizerList], ell: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate per-sequence minimizer lists with non-overlapping offsets.
+
+    Returns ``(values, shifted_positions, owner, starts)`` where ``owner[i]``
+    is the index of the sequence that minimizer i came from and ``starts``
+    has one entry per list (offset of its first minimizer in the
+    concatenation).  Position offsets are spaced by ``max_pos + ell + 2`` so
+    an interval ``[p, p + ell]`` never reaches the next sequence.
+    """
+    sizes = np.fromiter((len(ml) for ml in lists), dtype=np.int64, count=len(lists))
+    starts = np.zeros(len(lists) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=starts[1:])
+    total = int(starts[-1])
+    values = np.empty(total, dtype=np.uint64)
+    positions = np.empty(total, dtype=np.int64)
+    owner = np.empty(total, dtype=np.int64)
+    base = 0
+    for i, ml in enumerate(lists):
+        lo, hi = starts[i], starts[i + 1]
+        values[lo:hi] = ml.ranks
+        positions[lo:hi] = ml.positions + base
+        owner[lo:hi] = i
+        if len(ml):
+            base += int(ml.positions[-1]) + ell + 2
+    return values, positions, owner, starts
+
+
+def subject_sketch_pairs(
+    subjects: SequenceSet,
+    k: int,
+    w: int,
+    ell: int,
+    family: HashFamily,
+    *,
+    subject_id_offset: int = 0,
+) -> list[np.ndarray]:
+    """Algorithm 1 over a whole contig set, batched.
+
+    For every contig, every sliding interval of length ℓ over its minimizer
+    list and every trial t, the minimizer minimising h_t contributes a
+    ``(k-mer value, global subject id)`` pair.  Duplicated pairs from
+    overlapping intervals are removed.
+
+    Returns one **sorted unique** packed-key array per trial — exactly the
+    per-trial lists S[t] of Fig. 2, ready for the sketch table (and for the
+    Allgatherv union in the parallel version, step S3).
+
+    ``subject_id_offset`` maps local contig indices to global ids when each
+    parallel rank sketches only its block of contigs (step S2).
+    """
+    lists = minimizers_set(subjects, k, w)
+    values, positions, owner, _ = _concat_minimizer_lists(lists, ell)
+    total = values.size
+    if total == 0:
+        return [np.empty(0, dtype=np.uint64) for _ in range(family.size)]
+    if total >> 32:
+        raise SketchError("minimizer count exceeds packed-key capacity")  # pragma: no cover
+    # Interval i spans minimizers with position in [p_i, p_i + ell]; offsets
+    # guarantee the range stays inside sequence i's owner.
+    ends = np.searchsorted(positions, positions + ell, side="right")
+    starts_idx = np.arange(total, dtype=np.int64)
+    subject_ids = (owner + subject_id_offset).astype(np.uint64)
+    out: list[np.ndarray] = []
+    for t in range(family.size):
+        hashed = family.apply(t, values)
+        rmq = SparseTableRMQ(hashed, track_argmin=True)
+        idx, _ = rmq.query_argmin(starts_idx, ends)
+        keys = pack_key(values[idx], subject_ids)
+        out.append(np.unique(keys))
+    return out
+
+
+@dataclass(frozen=True)
+class QuerySketches:
+    """Batched query sketches: per trial, one sketch k-mer per segment.
+
+    ``values[t, i]`` is only meaningful where ``has[i]`` is true (segments
+    with no valid minimizer — e.g. all-N — cannot be sketched and are
+    reported unmapped).
+    """
+
+    values: np.ndarray  # (T, n_segments) uint64
+    has: np.ndarray  # (n_segments,) bool
+
+    @property
+    def trials(self) -> int:
+        return int(self.values.shape[0])
+
+    def __len__(self) -> int:
+        return int(self.values.shape[1])
+
+
+def query_sketch_values(
+    segments: SequenceSet, k: int, w: int, family: HashFamily
+) -> QuerySketches:
+    """T sketch k-mers for every query segment (single-interval mode).
+
+    The ℓ-long end segment is one interval, so per trial the sketch is the
+    minimizer of the whole segment under h_t.  Batched across segments with
+    one segmented-minimum (``reduceat``) per trial.
+    """
+    n = len(segments)
+    per_seg = [ml.ranks for ml in minimizers_set(segments, k, w)]
+    has = np.fromiter((r.size > 0 for r in per_seg), dtype=bool, count=n)
+    values_out = np.zeros((family.size, n), dtype=np.uint64)
+    nonempty = np.flatnonzero(has)
+    if nonempty.size == 0:
+        return QuerySketches(values_out, has)
+    values = np.concatenate([per_seg[i] for i in nonempty])
+    lengths = np.fromiter((per_seg[i].size for i in nonempty), dtype=np.int64)
+    starts = np.zeros(nonempty.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    if values.size >> 32:
+        raise SketchError("too many minimizers for packed-key argmin")  # pragma: no cover
+    index = np.arange(values.size, dtype=np.uint64)
+    for t in range(family.size):
+        packed = (family.apply(t, values) << np.uint64(32)) | index
+        mins = np.minimum.reduceat(packed, starts)
+        values_out[t, nonempty] = values[(mins & _LOW32).astype(np.int64)]
+    return QuerySketches(values_out, has)

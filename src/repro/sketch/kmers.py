@@ -1,0 +1,148 @@
+"""Vectorised k-mer extraction and 2-bit packing.
+
+A k-mer over ``a<c<g<t`` packed big-endian into an integer *is* its rank in
+the paper's canonical ordering Pi*_k (Section III-A), so "k-mer rank" and
+"packed k-mer" are used interchangeably throughout the library.
+
+Packing is done with k slice-shift-or passes over the code array — O(n*k)
+work but every pass is a full-width numpy operation, so no Python-level
+per-base loop ever runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SketchError
+from ..seq.alphabet import INVALID_CODE
+
+__all__ = [
+    "MAX_K",
+    "kmer_ranks",
+    "canonical_kmer_ranks",
+    "valid_kmer_mask",
+    "rank_to_string",
+    "string_to_rank",
+    "revcomp_rank",
+]
+
+#: Largest supported k for uint64 packing (2 bits per base, sign-free).
+MAX_K = 31
+
+_BASES = "acgt"
+
+
+def _check_k(k: int) -> None:
+    if not 1 <= k <= MAX_K:
+        raise SketchError(f"k must be in [1, {MAX_K}], got {k}")
+
+
+def kmer_ranks(codes: np.ndarray, k: int) -> np.ndarray:
+    """Packed forward k-mer ranks for every position.
+
+    Returns a ``uint64`` array of length ``len(codes) - k + 1`` (empty when
+    the sequence is shorter than k).  Positions whose window contains an
+    invalid code still get a (meaningless) value; mask them with
+    :func:`valid_kmer_mask`.
+    """
+    _check_k(k)
+    codes = np.asarray(codes, dtype=np.uint8)
+    n = codes.size
+    if n < k:
+        return np.empty(0, dtype=np.uint64)
+    m = n - k + 1
+    # Invalid codes (value 4) would pollute neighbouring bits; clamp to the
+    # 2-bit range here and rely on valid_kmer_mask for correctness.
+    clean = (codes & np.uint8(3)).astype(np.uint64)
+    ranks = np.zeros(m, dtype=np.uint64)
+    for j in range(k):
+        ranks <<= np.uint64(2)
+        ranks |= clean[j : j + m]
+    return ranks
+
+
+def canonical_kmer_ranks(codes: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Canonical (strand-independent) k-mer ranks and their validity mask.
+
+    The canonical rank is ``min(forward, reverse_complement)`` — the
+    "canonical minimizer" rule of the paper's implementation notes.
+
+    Returns
+    -------
+    (canon, valid):
+        ``canon`` is ``uint64`` of length ``n - k + 1``; ``valid`` is a bool
+        mask, false where the window overlaps an invalid (non-acgt) base.
+    """
+    _check_k(k)
+    codes = np.asarray(codes, dtype=np.uint8)
+    n = codes.size
+    if n < k:
+        empty = np.empty(0, dtype=np.uint64)
+        return empty, np.empty(0, dtype=bool)
+    m = n - k + 1
+    invalid = codes == INVALID_CODE
+    clean = (codes & np.uint8(3)).astype(np.uint64)
+    comp = clean ^ np.uint64(3)  # complement of a 2-bit code is 3 - code
+    fwd = np.zeros(m, dtype=np.uint64)
+    rc = np.zeros(m, dtype=np.uint64)
+    for j in range(k):
+        fwd <<= np.uint64(2)
+        fwd |= clean[j : j + m]
+        # base j of the window contributes digit j (little-endian) to the RC
+        rc |= comp[j : j + m] << np.uint64(2 * j)
+    canon = np.minimum(fwd, rc)
+    valid = _window_all_valid(invalid, k)
+    return canon, valid
+
+
+def valid_kmer_mask(codes: np.ndarray, k: int) -> np.ndarray:
+    """Boolean mask: true where the k-window starting there has no invalid base."""
+    _check_k(k)
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size < k:
+        return np.empty(0, dtype=bool)
+    return _window_all_valid(codes == INVALID_CODE, k)
+
+
+def _window_all_valid(invalid: np.ndarray, k: int) -> np.ndarray:
+    """True where a length-k window contains zero invalid positions."""
+    if not invalid.any():
+        return np.ones(invalid.size - k + 1, dtype=bool)
+    counts = np.zeros(invalid.size + 1, dtype=np.int64)
+    np.cumsum(invalid, out=counts[1:])
+    return (counts[k:] - counts[:-k]) == 0
+
+
+def rank_to_string(rank: int, k: int) -> str:
+    """Decode a packed rank back into its k-mer string (debug/inspection)."""
+    _check_k(k)
+    rank = int(rank)
+    if rank < 0 or rank >= 4**k:
+        raise SketchError(f"rank {rank} out of range for k={k}")
+    out = []
+    for _ in range(k):
+        out.append(_BASES[rank & 3])
+        rank >>= 2
+    return "".join(reversed(out))
+
+
+def string_to_rank(kmer: str) -> int:
+    """Pack a k-mer string into its rank."""
+    rank = 0
+    for ch in kmer.lower():
+        idx = _BASES.find(ch)
+        if idx < 0:
+            raise SketchError(f"invalid base {ch!r} in k-mer {kmer!r}")
+        rank = (rank << 2) | idx
+    return rank
+
+
+def revcomp_rank(rank: int, k: int) -> int:
+    """Reverse-complement of a packed k-mer rank."""
+    _check_k(k)
+    rank = int(rank)
+    out = 0
+    for _ in range(k):
+        out = (out << 2) | ((rank & 3) ^ 3)
+        rank >>= 2
+    return out

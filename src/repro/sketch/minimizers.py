@@ -1,0 +1,176 @@
+"""(w, k)-minimizer extraction (Section III-B.2 of the paper).
+
+Given a sequence, an integer ``k`` and a window size ``w``, the minimizer of
+a window of ``w`` consecutive k-mers is the k-mer with the smallest hash; the
+paper (consistent with Mashmap and winnowing literature) uses the
+lexicographically smallest *canonical* k-mer, i.e. the identity hash over
+``min(kmer, revcomp(kmer))``.  A minimizer is recorded only when it changes
+or when the previous one falls out of the window — exactly the paper's
+"added to M_o(s, w) only if they change or the current minimizer goes out of
+bounds".
+
+The whole extraction is vectorised: canonical packing is k shift-or passes
+and window minima come from the van Herk–Gil–Werman scan over packed
+``(rank << 32) | position`` keys, giving leftmost-tie-break argmins with no
+Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SketchError
+from .kmers import canonical_kmer_ranks
+from .windowmin import sliding_window_min
+
+__all__ = ["MinimizerList", "minimizers", "minimizers_set", "minimizer_density"]
+
+#: Key assigned to k-mers overlapping invalid bases; loses every comparison
+#: against a valid canonical k-mer (canonical values are < 2^32 - 1 for
+#: k <= 16 because min(x, revcomp(x)) can never be all-t).
+_SENTINEL32 = np.uint64((1 << 32) - 1)
+
+
+@dataclass(frozen=True)
+class MinimizerList:
+    """Minimizer tuples ⟨k_i, p_i⟩ of one sequence, sorted by position.
+
+    Attributes
+    ----------
+    ranks:
+        Canonical packed k-mer values (``uint64``).
+    positions:
+        Start positions on the sequence (``int64``), strictly increasing.
+    k, w:
+        The parameters the list was extracted with.
+    """
+
+    ranks: np.ndarray
+    positions: np.ndarray
+    k: int
+    w: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ranks", np.ascontiguousarray(self.ranks, dtype=np.uint64))
+        object.__setattr__(
+            self, "positions", np.ascontiguousarray(self.positions, dtype=np.int64)
+        )
+        if self.ranks.shape != self.positions.shape:
+            raise SketchError("ranks/positions length mismatch")
+
+    def __len__(self) -> int:
+        return int(self.ranks.size)
+
+
+def minimizers(codes: np.ndarray, k: int, w: int) -> MinimizerList:
+    """Extract the minimizer list M_o(s, w) from a code array.
+
+    Sequences shorter than ``k`` produce an empty list; sequences with fewer
+    than ``w`` k-mers are treated as a single window (the minimizer of all
+    their k-mers), matching how short contigs are still sketchable.
+
+    Requires ``k <= 16`` (packed 32-bit canonical ranks; the paper uses
+    k = 16).
+    """
+    if k > 16:
+        raise SketchError(f"minimizer extraction requires k <= 16, got {k}")
+    if w < 1:
+        raise SketchError(f"window size must be >= 1, got {w}")
+    codes = np.asarray(codes, dtype=np.uint8)
+    canon, valid = canonical_kmer_ranks(codes, k)
+    return _minimizers_from_canon(canon, valid, k, w)
+
+
+def _minimizers_from_canon(
+    canon: np.ndarray, valid: np.ndarray, k: int, w: int
+) -> MinimizerList:
+    """Extraction core shared by :func:`minimizers` and :func:`minimizers_set`."""
+    nk = canon.size
+    if nk == 0:
+        return MinimizerList(
+            np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64), k, w
+        )
+    canon = np.where(valid, canon, _SENTINEL32)
+    weff = min(w, nk)
+    keys = (canon << np.uint64(32)) | np.arange(nk, dtype=np.uint64)
+    window_keys = sliding_window_min(keys, weff)
+    # Collapse runs of identical keys: a new entry appears exactly when the
+    # minimizer changes or the previous occurrence left the window (which
+    # changes the position half of the key).
+    change = np.empty(window_keys.size, dtype=bool)
+    change[0] = True
+    np.not_equal(window_keys[1:], window_keys[:-1], out=change[1:])
+    uniq = window_keys[change]
+    ranks = uniq >> np.uint64(32)
+    positions = (uniq & np.uint64(0xFFFFFFFF)).astype(np.int64)
+    keep = ranks != _SENTINEL32  # windows made only of invalid k-mers
+    return MinimizerList(ranks[keep], positions[keep], k, w)
+
+
+#: Target bases per shared packing chunk.  Small enough that the k
+#: shift-or passes stay cache-resident (per-call numpy overhead would
+#: dominate below ~10 kbp; memory bandwidth dominates above ~1 Mbp).
+_CHUNK_BASES = 1 << 17
+
+
+def minimizers_set(sequences, k: int, w: int) -> list[MinimizerList]:
+    """Minimizer lists for every sequence of a set, with shared packing.
+
+    Sequences are grouped into ~128 kbp chunks of the concatenated buffer;
+    canonical k-mer ranks are packed once per chunk (k vector passes per
+    chunk instead of per sequence) and each sequence reads its slice —
+    boundary-straddling windows are excluded by the slicing.  Profiling
+    showed per-sequence packing dominating query sketching; chunking keeps
+    the passes in cache, which whole-buffer packing would not.
+    """
+    if k > 16:
+        raise SketchError(f"minimizer extraction requires k <= 16, got {k}")
+    if w < 1:
+        raise SketchError(f"window size must be >= 1, got {w}")
+    buffer = sequences.buffer
+    offsets = sequences.offsets
+    n = len(sequences)
+    out: list[MinimizerList] = []
+    empty = lambda: MinimizerList(  # noqa: E731 - tiny local factory
+        np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64), k, w
+    )
+    group_start = 0
+    while group_start < n:
+        group_end = group_start
+        base_lo = int(offsets[group_start])
+        while (
+            group_end < n and int(offsets[group_end + 1]) - base_lo <= _CHUNK_BASES
+        ) or group_end == group_start:
+            group_end += 1
+            if group_end >= n:
+                break
+        base_hi = int(offsets[group_end])
+        chunk = buffer[base_lo:base_hi]
+        if chunk.size >= k:
+            canon, valid = canonical_kmer_ranks(chunk, k)
+        else:
+            canon = np.empty(0, dtype=np.uint64)
+            valid = np.empty(0, dtype=bool)
+        for i in range(group_start, group_end):
+            lo = int(offsets[i]) - base_lo
+            hi = int(offsets[i + 1]) - base_lo - k + 1  # windows inside seq i
+            if hi <= lo:
+                out.append(empty())
+            else:
+                out.append(_minimizers_from_canon(canon[lo:hi], valid[lo:hi], k, w))
+        group_start = group_end
+    return out
+
+
+def minimizer_density(length: int, k: int, w: int) -> float:
+    """Expected minimizers per base for a random sequence (~2/(w+1)).
+
+    Used by the cost model to predict sketch-table sizes without sketching.
+    """
+    if length < k:
+        return 0.0
+    nk = length - k + 1
+    expected = 2.0 * nk / (min(w, nk) + 1.0)
+    return min(expected, float(nk)) / float(length)

@@ -1,0 +1,102 @@
+"""Sparse-table range-minimum queries, vectorised over many intervals.
+
+The JEM sketch needs, for every sliding interval over a minimizer list and
+for every trial, the minimizer with the smallest hash value inside the
+interval.  Intervals have *variable* length (they are position ranges, not
+index ranges), so the fixed-window scan does not apply; a sparse table
+answers every ``[start, end)`` query in O(1) after O(n log n) vectorised
+preprocessing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SketchError
+
+__all__ = ["SparseTableRMQ", "range_min", "range_argmin"]
+
+
+class SparseTableRMQ:
+    """Idempotent range-min structure over a 1-d array.
+
+    ``query(starts, ends)`` answers many half-open interval minima at once;
+    ``query_argmin`` additionally returns the leftmost index achieving the
+    minimum (via packed ``(value << 32) | index`` keys, requiring values
+    < 2^32).
+    """
+
+    __slots__ = ("_levels", "_n", "_packed")
+
+    def __init__(self, values: np.ndarray, *, track_argmin: bool = False) -> None:
+        values = np.asarray(values, dtype=np.uint64)
+        n = values.size
+        if n == 0:
+            raise SketchError("cannot build RMQ over an empty array")
+        self._n = n
+        self._packed = bool(track_argmin)
+        if track_argmin:
+            if int(values.max()) >> 32:
+                raise SketchError("argmin tracking requires values < 2^32")
+            values = (values << np.uint64(32)) | np.arange(n, dtype=np.uint64)
+        levels = [values]
+        span = 1
+        while 2 * span <= n:
+            prev = levels[-1]
+            levels.append(np.minimum(prev[: n - 2 * span + 1], prev[span : n - span + 1]))
+            span *= 2
+        self._levels = levels
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _query_keys(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        if starts.shape != ends.shape:
+            raise SketchError("starts/ends shape mismatch")
+        lengths = ends - starts
+        if (lengths < 1).any():
+            raise SketchError("empty interval in RMQ query")
+        if (starts < 0).any() or (ends > self._n).any():
+            raise SketchError("RMQ interval out of bounds")
+        # level j covers spans of 2^j; pick j = floor(log2(length))
+        js = np.floor(np.log2(lengths)).astype(np.int64)
+        # Guard against float rounding at exact powers of two.
+        too_big = (np.int64(1) << js) > lengths
+        js[too_big] -= 1
+        out = np.empty(starts.shape, dtype=np.uint64)
+        for j in np.unique(js):
+            level = self._levels[int(j)]
+            mask = js == j
+            span = np.int64(1) << j
+            left = level[starts[mask]]
+            right = level[ends[mask] - span]
+            out[mask] = np.minimum(left, right)
+        return out
+
+    def query(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        """Minimum value over each half-open interval ``[start, end)``."""
+        keys = self._query_keys(starts, ends)
+        if self._packed:
+            return keys >> np.uint64(32)
+        return keys
+
+    def query_argmin(self, starts: np.ndarray, ends: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(indices, minima) per interval; leftmost index on value ties."""
+        if not self._packed:
+            raise SketchError("build with track_argmin=True to query argmins")
+        keys = self._query_keys(starts, ends)
+        return (keys & np.uint64(0xFFFFFFFF)).astype(np.int64), keys >> np.uint64(32)
+
+
+def range_min(values: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`SparseTableRMQ`."""
+    return SparseTableRMQ(values).query(starts, ends)
+
+
+def range_argmin(
+    values: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-shot argmin wrapper; returns (indices, minima)."""
+    return SparseTableRMQ(values, track_argmin=True).query_argmin(starts, ends)

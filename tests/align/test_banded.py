@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import UNALIGNABLE, banded_edit_distance, edit_distance, percent_identity
+from repro.errors import ReproError
+from repro.seq import encode
+
+dna = st.text(alphabet="acgt", min_size=0, max_size=60)
+
+
+def naive_edit_distance(a: str, b: str) -> int:
+    n, m = len(a), len(b)
+    dp = list(range(m + 1))
+    for i in range(1, n + 1):
+        prev_diag = dp[0]
+        dp[0] = i
+        for j in range(1, m + 1):
+            cur = min(dp[j] + 1, dp[j - 1] + 1, prev_diag + (a[i - 1] != b[j - 1]))
+            prev_diag = dp[j]
+            dp[j] = cur
+    return dp[m]
+
+
+def test_known_cases():
+    assert edit_distance(encode("kitten".replace("k", "a").replace("i", "c")), encode("kitten".replace("k", "a").replace("i", "c"))) == 0
+    assert edit_distance(encode("acgt"), encode("acgt")) == 0
+    assert edit_distance(encode("acgt"), encode("aggt")) == 1
+    assert edit_distance(encode("acgt"), encode("acgta")) == 1
+    assert edit_distance(encode(""), encode("acg")) == 3
+
+
+@settings(max_examples=80, deadline=None)
+@given(dna, dna)
+def test_matches_naive(a, b):
+    assert edit_distance(encode(a), encode(b)) == naive_edit_distance(a, b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(dna, dna)
+def test_banded_equals_full_when_band_wide(a, b):
+    band = max(len(a), len(b), 1)
+    assert banded_edit_distance(encode(a), encode(b), band) == naive_edit_distance(a, b)
+
+
+def test_banded_unalignable_on_length_gap():
+    a = encode("a" * 100)
+    b = encode("a" * 10)
+    assert banded_edit_distance(a, b, band=5) == UNALIGNABLE
+
+
+def test_banded_exact_within_band(rng):
+    from repro.simulate import ErrorModel, apply_errors
+
+    codes = rng.integers(0, 4, size=2000).astype(np.uint8)
+    noisy = apply_errors(codes, ErrorModel(substitution=0.01, insertion=0.002, deletion=0.002), rng)
+    d_banded = banded_edit_distance(codes, noisy, band=64)
+    # true distance is small, so band-64 must be exact; compare with wide band
+    d_wide = banded_edit_distance(codes, noisy, band=256)
+    assert d_banded == d_wide
+    assert 0 < d_banded < 80
+
+
+def test_band_validation():
+    with pytest.raises(ReproError):
+        banded_edit_distance(encode("acg"), encode("acg"), band=0)
+
+
+def test_percent_identity_range():
+    assert percent_identity(encode("acgtacgt"), encode("acgtacgt")) == 100.0
+    assert percent_identity(encode(""), encode("")) == 100.0
+    low = percent_identity(encode("a" * 50), encode("t" * 50))
+    assert 0.0 <= low < 20.0
+
+
+def test_percent_identity_unalignable_is_zero():
+    assert percent_identity(encode("a" * 500), encode("a" * 10), band=4) == 0.0

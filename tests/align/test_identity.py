@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.align import locate_segment, segment_identity
+from repro.seq import random_codes, reverse_complement
+from repro.simulate import ErrorModel, apply_errors
+
+
+@pytest.fixture
+def contig(rng):
+    return random_codes(5_000, rng)
+
+
+def test_locate_exact_substring(contig):
+    seg = contig[2_000:3_000]
+    placed = locate_segment(seg, contig, k=12, w=10)
+    assert placed is not None
+    qlo, qhi, clo, chi, strand = placed
+    assert strand == 1
+    assert abs(clo - 2_000) < 50
+    assert abs(chi - 3_000) < 50
+
+
+def test_locate_reverse_strand(contig):
+    seg = reverse_complement(contig[1_000:2_000])
+    placed = locate_segment(seg, contig, k=12, w=10)
+    assert placed is not None
+    assert placed[4] == -1
+
+
+def test_locate_unrelated_returns_none_or_weak(rng, contig):
+    alien = random_codes(1_000, np.random.default_rng(999))
+    placed = locate_segment(alien, contig, k=14, w=6)
+    # random 14-mers shared between unrelated 1kb/5kb sequences are rare
+    if placed is not None:
+        # tolerated, but the identity must then be terrible
+        assert segment_identity(alien, contig, k=14, w=6) < 60.0
+
+
+def test_identity_exact_is_100(contig):
+    seg = contig[500:1_500]
+    assert segment_identity(seg, contig, k=12, w=10) == 100.0
+
+
+def test_identity_with_hifi_errors(rng, contig):
+    seg = apply_errors(
+        contig[500:1_500], ErrorModel(substitution=0.002, insertion=0.001, deletion=0.001), rng
+    )
+    pid = segment_identity(seg, contig, k=12, w=10)
+    assert 98.0 < pid <= 100.0
+
+
+def test_identity_contig_shorter_than_segment(rng):
+    genome = random_codes(3_000, rng)
+    seg = genome[1_000:2_000]
+    short_contig = genome[1_200:1_700]  # 500 bp inside the segment's locus
+    pid = segment_identity(seg, short_contig, k=12, w=10)
+    assert pid > 95.0
+
+
+def test_identity_unlocatable_is_zero(rng):
+    seg = random_codes(500, rng)
+    contig = random_codes(500, np.random.default_rng(1234))
+    assert segment_identity(seg, contig, k=16, w=4) == 0.0

@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.assembly import AssemblyConfig, assemble
+from repro.errors import AssemblyError
+from repro.seq import SequenceSet, decode, reverse_complement
+from repro.simulate import GenomeProfile, IlluminaProfile, simulate_genome, simulate_short_reads
+
+
+def test_config_validation():
+    with pytest.raises(AssemblyError):
+        AssemblyConfig(k=24)  # even
+    with pytest.raises(AssemblyError):
+        AssemblyConfig(k=2)
+    with pytest.raises(AssemblyError):
+        AssemblyConfig(min_count=0)
+    with pytest.raises(AssemblyError):
+        AssemblyConfig(k=25, min_contig_length=10)
+
+
+def test_assemble_perfect_coverage_single_contig():
+    """Error-free tiled reads over a random genome reassemble it."""
+    rng = np.random.default_rng(0)
+    genome = rng.integers(0, 4, size=5_000).astype(np.uint8)
+    reads = SequenceSet.from_strings(
+        [(f"r{i}", decode(genome[i : i + 100])) for i in range(0, 4_901, 10)]
+    )
+    contigs = assemble(reads, AssemblyConfig(k=21, min_count=1, min_contig_length=100))
+    assert len(contigs) == 1
+    got = contigs.codes_of(0)
+    fwd, rc = got.tobytes(), reverse_complement(got).tobytes()
+    assert genome.tobytes() in (fwd, rc)
+
+
+def test_assemble_empty_reads():
+    contigs = assemble(SequenceSet.empty(), AssemblyConfig(min_count=1))
+    assert len(contigs) == 0
+
+
+def test_contigs_sorted_longest_first(rng):
+    genome = simulate_genome(GenomeProfile(length=60_000, repeat_fraction=0.2,
+                                           repeat_divergence=0.0, repeat_length=300), rng)
+    reads = simulate_short_reads(genome, IlluminaProfile(coverage=20), rng)
+    contigs = assemble(reads, AssemblyConfig(k=25, min_count=3, min_contig_length=100))
+    lengths = contigs.lengths
+    assert (np.diff(lengths) <= 0).all()
+    assert contigs.names[0] == "contig_00000"
+
+
+def test_strand_deduplication(rng):
+    """Assembling reads and their RCs yields each unitig once."""
+    genome = rng.integers(0, 4, size=3_000).astype(np.uint8)
+    fwd = [(f"f{i}", decode(genome[i : i + 100])) for i in range(0, 2_901, 20)]
+    rc = [
+        (f"r{i}", decode(reverse_complement(genome[i : i + 100])))
+        for i in range(0, 2_901, 20)
+    ]
+    contigs = assemble(
+        SequenceSet.from_strings(fwd + rc), AssemblyConfig(k=21, min_count=1, min_contig_length=100)
+    )
+    assert len(contigs) == 1
+
+
+def test_assembly_covers_genome(rng):
+    genome = simulate_genome(GenomeProfile(length=80_000), rng)
+    reads = simulate_short_reads(genome, IlluminaProfile(coverage=25), rng)
+    contigs = assemble(reads, AssemblyConfig(k=25, min_count=3, min_contig_length=300))
+    assert contigs.total_bases > 0.9 * genome.size
+
+
+def test_deterministic(rng):
+    genome = simulate_genome(GenomeProfile(length=30_000), np.random.default_rng(4))
+    reads = simulate_short_reads(genome, IlluminaProfile(coverage=20), np.random.default_rng(5))
+    a = assemble(reads, AssemblyConfig(min_count=2))
+    b = assemble(reads, AssemblyConfig(min_count=2))
+    assert a.names == b.names
+    assert np.array_equal(a.buffer, b.buffer)

@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.assembly import DeBruijnGraph
+from repro.errors import AssemblyError
+from repro.seq import decode, encode
+from repro.sketch import kmer_ranks, string_to_rank
+
+
+def graph_from_seq(seq: str, k: int) -> DeBruijnGraph:
+    """Graph of a single sequence's forward k-mers (single-strand)."""
+    ranks = np.unique(kmer_ranks(encode(seq), k))
+    return DeBruijnGraph(ranks, k)
+
+
+def test_contains():
+    g = graph_from_seq("acgtacc", 3)
+    assert g.contains(np.array([string_to_rank("acg")], dtype=np.uint64))[0]
+    assert not g.contains(np.array([string_to_rank("ggg")], dtype=np.uint64))[0]
+
+
+def test_unsorted_rejected():
+    with pytest.raises(AssemblyError):
+        DeBruijnGraph(np.array([5, 1], dtype=np.uint64), 3)
+
+
+def test_degrees_linear_path():
+    g = graph_from_seq("acgtgg", 3)  # acg -> cgt -> gtg -> tgg, no repeats
+    assert (g.out_degree <= 1).all()
+    assert (g.in_degree <= 1).all()
+
+
+def test_single_unitig_reconstructs_sequence():
+    seq = "aaacccgggtttacgtg"  # no repeated 4-mer -> one non-branching path
+    g = graph_from_seq(seq, 5)
+    chains = g.unitig_node_chains()
+    seqs = {decode(g.chain_to_codes(c)) for c in chains}
+    assert seq in seqs
+
+
+def test_branch_splits_unitigs():
+    # Two sequences sharing a middle create branching.
+    a = "aaccggtt"
+    b = "ttccggaa"
+    ranks = np.unique(
+        np.concatenate([kmer_ranks(encode(a), 4), kmer_ranks(encode(b), 4)])
+    )
+    g = DeBruijnGraph(ranks, 4)
+    chains = g.unitig_node_chains()
+    # every node in exactly one chain
+    all_nodes = np.concatenate(chains)
+    assert sorted(all_nodes.tolist()) == list(range(len(g)))
+
+
+def test_cycle_is_recovered():
+    # circular sequence: abcabc... k-mers of "acgac" wrapping
+    seq = "acgtacgt"  # contains the cycle acgt -> cgta -> gtac -> tacg -> acgt
+    g = graph_from_seq(seq, 4)
+    chains = g.unitig_node_chains()
+    assert sum(len(c) for c in chains) == len(g)
+
+
+def test_chain_to_codes_empty_rejected():
+    g = graph_from_seq("acgta", 3)
+    with pytest.raises(AssemblyError):
+        g.chain_to_codes(np.empty(0, dtype=np.int64))
+
+
+def test_empty_graph():
+    g = DeBruijnGraph(np.empty(0, dtype=np.uint64), 5)
+    assert g.unitig_node_chains() == []

@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.assembly import count_kmers, solid_kmers
+from repro.assembly.kmer_count import _revcomp_ranks
+from repro.errors import AssemblyError
+from repro.seq import SequenceSet
+from repro.sketch import revcomp_rank, string_to_rank
+
+
+def test_counts_simple():
+    reads = SequenceSet.from_strings([("r", "acgt")])
+    kmers, counts = count_kmers(reads, 3)
+    # forward: acg, cgt; their RCs: cgt, acg -> both counted twice
+    acg, cgt = string_to_rank("acg"), string_to_rank("cgt")
+    assert set(kmers.tolist()) == {acg, cgt}
+    assert counts.tolist() == [2, 2]
+
+
+def test_strand_closure():
+    """k-mer and its RC always carry equal counts."""
+    rng = np.random.default_rng(0)
+    from repro.seq import decode, random_codes
+
+    reads = SequenceSet.from_strings(
+        [(f"r{i}", decode(random_codes(200, rng))) for i in range(10)]
+    )
+    kmers, counts = count_kmers(reads, 7)
+    lookup = dict(zip(kmers.tolist(), counts.tolist()))
+    for km, ct in list(lookup.items())[:200]:
+        assert lookup[revcomp_rank(km, 7)] == ct
+
+
+def test_boundary_windows_excluded():
+    # Two reads; no k-mer should span the junction.
+    reads = SequenceSet.from_strings([("a", "aaaa"), ("b", "cccc")])
+    kmers, _ = count_kmers(reads, 3)
+    bad = string_to_rank("aac")  # would only exist across the boundary
+    assert bad not in kmers.tolist()
+
+
+def test_invalid_bases_excluded():
+    reads = SequenceSet.from_strings([("a", "aanaa")])
+    kmers, counts = count_kmers(reads, 3)
+    # only k-mers 'aa?'/'?aa' windows without 'n': none of length 3 avoid the n
+    # positions 0..2 span index 2 ('n')? "aan","ana","naa" all contain n.
+    assert kmers.size == 0
+
+
+def test_reads_shorter_than_k():
+    reads = SequenceSet.from_strings([("a", "ac")])
+    kmers, counts = count_kmers(reads, 5)
+    assert kmers.size == 0
+
+
+def test_solid_filter():
+    reads = SequenceSet.from_strings([("a", "acgtacgt"), ("b", "acgtacgt"), ("c", "ttttcccc")])
+    solid = solid_kmers(reads, 4, min_count=3)
+    rare = solid_kmers(reads, 4, min_count=1)
+    assert solid.size < rare.size
+    assert np.isin(solid, rare).all()
+
+
+def test_solid_bad_min_count():
+    reads = SequenceSet.from_strings([("a", "acgt")])
+    with pytest.raises(AssemblyError):
+        solid_kmers(reads, 3, min_count=0)
+
+
+def test_bad_k():
+    reads = SequenceSet.from_strings([("a", "acgt")])
+    with pytest.raises(AssemblyError):
+        count_kmers(reads, 0)
+
+
+def test_revcomp_ranks_vectorised_matches_scalar():
+    ranks = np.array([string_to_rank("acgta"), string_to_rank("ttttt")], dtype=np.uint64)
+    rc = _revcomp_ranks(ranks, 5)
+    assert rc[0] == revcomp_rank(int(ranks[0]), 5)
+    assert rc[1] == revcomp_rank(int(ranks[1]), 5)

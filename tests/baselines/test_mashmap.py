@@ -1,0 +1,120 @@
+import numpy as np
+import pytest
+
+from repro.baselines import MashmapConfig, MashmapLikeMapper
+from repro.errors import MappingError
+from repro.seq import SequenceSet, decode, random_codes
+
+
+CFG = MashmapConfig(k=12, w=20, ell=500)
+
+
+def test_config_validation():
+    with pytest.raises(MappingError):
+        MashmapConfig(k=0)
+    with pytest.raises(MappingError):
+        MashmapConfig(min_shared=0)
+
+
+def test_requires_index(clean_reads):
+    with pytest.raises(MappingError):
+        MashmapLikeMapper(CFG).map_reads(clean_reads)
+
+
+def test_maps_clean_data(tiling_contigs, clean_reads):
+    mapper = MashmapLikeMapper(CFG)
+    mapper.index(tiling_contigs)
+    result = mapper.map_reads(clean_reads)
+    assert result.n_mapped == len(result)
+    # hit counts are shared-minimizer counts, should be substantial
+    assert result.hit_count[result.mapped_mask].min() >= CFG.min_shared
+
+
+def test_correct_contig_chosen(tiling_contigs, clean_reads):
+    """Mapped contig must truly cover the segment locus."""
+    mapper = MashmapLikeMapper(CFG)
+    mapper.index(tiling_contigs)
+    result = mapper.map_reads(clean_reads)
+    contig_bounds = []
+    pos = 0
+    for ln in tiling_contigs.lengths:
+        contig_bounds.append((pos, pos + int(ln)))
+        pos += int(ln) - 100
+    for i, info in enumerate(result.infos):
+        if result.subject[i] < 0:
+            continue
+        meta = clean_reads.metas[info.read_index]
+        if info.kind == "prefix":
+            lo, hi = meta["ref_start"], meta["ref_start"] + CFG.ell
+        else:
+            lo, hi = meta["ref_end"] - CFG.ell, meta["ref_end"]
+        c_lo, c_hi = contig_bounds[int(result.subject[i])]
+        assert min(hi, c_hi) - max(lo, c_lo) >= CFG.k
+
+
+def test_foreign_read_unmapped(tiling_contigs):
+    rng = np.random.default_rng(4242)
+    alien = SequenceSet.from_strings([("x", decode(random_codes(2_000, rng)))])
+    mapper = MashmapLikeMapper(MashmapConfig(k=16, w=20, ell=500, min_shared=3))
+    mapper.index(tiling_contigs)
+    assert mapper.map_reads(alien).n_mapped == 0
+
+
+def test_deterministic(tiling_contigs, clean_reads):
+    a = MashmapLikeMapper(CFG)
+    a.index(tiling_contigs)
+    b = MashmapLikeMapper(CFG)
+    b.index(tiling_contigs)
+    assert np.array_equal(a.map_reads(clean_reads).subject, b.map_reads(clean_reads).subject)
+
+
+def test_winnowed_jaccard_identity(tiling_contigs):
+    mapper = MashmapLikeMapper(CFG)
+    a = np.array([5, 9, 12, 40], dtype=np.uint64)
+    assert mapper.winnowed_jaccard(a, a) == 1.0
+
+
+def test_winnowed_jaccard_disjoint():
+    mapper = MashmapLikeMapper(CFG)
+    a = np.array([1, 2, 3], dtype=np.uint64)
+    b = np.array([10, 20, 30], dtype=np.uint64)
+    assert mapper.winnowed_jaccard(a, b) == 0.0
+
+
+def test_winnowed_jaccard_partial():
+    mapper = MashmapLikeMapper(CFG)
+    a = np.array([1, 2, 3, 4], dtype=np.uint64)
+    b = np.array([3, 4, 5, 6], dtype=np.uint64)
+    # union bottom-4 = {1,2,3,4}; shared = {3,4} -> 2/4
+    assert mapper.winnowed_jaccard(a, b) == 0.5
+
+
+def test_winnowed_scoring_maps_clean_data(tiling_contigs, clean_reads):
+    mapper = MashmapLikeMapper(
+        MashmapConfig(k=12, w=20, ell=500, scoring="winnowed", min_jaccard=0.1)
+    )
+    mapper.index(tiling_contigs)
+    result = mapper.map_reads(clean_reads)
+    assert result.n_mapped > 0.95 * len(result)
+    # winnowed scoring agrees with intersection scoring on clean data
+    plain = MashmapLikeMapper(CFG)
+    plain.index(tiling_contigs)
+    expected = plain.map_reads(clean_reads)
+    both = (result.subject >= 0) & (expected.subject >= 0)
+    assert (result.subject[both] == expected.subject[both]).mean() > 0.95
+
+
+def test_unknown_scoring_rejected():
+    with pytest.raises(MappingError):
+        MashmapConfig(scoring="magic")
+
+
+def test_local_intersection_window():
+    """L2 scoring counts distinct query minimizers within one ℓ-window."""
+    mapper = MashmapLikeMapper(CFG)
+    q = np.array([0, 1, 2, 0, 1], dtype=np.int64)
+    pos = np.array([0, 100, 200, 5_000, 5_100], dtype=np.int64)
+    # window 500: first three anchors share a window -> 3 distinct
+    assert mapper._score_candidate(q, pos, 500) == 3
+    # window 50: at most 1
+    assert mapper._score_candidate(q, pos, 50) == 1

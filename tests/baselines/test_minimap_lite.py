@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+
+from repro.baselines import MinimapLite
+from repro.errors import MappingError
+from repro.seq import random_codes, reverse_complement
+from repro.simulate import ErrorModel, apply_errors
+
+
+@pytest.fixture
+def reference(rng):
+    return random_codes(50_000, rng)
+
+
+@pytest.fixture
+def mapper(reference):
+    m = MinimapLite(k=14, w=12)
+    m.index(reference)
+    return m
+
+
+def test_requires_index():
+    with pytest.raises(MappingError):
+        MinimapLite().place(np.zeros(100, dtype=np.uint8))
+
+
+def test_place_exact_substring(mapper, reference):
+    query = reference[10_000:14_000]
+    placement = mapper.place(query)
+    assert placement is not None
+    assert placement.strand == 1
+    assert abs(placement.ref_start - 10_000) < 200
+    assert abs(placement.ref_end - 14_000) < 200
+
+
+def test_place_reverse_strand(mapper, reference):
+    query = reverse_complement(reference[20_000:22_000])
+    placement = mapper.place(query)
+    assert placement is not None
+    assert placement.strand == -1
+    assert abs(placement.ref_start - 20_000) < 200
+
+
+def test_place_noisy_query(mapper, reference, rng):
+    noisy = apply_errors(
+        reference[5_000:8_000], ErrorModel(substitution=0.01, insertion=0.002, deletion=0.002), rng
+    )
+    placement = mapper.place(noisy)
+    assert placement is not None
+    assert abs(placement.ref_start - 5_000) < 300
+
+
+def test_unrelated_query_unplaced(mapper):
+    alien = random_codes(2_000, np.random.default_rng(777))
+    placement = mapper.place(alien, min_anchors=4)
+    assert placement is None
+
+
+def test_place_set(mapper, reference):
+    from repro.seq import SequenceSet, decode
+
+    queries = SequenceSet.from_strings(
+        [("a", decode(reference[0:2_000])), ("b", decode(reference[30_000:33_000]))]
+    )
+    placements = mapper.place_set(queries)
+    assert placements[0] is not None and placements[1] is not None
+    assert abs(placements[1].ref_start - 30_000) < 200
+
+
+def test_empty_reference_rejected():
+    m = MinimapLite()
+    with pytest.raises(MappingError):
+        m.index(np.zeros(5, dtype=np.uint8))
+
+
+def test_multi_sequence_reference(rng):
+    """Queries resolve to the right chromosome with local coordinates."""
+    from repro.seq import SequenceSet, decode
+
+    chr1 = random_codes(20_000, rng)
+    chr2 = random_codes(30_000, rng)
+    reference = SequenceSet.from_strings([("chr1", decode(chr1)), ("chr2", decode(chr2))])
+    m = MinimapLite(k=14, w=12)
+    m.index(reference)
+
+    p1 = m.place(chr1[5_000:8_000])
+    assert p1 is not None and p1.ref_name == "chr1" and p1.ref_id == 0
+    assert abs(p1.ref_start - 5_000) < 200
+
+    p2 = m.place(chr2[10_000:14_000])
+    assert p2 is not None and p2.ref_name == "chr2" and p2.ref_id == 1
+    assert abs(p2.ref_start - 10_000) < 200
+    assert p2.ref_end <= 30_000  # local, clamped to chr2
+
+
+def test_multi_sequence_reverse_strand(rng):
+    from repro.seq import SequenceSet, decode
+
+    chr1 = random_codes(15_000, rng)
+    chr2 = random_codes(15_000, rng)
+    reference = SequenceSet.from_strings([("a", decode(chr1)), ("b", decode(chr2))])
+    m = MinimapLite(k=14, w=12)
+    m.index(reference)
+    query = reverse_complement(chr2[2_000:5_000])
+    placement = m.place(query)
+    assert placement is not None
+    assert placement.ref_name == "b"
+    assert placement.strand == -1
+    assert abs(placement.ref_start - 2_000) < 200

@@ -1,0 +1,49 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.seq import SequenceSet, decode, random_codes
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_genome(rng) -> np.ndarray:
+    """A 20 kbp random genome as a code array."""
+    return random_codes(20_000, rng)
+
+
+@pytest.fixture
+def tiling_contigs(small_genome) -> SequenceSet:
+    """Contigs tiling the small genome with 100 bp overlaps."""
+    pieces = []
+    pos = 0
+    idx = 0
+    while pos < small_genome.size:
+        end = min(pos + 2_000, small_genome.size)
+        pieces.append((f"contig_{idx}", decode(small_genome[pos:end])))
+        pos = end - 100 if end < small_genome.size else end
+        idx += 1
+    return SequenceSet.from_strings(pieces)
+
+
+@pytest.fixture
+def clean_reads(small_genome, rng) -> SequenceSet:
+    """Error-free 5 kbp reads drawn from the small genome with truth coords."""
+    from repro.seq import SequenceSetBuilder
+
+    builder = SequenceSetBuilder()
+    for i in range(20):
+        start = int(rng.integers(0, small_genome.size - 5_000))
+        builder.add(
+            f"read_{i}",
+            small_genome[start : start + 5_000],
+            {"ref_start": start, "ref_end": start + 5_000, "ref_strand": 1},
+        )
+    return builder.build()

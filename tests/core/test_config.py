@@ -1,0 +1,48 @@
+import pytest
+
+from repro.core import JEMConfig
+from repro.errors import ConfigError
+
+
+def test_defaults_match_paper():
+    cfg = JEMConfig()
+    assert cfg.k == 16
+    assert cfg.w == 100
+    assert cfg.ell == 1000
+    assert cfg.trials == 30
+
+
+def test_hash_family_size_and_determinism():
+    cfg = JEMConfig(trials=7, seed=42)
+    f1, f2 = cfg.hash_family(), cfg.hash_family()
+    assert f1.size == 7
+    assert (f1.a == f2.a).all()
+
+
+def test_with_trials():
+    cfg = JEMConfig(trials=30)
+    cfg10 = cfg.with_trials(10)
+    assert cfg10.trials == 10
+    assert cfg10.k == cfg.k and cfg10.seed == cfg.seed
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"k": 0},
+        {"k": 17},
+        {"w": 0},
+        {"ell": 4, "k": 16},
+        {"trials": 0},
+        {"min_hits": 0},
+    ],
+)
+def test_invalid_configs(kwargs):
+    with pytest.raises(ConfigError):
+        JEMConfig(**kwargs)
+
+
+def test_frozen():
+    cfg = JEMConfig()
+    with pytest.raises(Exception):
+        cfg.k = 5  # type: ignore[misc]

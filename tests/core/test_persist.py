@@ -1,0 +1,51 @@
+import numpy as np
+import pytest
+
+from repro.core import JEMConfig, JEMMapper
+from repro.core.persist import INDEX_FORMAT_VERSION, load_index, save_index
+from repro.errors import MappingError
+
+
+CFG = JEMConfig(k=12, w=20, ell=500, trials=7, seed=31)
+
+
+def test_round_trip(tmp_path, tiling_contigs, clean_reads):
+    mapper = JEMMapper(CFG)
+    mapper.index(tiling_contigs)
+    path = save_index(mapper, tmp_path / "idx")
+    assert path.endswith(".npz")
+
+    loaded = load_index(path)
+    assert loaded.config == CFG
+    assert loaded.subject_names == mapper.subject_names
+    for t in range(CFG.trials):
+        assert np.array_equal(loaded.table.keys[t], mapper.table.keys[t])
+    # mapping through the loaded index is identical
+    expected = mapper.map_reads(clean_reads)
+    got = loaded.map_reads(clean_reads)
+    assert np.array_equal(got.subject, expected.subject)
+
+
+def test_load_without_suffix(tmp_path, tiling_contigs):
+    mapper = JEMMapper(CFG)
+    mapper.index(tiling_contigs)
+    save_index(mapper, tmp_path / "idx")
+    loaded = load_index(tmp_path / "idx")  # suffix auto-appended
+    assert loaded.is_indexed
+
+
+def test_unindexed_mapper_rejected(tmp_path):
+    with pytest.raises(MappingError):
+        save_index(JEMMapper(CFG), tmp_path / "idx")
+
+
+def test_version_check(tmp_path, tiling_contigs):
+    mapper = JEMMapper(CFG)
+    mapper.index(tiling_contigs)
+    path = save_index(mapper, tmp_path / "idx")
+    with np.load(path) as data:
+        payload = {key: data[key] for key in data.files}
+    payload["format_version"] = np.int64(INDEX_FORMAT_VERSION + 1)
+    np.savez_compressed(path, **payload)
+    with pytest.raises(MappingError, match="format"):
+        load_index(path)

@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+
+from repro.core import PREFIX, SUFFIX, extract_end_segments
+from repro.errors import SequenceError
+from repro.seq import SequenceSet, SequenceSetBuilder, decode, encode
+
+
+def test_basic_extraction():
+    reads = SequenceSet.from_strings([("r", "a" * 100 + "c" * 100 + "g" * 100)])
+    segments, infos = extract_end_segments(reads, 100)
+    assert len(segments) == 2
+    assert segments.names == ["r/prefix", "r/suffix"]
+    assert segments[0].sequence == "a" * 100
+    assert segments[1].sequence == "g" * 100
+    assert infos[0].kind == PREFIX and infos[1].kind == SUFFIX
+    assert infos[0].read_index == infos[1].read_index == 0
+
+
+def test_two_segments_per_read():
+    reads = SequenceSet.from_strings([(f"r{i}", "acgt" * 100) for i in range(5)])
+    segments, infos = extract_end_segments(reads, 50)
+    assert len(segments) == 10
+    assert [si.read_index for si in infos] == [0, 0, 1, 1, 2, 2, 3, 3, 4, 4]
+
+
+def test_short_read_uses_whole_sequence():
+    reads = SequenceSet.from_strings([("short", "acgtacgt")])
+    segments, _ = extract_end_segments(reads, 100)
+    assert segments[0].sequence == "acgtacgt"
+    assert segments[1].sequence == "acgtacgt"
+
+
+def test_empty_read_rejected():
+    reads = SequenceSet(
+        np.empty(0, dtype=np.uint8), np.array([0, 0], dtype=np.int64), ["bad"]
+    )
+    with pytest.raises(SequenceError):
+        extract_end_segments(reads, 10)
+
+
+def test_bad_ell():
+    reads = SequenceSet.from_strings([("r", "acgt")])
+    with pytest.raises(SequenceError):
+        extract_end_segments(reads, 0)
+
+
+def test_truth_coordinates_forward():
+    builder = SequenceSetBuilder()
+    builder.add_string("r", "a" * 500, {"ref_start": 1000, "ref_end": 1500, "ref_strand": 1})
+    segments, _ = extract_end_segments(builder.build(), 100)
+    assert segments.metas[0]["ref_start"] == 1000
+    assert segments.metas[0]["ref_end"] == 1100
+    assert segments.metas[1]["ref_start"] == 1400
+    assert segments.metas[1]["ref_end"] == 1500
+
+
+def test_truth_coordinates_reverse_strand():
+    builder = SequenceSetBuilder()
+    builder.add_string("r", "a" * 500, {"ref_start": 1000, "ref_end": 1500, "ref_strand": -1})
+    segments, _ = extract_end_segments(builder.build(), 100)
+    # Reverse-strand read: its prefix is the reference END.
+    assert segments.metas[0]["ref_start"] == 1400
+    assert segments.metas[0]["ref_end"] == 1500
+    assert segments.metas[1]["ref_start"] == 1000
+    assert segments.metas[1]["ref_end"] == 1100
+
+
+def test_no_truth_meta_ok():
+    reads = SequenceSet.from_strings([("r", "acgt" * 50)])
+    segments, _ = extract_end_segments(reads, 10)
+    assert "ref_start" not in segments.metas[0]
+    assert segments.metas[0]["kind"] == PREFIX

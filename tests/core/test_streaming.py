@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.core import JEMConfig, JEMMapper
+from repro.core.streaming import map_file, map_reads_stream
+from repro.errors import MappingError
+from repro.seq import write_fastq
+
+
+CFG = JEMConfig(k=12, w=20, ell=500, trials=8, seed=13)
+
+
+@pytest.fixture
+def mapper(tiling_contigs):
+    m = JEMMapper(CFG)
+    m.index(tiling_contigs)
+    return m
+
+
+def test_stream_matches_bulk(mapper, clean_reads):
+    bulk = mapper.map_reads(clean_reads)
+    streamed_subjects = []
+    streamed_names = []
+    for batch in map_reads_stream(mapper, iter(clean_reads), batch_size=7):
+        streamed_subjects.append(batch.subject)
+        streamed_names.extend(batch.segment_names)
+    assert np.array_equal(np.concatenate(streamed_subjects), bulk.subject)
+    assert streamed_names == bulk.segment_names
+
+
+def test_batch_count(mapper, clean_reads):
+    batches = list(map_reads_stream(mapper, iter(clean_reads), batch_size=7))
+    n = len(clean_reads)
+    assert len(batches) == -(-n // 7)
+    assert sum(len(b) for b in batches) == 2 * n
+
+
+def test_batch_size_one(mapper, clean_reads):
+    batches = list(map_reads_stream(mapper, iter(clean_reads), batch_size=1))
+    assert len(batches) == len(clean_reads)
+    assert all(len(b) == 2 for b in batches)
+
+
+def test_empty_stream(mapper):
+    assert list(map_reads_stream(mapper, iter([]), batch_size=5)) == []
+
+
+def test_requires_index(clean_reads):
+    with pytest.raises(MappingError):
+        list(map_reads_stream(JEMMapper(CFG), iter(clean_reads)))
+
+
+def test_bad_batch_size(mapper, clean_reads):
+    with pytest.raises(MappingError):
+        list(map_reads_stream(mapper, iter(clean_reads), batch_size=0))
+
+
+def test_map_file_fastq(tmp_path, mapper, clean_reads):
+    path = tmp_path / "reads.fastq"
+    write_fastq(path, clean_reads)
+    bulk = mapper.map_reads(clean_reads)
+    got = np.concatenate(
+        [batch.subject for batch in map_file(mapper, str(path), batch_size=6)]
+    )
+    assert np.array_equal(got, bulk.subject)

@@ -1,0 +1,97 @@
+import numpy as np
+import pytest
+
+from repro.core import JEMConfig, JEMMapper
+from repro.core.tiling import extract_tiled_segments, map_reads_tiled
+from repro.errors import SequenceError
+from repro.seq import SeqRecord, SequenceSet, SequenceSetBuilder, random_codes
+
+
+def test_tiling_covers_whole_read():
+    reads = SequenceSet.from_strings([("r", "acgt" * 1000)])  # 4000 bp
+    segments, infos = extract_tiled_segments(reads, 1000)
+    # tiles at 0, 1000, 2000, 3000
+    assert [ti.offset for ti in infos] == [0, 1000, 2000, 3000]
+    assert all(len(segments.codes_of(i)) == 1000 for i in range(len(segments)))
+
+
+def test_last_tile_clamped():
+    reads = SequenceSet.from_strings([("r", "a" * 2500)])
+    segments, infos = extract_tiled_segments(reads, 1000)
+    assert [ti.offset for ti in infos] == [0, 1000, 1500]
+
+
+def test_stride_override():
+    reads = SequenceSet.from_strings([("r", "a" * 3000)])
+    _, infos = extract_tiled_segments(reads, 1000, stride=500)
+    assert [ti.offset for ti in infos] == [0, 500, 1000, 1500, 2000]
+
+
+def test_short_read_single_tile():
+    reads = SequenceSet.from_strings([("r", "acgtacgt")])
+    segments, infos = extract_tiled_segments(reads, 1000)
+    assert len(segments) == 1
+    assert segments[0].sequence == "acgtacgt"
+
+
+def test_truth_coordinates_forward_and_reverse():
+    builder = SequenceSetBuilder()
+    builder.add_string("f", "a" * 3000, {"ref_start": 100, "ref_end": 3100, "ref_strand": 1})
+    builder.add_string("r", "a" * 3000, {"ref_start": 100, "ref_end": 3100, "ref_strand": -1})
+    segments, infos = extract_tiled_segments(builder.build(), 1000)
+    # forward read: tile at offset 1000 covers ref [1100, 2100)
+    fwd_metas = [m for m, ti in zip(segments.metas, infos) if ti.read_index == 0]
+    assert fwd_metas[1]["ref_start"] == 1100 and fwd_metas[1]["ref_end"] == 2100
+    # reverse read: tile at offset 0 is the reference END
+    rev_metas = [m for m, ti in zip(segments.metas, infos) if ti.read_index == 1]
+    assert rev_metas[0]["ref_end"] == 3100
+    assert rev_metas[0]["ref_start"] == 2100
+
+
+def test_invalid_args():
+    reads = SequenceSet.from_strings([("r", "acgt")])
+    with pytest.raises(SequenceError):
+        extract_tiled_segments(reads, 0)
+    with pytest.raises(SequenceError):
+        extract_tiled_segments(reads, 100, stride=0)
+
+
+def test_contained_contig_found_only_by_tiling(rng):
+    """The paper's stated limitation: a contig inside the read interior is
+    invisible to end segments but recovered by interior tiles."""
+    genome = random_codes(12_000, rng)
+    # contig B sits wholly inside the read interior [4500, 6500]
+    contigs = SequenceSet.from_records(
+        [
+            SeqRecord("A", genome[0:3_000]),
+            SeqRecord("B", genome[4_500:6_500]),
+            SeqRecord("C", genome[8_000:11_000]),
+        ]
+    )
+    builder = SequenceSetBuilder()
+    builder.add("read", genome[1_000:11_000])  # 10 kbp spanning all three
+    reads = builder.build()
+
+    cfg = JEMConfig(k=14, w=20, ell=1000, trials=12, seed=3)
+    mapper = JEMMapper(cfg)
+    mapper.index(contigs)
+
+    ends = mapper.map_reads(reads)
+    end_hits = {int(s) for s in ends.subject if s >= 0}
+    assert 1 not in end_hits  # contig B missed by end segments
+
+    covered = map_reads_tiled(mapper, reads)
+    assert 1 in covered[0]  # ...but found by interior tiles
+    assert 0 in covered[0] and 2 in covered[0]
+
+
+def test_min_tile_hits_filter(rng):
+    genome = random_codes(8_000, rng)
+    contigs = SequenceSet.from_records([SeqRecord("A", genome[0:8_000])])
+    builder = SequenceSetBuilder()
+    builder.add("read", genome[0:8_000])
+    cfg = JEMConfig(k=14, w=20, ell=1000, trials=8, seed=3)
+    mapper = JEMMapper(cfg)
+    mapper.index(contigs)
+    covered = map_reads_tiled(mapper, builder.build(), min_tile_hits=3)
+    assert covered[0].get(0, 0) >= 3

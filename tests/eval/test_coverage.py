@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.core import JEMConfig, JEMMapper
+from repro.core.mapper import MappingResult
+from repro.errors import MappingError
+from repro.eval.coverage import contig_coverage
+from repro.seq import SequenceSet
+
+
+def make_result(subjects):
+    subjects = np.asarray(subjects, dtype=np.int64)
+    return MappingResult(
+        [f"s{i}" for i in range(subjects.size)],
+        subjects,
+        (subjects >= 0).astype(np.int64),
+    )
+
+
+def make_contigs(n):
+    return SequenceSet.from_strings([(f"c{i}", "acgt" * 50) for i in range(n)])
+
+
+def test_counts():
+    cov = contig_coverage(make_result([0, 0, 1, -1, 2, 2, 2]), make_contigs(4))
+    assert cov.hits.tolist() == [2, 1, 3, 0]
+    assert cov.n_segments == 6
+    assert cov.dark_contigs.tolist() == [3]
+    assert cov.dark_fraction == 0.25
+    assert cov.max_hits == 3
+
+
+def test_all_dark():
+    cov = contig_coverage(make_result([-1, -1]), make_contigs(3))
+    assert cov.dark_fraction == 1.0
+    assert cov.mean_hits == 0.0
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(MappingError):
+        contig_coverage(make_result([5]), make_contigs(2))
+
+
+def test_empty_contigs_rejected():
+    with pytest.raises(MappingError):
+        contig_coverage(make_result([0]), SequenceSet.empty())
+
+
+def test_report_format():
+    cov = contig_coverage(make_result([0, 1, 1]), make_contigs(2))
+    report = cov.format_report(["alpha", "beta"])
+    assert "dark contigs" in report
+    assert "beta: 2" in report
+
+
+def test_real_mapping_covers_most_contigs(tiling_contigs, clean_reads):
+    mapper = JEMMapper(JEMConfig(k=12, w=20, ell=500, trials=10, seed=6))
+    mapper.index(tiling_contigs)
+    result = mapper.map_reads(clean_reads)
+    cov = contig_coverage(result, tiling_contigs)
+    assert cov.n_segments == result.n_mapped
+    assert cov.dark_fraction < 0.6  # 20 reads over 20kb leave some gaps at most

@@ -1,0 +1,43 @@
+"""Profile-level behaviour of the dataset registry (no full generation)."""
+
+import pytest
+
+from repro.eval.datasets import DATASETS, MIN_GENOME, DatasetSpec
+
+
+def test_genome_length_floor():
+    spec = DATASETS["e_coli"]
+    assert spec.genome_length(1e-9) == MIN_GENOME
+    assert spec.genome_length(1.0) == spec.full_genome_length
+
+
+def test_hifi_median_clamped_for_tiny_genomes():
+    spec = DATASETS["o_sativa_chr8"]  # 19.6 kbp median reads
+    tiny = spec.hifi_profile(1e-9)  # genome floors at 100 kbp
+    assert tiny.median_length <= MIN_GENOME // 4
+    assert tiny.min_length <= tiny.median_length
+    big = spec.hifi_profile(1.0)
+    assert big.median_length == 19_600
+
+
+def test_profiles_construct():
+    for name, spec in DATASETS.items():
+        gp = spec.genome_profile(0.01)
+        ip = spec.illumina_profile()
+        ac = spec.assembly_config()
+        hp = spec.hifi_profile(0.01)
+        assert gp.length >= MIN_GENOME
+        assert ip.read_length == 100
+        assert ac.k % 2 == 1
+        assert hp.coverage > 0
+
+
+def test_eukaryotes_more_repetitive_than_bacteria():
+    assert DATASETS["human_chr7"].repeat_fraction > 5 * DATASETS["e_coli"].repeat_fraction
+    assert DATASETS["c_elegans"].repeat_fraction > DATASETS["e_coli"].repeat_fraction
+
+
+def test_table1_genome_sizes_complete():
+    total = sum(spec.full_genome_length for spec in DATASETS.values())
+    # Table I genomes sum to ~0.9 Gbp
+    assert 800e6 < total < 1.1e9

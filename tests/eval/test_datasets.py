@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.eval import DATASETS, dataset_names, generate_dataset, load_or_generate
+
+
+TINY = 1.0 / 5000.0  # genomes floor at MIN_GENOME = 100 kbp
+
+
+def test_registry_has_all_table1_inputs():
+    names = dataset_names()
+    assert len(names) == 8
+    for expected in (
+        "e_coli", "p_aeruginosa", "c_elegans", "d_busckii",
+        "human_chr7", "human_chr8", "b_splendens", "o_sativa_chr8",
+    ):
+        assert expected in names
+
+
+def test_full_genome_lengths_match_table1():
+    assert DATASETS["e_coli"].full_genome_length == 4_641_652
+    assert DATASETS["b_splendens"].full_genome_length == 339_050_970
+    assert DATASETS["o_sativa_chr8"].full_genome_length == 28_443_022
+
+
+def test_unknown_dataset():
+    with pytest.raises(DatasetError, match="unknown dataset"):
+        generate_dataset("yeti")
+
+
+def test_bad_scale():
+    with pytest.raises(DatasetError):
+        generate_dataset("e_coli", scale=0)
+
+
+def test_generate_tiny_dataset():
+    ds = generate_dataset("e_coli", scale=TINY, seed=0)
+    assert ds.genome.size == 100_000  # floored
+    assert len(ds.contigs) > 0
+    assert len(ds.reads) > 0
+    assert ds.reads.total_bases >= 10 * ds.genome.size * 0.99
+    # reads carry truth
+    assert "ref_start" in ds.reads.metas[0]
+
+
+def test_generation_deterministic():
+    a = generate_dataset("e_coli", scale=TINY, seed=3)
+    b = generate_dataset("e_coli", scale=TINY, seed=3)
+    assert np.array_equal(a.genome, b.genome)
+    assert np.array_equal(a.contigs.buffer, b.contigs.buffer)
+    assert np.array_equal(a.reads.buffer, b.reads.buffer)
+
+
+def test_different_datasets_different_genomes():
+    a = generate_dataset("e_coli", scale=TINY, seed=3)
+    b = generate_dataset("p_aeruginosa", scale=TINY, seed=3)
+    assert not np.array_equal(a.genome[:1000], b.genome[:1000])
+
+
+def test_cache_round_trip(tmp_path):
+    a = load_or_generate("e_coli", scale=TINY, seed=1, cache_dir=tmp_path)
+    files = list(tmp_path.glob("*.npz"))
+    assert len(files) == 1
+    b = load_or_generate("e_coli", scale=TINY, seed=1, cache_dir=tmp_path)
+    assert np.array_equal(a.genome, b.genome)
+    assert a.contigs.names == b.contigs.names
+    assert np.array_equal(a.reads.buffer, b.reads.buffer)
+    assert a.reads.metas[0] == b.reads.metas[0]
+
+
+def test_real_like_flag():
+    assert DATASETS["o_sativa_chr8"].is_real_like
+    assert not DATASETS["e_coli"].is_real_like
+    assert DATASETS["o_sativa_chr8"].hifi_median_length == 19_600

@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.core.hitcounter import BestHits
+from repro.core.mapper import MappingResult
+from repro.eval import QualityReport, evaluate_mapping
+from repro.eval.truth import Benchmark
+
+
+def make_bench(pairs, n_segments, n_contigs):
+    keys = np.sort(
+        np.array([(s << 32) | c for s, c in pairs], dtype=np.uint64)
+    )
+    has = np.zeros(n_segments, dtype=bool)
+    for s, _ in pairs:
+        has[s] = True
+    return Benchmark(
+        pair_keys=keys, n_segments=n_segments, n_contigs=n_contigs, segment_has_truth=has
+    )
+
+
+def make_result(subjects):
+    subjects = np.asarray(subjects, dtype=np.int64)
+    return MappingResult(
+        segment_names=[f"q{i}" for i in range(subjects.size)],
+        subject=subjects,
+        hit_count=(subjects >= 0).astype(np.int64),
+    )
+
+
+def test_perfect_mapping():
+    bench = make_bench([(0, 1), (1, 2)], n_segments=2, n_contigs=3)
+    q = evaluate_mapping(make_result([1, 2]), bench)
+    assert (q.tp, q.fp, q.fn) == (2, 0, 0)
+    assert q.precision == 1.0 and q.recall == 1.0
+
+
+def test_wrong_contig_is_fp_and_fn():
+    bench = make_bench([(0, 1)], n_segments=1, n_contigs=3)
+    q = evaluate_mapping(make_result([2]), bench)
+    assert (q.tp, q.fp, q.fn) == (0, 1, 1)
+    assert q.precision == 0.0 and q.recall == 0.0
+
+
+def test_unmapped_with_truth_is_fn():
+    bench = make_bench([(0, 1)], n_segments=1, n_contigs=2)
+    q = evaluate_mapping(make_result([-1]), bench)
+    assert (q.tp, q.fp, q.fn) == (0, 0, 1)
+
+
+def test_unmapped_without_truth_is_tn():
+    bench = make_bench([(0, 1)], n_segments=2, n_contigs=2)
+    q = evaluate_mapping(make_result([1, -1]), bench)
+    assert q.tp == 1 and q.fn == 0 and q.tn == 1
+
+
+def test_any_true_contig_counts():
+    """A segment with two true contigs is recalled by either."""
+    bench = make_bench([(0, 1), (0, 2)], n_segments=1, n_contigs=3)
+    for choice in (1, 2):
+        q = evaluate_mapping(make_result([choice]), bench)
+        assert q.tp == 1 and q.fn == 0
+        assert q.recall == 1.0
+
+
+def test_recall_upper_bounded_by_mapping_all_wrong():
+    bench = make_bench([(0, 1), (1, 1)], n_segments=2, n_contigs=3)
+    q = evaluate_mapping(make_result([0, 0]), bench)
+    assert q.precision == 0.0 and q.recall == 0.0
+    assert q.fn == 2
+
+
+def test_f1_and_format():
+    bench = make_bench([(0, 1), (1, 2)], n_segments=2, n_contigs=3)
+    q = evaluate_mapping(make_result([1, 0]), bench)
+    assert 0 < q.f1 < 1
+    row = q.format_row("jem")
+    assert "precision=" in row and "recall=" in row

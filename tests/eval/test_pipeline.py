@@ -1,0 +1,42 @@
+import pytest
+
+from repro.core import JEMConfig
+from repro.errors import DatasetError
+from repro.eval import generate_dataset, prepare_benchmark, run_mappers
+
+
+TINY = 1.0 / 5000.0
+CFG = JEMConfig(trials=10)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset("e_coli", scale=TINY, seed=2)
+
+
+def test_run_all_three_mappers(dataset):
+    res = run_mappers(dataset, CFG, mappers=("jem", "mashmap", "minhash"))
+    assert set(res.runs) == {"jem", "mashmap", "minhash"}
+    for run in res.runs.values():
+        assert run.quality.n_segments == 2 * len(dataset.reads)
+        assert run.index_seconds >= 0 and run.map_seconds >= 0
+
+
+def test_quality_on_clean_bacterium(dataset):
+    res = run_mappers(dataset, JEMConfig(trials=30), mappers=("jem",))
+    q = res["jem"].quality
+    assert q.precision > 0.95
+    assert q.recall > 0.90
+
+
+def test_shared_benchmark_reuse(dataset):
+    segments, infos, bench = prepare_benchmark(dataset, CFG)
+    res = run_mappers(
+        dataset, CFG, mappers=("jem",), benchmark=bench, segments=segments, infos=infos
+    )
+    assert res.benchmark is bench
+
+
+def test_unknown_mapper(dataset):
+    with pytest.raises(DatasetError, match="unknown mapper"):
+        run_mappers(dataset, CFG, mappers=("bwa",))

@@ -1,0 +1,28 @@
+from repro.eval import format_seconds, render_series, render_table
+
+
+def test_format_seconds():
+    assert format_seconds(0.0012).endswith("ms")
+    assert format_seconds(2.5) == "2.50s"
+    assert format_seconds(1234.0) == "1,234s"
+
+
+def test_render_table_alignment():
+    out = render_table("T", ["col", "x"], [["a", "1"], ["bbbb", "22"]])
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "col" in lines[2]
+    assert all("|" in line for line in lines[2:] if "-" not in line)
+
+
+def test_render_table_empty_rows():
+    out = render_table("T", ["a", "b"], [])
+    assert "a" in out and "b" in out
+
+
+def test_render_series():
+    out = render_series(
+        "Fig", "p", [4, 8], {"jem": [1.0, 0.5], "mashmap": [2.0, 1.5]}
+    )
+    assert "jem" in out and "mashmap" in out
+    assert "0.5" in out

@@ -1,0 +1,42 @@
+import numpy as np
+
+from repro.core import JEMConfig, JEMMapper, extract_end_segments
+from repro.eval import build_benchmark, evaluate_mapping
+from repro.eval.metrics import threshold_sweep
+from repro.seq import random_codes
+
+
+def test_threshold_sweep_properties(rng, small_genome, tiling_contigs, clean_reads):
+    cfg = JEMConfig(k=12, w=20, ell=500, trials=10, seed=4)
+    mapper = JEMMapper(cfg)
+    mapper.index(tiling_contigs)
+    segments, infos = extract_end_segments(clean_reads, cfg.ell)
+    bench = build_benchmark(segments, tiling_contigs, small_genome, k=cfg.k)
+    result = mapper.map_segments(segments, infos)
+
+    thresholds = [1, 2, 5, 8, 10]
+    reports = threshold_sweep(result, bench, thresholds)
+    assert len(reports) == len(thresholds)
+    # threshold 1 == plain evaluation
+    plain = evaluate_mapping(result, bench)
+    assert reports[0].tp == plain.tp and reports[0].fp == plain.fp
+    # mapped counts and recall are non-increasing
+    mapped = [r.n_mapped for r in reports]
+    recalls = [r.recall for r in reports]
+    assert all(b <= a for a, b in zip(mapped, mapped[1:]))
+    assert all(b <= a + 1e-12 for a, b in zip(recalls, recalls[1:]))
+    # threshold above T filters everything
+    (empty,) = threshold_sweep(result, bench, [cfg.trials + 1])
+    assert empty.n_mapped == 0 and empty.tp == 0
+
+
+def test_threshold_sweep_does_not_mutate(rng, small_genome, tiling_contigs, clean_reads):
+    cfg = JEMConfig(k=12, w=20, ell=500, trials=6, seed=4)
+    mapper = JEMMapper(cfg)
+    mapper.index(tiling_contigs)
+    segments, infos = extract_end_segments(clean_reads, cfg.ell)
+    bench = build_benchmark(segments, tiling_contigs, small_genome, k=cfg.k)
+    result = mapper.map_segments(segments, infos)
+    before = result.subject.copy()
+    threshold_sweep(result, bench, [1, 3, 6])
+    assert np.array_equal(result.subject, before)

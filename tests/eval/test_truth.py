@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.core import extract_end_segments
+from repro.errors import DatasetError
+from repro.eval import Benchmark, build_benchmark, place_contigs
+from repro.seq import SequenceSet, SequenceSetBuilder, decode
+
+
+def make_benchmark_inputs(rng):
+    """Hand-built genome with abutting contigs and truth-coordinated reads."""
+    from repro.seq import random_codes
+
+    genome = random_codes(20_000, rng)
+    contigs = SequenceSet.from_strings(
+        [
+            ("c0", decode(genome[0:5_000])),
+            ("c1", decode(genome[5_000:12_000])),
+            ("c2", decode(genome[12_000:20_000])),
+        ]
+    )
+    builder = SequenceSetBuilder()
+    # read fully inside c1
+    builder.add("inside", genome[6_000:10_000],
+                {"ref_start": 6_000, "ref_end": 10_000, "ref_strand": 1})
+    # read whose prefix crosses the c0/c1 boundary at 5000
+    builder.add("crossing", genome[4_500:9_000],
+                {"ref_start": 4_500, "ref_end": 9_000, "ref_strand": 1})
+    return genome, contigs, builder.build()
+
+
+def test_known_truth_pairs(rng):
+    genome, contigs, reads = make_benchmark_inputs(rng)
+    segments, _ = extract_end_segments(reads, 1_000)
+    bench = build_benchmark(segments, contigs, genome, k=16)
+    # segment 0 = inside/prefix [6000,7000) -> c1 only
+    assert bench.contains(np.array([0]), np.array([1]))[0]
+    assert not bench.contains(np.array([0]), np.array([0]))[0]
+    # segment 2 = crossing/prefix [4500,5500) -> c0 (500bp) and c1 (500bp)
+    assert bench.contains(np.array([2]), np.array([0]))[0]
+    assert bench.contains(np.array([2]), np.array([1]))[0]
+    # segment 3 = crossing/suffix [8000,9000) -> c1 only
+    assert bench.contains(np.array([3]), np.array([1]))[0]
+    assert bench.segment_has_truth.all()
+
+
+def test_minimum_overlap_k(rng):
+    genome, contigs, _ = make_benchmark_inputs(rng)
+    builder = SequenceSetBuilder()
+    # prefix [4990,5990): 10bp on c0 (<k=16) and 990 on c1 -> only c1 true
+    builder.add("edge", genome[4_990:9_000],
+                {"ref_start": 4_990, "ref_end": 9_000, "ref_strand": 1})
+    segments, _ = extract_end_segments(builder.build(), 1_000)
+    bench = build_benchmark(segments, contigs, genome, k=16)
+    assert not bench.contains(np.array([0]), np.array([0]))[0]
+    assert bench.contains(np.array([0]), np.array([1]))[0]
+
+
+def test_missing_truth_meta_rejected(rng):
+    genome, contigs, _ = make_benchmark_inputs(rng)
+    segments = SequenceSet.from_strings([("q", "acgt" * 300)])
+    with pytest.raises(DatasetError, match="truth coordinates"):
+        build_benchmark(segments, contigs, genome, k=16)
+
+
+def test_empty_inputs_rejected(rng):
+    genome, contigs, reads = make_benchmark_inputs(rng)
+    segments, _ = extract_end_segments(reads, 1_000)
+    with pytest.raises(DatasetError):
+        build_benchmark(SequenceSet.empty(), contigs, genome)
+    with pytest.raises(DatasetError):
+        build_benchmark(segments, SequenceSet.empty(), genome)
+
+
+def test_place_contigs_recovers_coordinates(rng):
+    genome, contigs, _ = make_benchmark_inputs(rng)
+    starts, ends, placed = place_contigs(contigs, genome)
+    assert placed.all()
+    assert abs(starts[1] - 5_000) < 200
+    assert abs(ends[1] - 12_000) < 200
+
+
+def test_pair_keys_sorted(rng):
+    genome, contigs, reads = make_benchmark_inputs(rng)
+    segments, _ = extract_end_segments(reads, 1_000)
+    bench = build_benchmark(segments, contigs, genome, k=16)
+    keys = bench.pair_keys
+    assert keys.size <= 1 or (keys[1:] > keys[:-1]).all()

@@ -1,0 +1,149 @@
+"""CLI integration tests driving ``repro.cli.main`` in-process."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert "jem-mapper" in capsys.readouterr().out
+
+
+def test_datasets_listing(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "e_coli" in out and "B. splendens" in out
+
+
+def test_simulate_and_map_round_trip(tmp_path, capsys):
+    data = tmp_path / "data"
+    assert main([
+        "simulate", "e_coli", "--scale", "0.0002", "--seed", "3", "--out", str(data)
+    ]) == 0
+    assert (data / "e_coli_genome.fasta").exists()
+    assert (data / "e_coli_contigs.fasta").exists()
+    assert (data / "e_coli_reads.fastq").exists()
+
+    out_tsv = tmp_path / "out.tsv"
+    assert main([
+        "map",
+        "-q", str(data / "e_coli_reads.fastq"),
+        "-s", str(data / "e_coli_contigs.fasta"),
+        "-o", str(out_tsv),
+        "--trials", "10",
+    ]) == 0
+    lines = out_tsv.read_text().splitlines()
+    assert lines[1] == "segment\tcontig\thits"
+    assert len(lines) > 10
+    assert "/prefix\t" in lines[2] or "/suffix\t" in lines[2]
+
+
+def test_map_parallel_matches_serial(tmp_path):
+    data = tmp_path / "data"
+    main(["simulate", "e_coli", "--scale", "0.0002", "--seed", "3", "--out", str(data)])
+    serial = tmp_path / "serial.tsv"
+    par = tmp_path / "par.tsv"
+    args = ["-q", str(data / "e_coli_reads.fastq"),
+            "-s", str(data / "e_coli_contigs.fasta"), "--trials", "8"]
+    main(["map", *args, "-o", str(serial)])
+    main(["map", *args, "-o", str(par), "-p", "4"])
+    strip = lambda p: [l for l in p.read_text().splitlines() if not l.startswith("#")]
+    assert strip(serial) == strip(par)
+
+
+def test_index_then_map(tmp_path, capsys):
+    data = tmp_path / "data"
+    main(["simulate", "e_coli", "--scale", "0.0002", "--seed", "3", "--out", str(data)])
+    idx = tmp_path / "contigs.idx.npz"
+    assert main([
+        "index", "-s", str(data / "e_coli_contigs.fasta"),
+        "-o", str(idx), "--trials", "8",
+    ]) == 0
+    assert idx.exists()
+    direct = tmp_path / "direct.tsv"
+    via_index = tmp_path / "via_index.tsv"
+    main(["map", "-q", str(data / "e_coli_reads.fastq"),
+          "-s", str(data / "e_coli_contigs.fasta"), "-o", str(direct), "--trials", "8"])
+    main(["map", "-q", str(data / "e_coli_reads.fastq"),
+          "--index", str(idx), "-o", str(via_index)])
+    strip = lambda p: [l for l in p.read_text().splitlines() if not l.startswith("#")]
+    assert strip(direct) == strip(via_index)
+
+
+def test_map_requires_exactly_one_source(tmp_path, capsys):
+    data = tmp_path / "data"
+    main(["simulate", "e_coli", "--scale", "0.0002", "--seed", "3", "--out", str(data)])
+    rc = main(["map", "-q", str(data / "e_coli_reads.fastq")])
+    assert rc == 2
+
+
+def test_eval_command(tmp_path, capsys):
+    assert main([
+        "eval", "e_coli", "--scale", "0.0002", "--data-seed", "2",
+        "--cache-dir", str(tmp_path), "--trials", "10", "--mappers", "jem",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "precision=" in out
+
+
+def test_bench_command(tmp_path, capsys):
+    assert main([
+        "bench", "table1", "--scale", "0.0002", "--datasets", "e_coli",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--results-dir", str(tmp_path / "results"),
+    ]) == 0
+    assert (tmp_path / "results" / "table1.txt").exists()
+    assert "Table I" in capsys.readouterr().out
+
+
+def test_map_paf_output(tmp_path):
+    data = tmp_path / "data"
+    main(["simulate", "e_coli", "--scale", "0.0002", "--seed", "3", "--out", str(data)])
+    paf = tmp_path / "out.paf"
+    assert main([
+        "map", "-q", str(data / "e_coli_reads.fastq"),
+        "-s", str(data / "e_coli_contigs.fasta"),
+        "-o", str(paf), "--paf", "--trials", "8",
+    ]) == 0
+    lines = paf.read_text().splitlines()
+    assert len(lines) > 10
+    fields = lines[0].split("\t")
+    assert len(fields) == 13
+    assert fields[4] in "+-"
+    assert int(fields[1]) == 1000  # qlen = ell
+
+
+def test_paf_incompatible_with_index(tmp_path):
+    data = tmp_path / "data"
+    main(["simulate", "e_coli", "--scale", "0.0002", "--seed", "3", "--out", str(data)])
+    idx = tmp_path / "i.npz"
+    main(["index", "-s", str(data / "e_coli_contigs.fasta"), "-o", str(idx),
+          "--trials", "8"])
+    rc = main(["map", "-q", str(data / "e_coli_reads.fastq"),
+               "--index", str(idx), "--paf", "-o", "-"])
+    assert rc == 2
+
+
+def test_scaffold_command(tmp_path, capsys):
+    data = tmp_path / "data"
+    main(["simulate", "e_coli", "--scale", "0.0002", "--seed", "3", "--out", str(data)])
+    out = tmp_path / "scaffolds.fasta"
+    assert main([
+        "scaffold", "-q", str(data / "e_coli_reads.fastq"),
+        "-s", str(data / "e_coli_contigs.fasta"),
+        "-o", str(out), "--trials", "12",
+    ]) == 0
+    text = out.read_text()
+    assert text.startswith(">scaffold_")
+    assert "n" in text  # gap fill present
+    assert "scaffolds" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_dataset():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["simulate", "martian_genome"])

@@ -1,0 +1,68 @@
+"""End-to-end integration: simulate -> assemble -> map -> evaluate."""
+
+import numpy as np
+import pytest
+
+from repro.core import JEMConfig, JEMMapper
+from repro.eval import evaluate_mapping, generate_dataset, prepare_benchmark, run_mappers
+from repro.parallel import run_parallel_jem
+
+TINY = 1.0 / 5000.0
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset("c_elegans", scale=TINY, seed=4)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return JEMConfig(trials=20)
+
+
+def test_full_pipeline_quality(dataset, config):
+    """The headline behaviour: >95% precision, >90% recall, most segments mapped."""
+    res = run_mappers(dataset, config, mappers=("jem",))
+    q = res["jem"].quality
+    assert q.precision > 0.95
+    assert q.recall > 0.90
+    assert res["jem"].result.mapped_fraction > 0.9
+
+
+def test_jem_and_mashmap_agree(dataset, config):
+    """The two mappers assign the same contig for the bulk of segments."""
+    res = run_mappers(dataset, config, mappers=("jem", "mashmap"))
+    a = res["jem"].result.subject
+    b = res["mashmap"].result.subject
+    both = (a >= 0) & (b >= 0)
+    agreement = (a[both] == b[both]).mean()
+    assert agreement > 0.9
+
+
+def test_parallel_run_full_dataset(dataset, config):
+    seq = JEMMapper(config)
+    seq.index(dataset.contigs)
+    expected = seq.map_reads(dataset.reads)
+    run = run_parallel_jem(dataset.contigs, dataset.reads, config, p=8)
+    assert np.array_equal(run.mapping.subject, expected.subject)
+    bench = prepare_benchmark(dataset, config)[2]
+    q = evaluate_mapping(run.mapping, bench)
+    assert q.precision > 0.95
+
+
+def test_identity_of_true_mappings(dataset, config):
+    """Correctly mapped segments align at HiFi-level identity (Fig. 9)."""
+    from repro.align import segment_identity
+    from repro.core import extract_end_segments
+
+    res = run_mappers(dataset, config, mappers=("jem",))
+    mapping = res["jem"].result
+    segments, _ = extract_end_segments(dataset.reads, config.ell)
+    mapped = np.flatnonzero(mapping.mapped_mask)[:25]
+    identities = [
+        segment_identity(
+            segments.codes_of(int(i)), dataset.contigs.codes_of(int(mapping.subject[i]))
+        )
+        for i in mapped
+    ]
+    assert np.median(identities) > 95.0

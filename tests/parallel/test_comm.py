@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.errors import CommError
+from repro.parallel import SerialComm, spmd_run
+
+
+def test_serial_comm_identity():
+    comm = SerialComm()
+    assert comm.rank == 0 and comm.size == 1
+    assert comm.bcast(42) == 42
+    assert comm.gather("x") == ["x"]
+    assert comm.allgather(7) == [7]
+    arr = np.arange(5, dtype=np.uint64)
+    assert np.array_equal(comm.Allgatherv(arr), arr)
+    assert comm.bytes_communicated == 0
+
+
+def test_spmd_single_rank_uses_serial():
+    results = spmd_run(lambda comm: (comm.rank, comm.size), 1)
+    assert results == [(0, 1)]
+
+
+def test_spmd_rank_identities():
+    results = spmd_run(lambda comm: (comm.rank, comm.size), 4)
+    assert results == [(r, 4) for r in range(4)]
+
+
+def test_bcast():
+    def program(comm):
+        value = {"data": 99} if comm.rank == 2 else None
+        return comm.bcast(value, root=2)
+
+    results = spmd_run(program, 4)
+    assert all(r == {"data": 99} for r in results)
+
+
+def test_gather():
+    def program(comm):
+        return comm.gather(comm.rank * 10, root=0)
+
+    results = spmd_run(program, 3)
+    assert results[0] == [0, 10, 20]
+    assert results[1] is None and results[2] is None
+
+
+def test_allgather():
+    results = spmd_run(lambda comm: comm.allgather(comm.rank**2), 4)
+    assert all(r == [0, 1, 4, 9] for r in results)
+
+
+def test_allgatherv_concatenates_in_rank_order():
+    def program(comm):
+        mine = np.full(comm.rank + 1, comm.rank, dtype=np.uint64)
+        return comm.Allgatherv(mine)
+
+    results = spmd_run(program, 3)
+    expected = np.array([0, 1, 1, 2, 2, 2], dtype=np.uint64)
+    for r in results:
+        assert np.array_equal(r, expected)
+
+
+def test_allgatherv_counts_bytes():
+    def program(comm):
+        comm.Allgatherv(np.zeros(10, dtype=np.uint64))
+        return comm.bytes_communicated
+
+    results = spmd_run(program, 2)
+    assert results == [80, 80]
+
+
+def test_multiple_collectives_in_sequence():
+    def program(comm):
+        a = comm.allgather(comm.rank)
+        comm.barrier()
+        b = comm.Allgatherv(np.array([comm.rank], dtype=np.uint64))
+        return (a, b.tolist())
+
+    results = spmd_run(program, 4)
+    for a, b in results:
+        assert a == [0, 1, 2, 3]
+        assert b == [0, 1, 2, 3]
+
+
+def test_rank_exception_propagates():
+    def program(comm):
+        if comm.rank == 1:
+            raise ValueError("boom")
+        comm.barrier()
+        return comm.rank
+
+    with pytest.raises(CommError, match="rank 1"):
+        spmd_run(program, 3)

@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.core import JEMConfig, JEMMapper
+from repro.errors import CommError
+from repro.parallel.mp_backend import map_reads_multiprocess
+
+
+CFG = JEMConfig(k=12, w=20, ell=500, trials=6, seed=21)
+
+
+@pytest.fixture(scope="module")
+def world():
+    from repro.seq import SequenceSet, SequenceSetBuilder, decode, random_codes
+
+    rng = np.random.default_rng(77)
+    genome = random_codes(15_000, rng)
+    contigs = []
+    pos = 0
+    i = 0
+    while pos < genome.size:
+        end = min(pos + 1_500, genome.size)
+        contigs.append((f"c{i}", decode(genome[pos:end])))
+        pos = end
+        i += 1
+    builder = SequenceSetBuilder()
+    for j in range(10):
+        start = int(rng.integers(0, genome.size - 4_000))
+        builder.add(f"r{j}", genome[start : start + 4_000])
+    return SequenceSet.from_strings(contigs), builder.build()
+
+
+def test_single_process_path(world):
+    contigs, reads = world
+    seq = JEMMapper(CFG)
+    seq.index(contigs)
+    expected = seq.map_reads(reads)
+    got = map_reads_multiprocess(contigs, reads, CFG, processes=1)
+    assert np.array_equal(got.subject, expected.subject)
+    assert got.segment_names == expected.segment_names
+
+
+@pytest.mark.parametrize("processes", [2, 3])
+def test_multiprocess_matches_sequential(world, processes):
+    contigs, reads = world
+    seq = JEMMapper(CFG)
+    seq.index(contigs)
+    expected = seq.map_reads(reads)
+    got = map_reads_multiprocess(contigs, reads, CFG, processes=processes)
+    assert np.array_equal(got.subject, expected.subject)
+    assert np.array_equal(got.hit_count, expected.hit_count)
+    assert got.segment_names == expected.segment_names
+
+
+def test_infos_globalised(world):
+    contigs, reads = world
+    got = map_reads_multiprocess(contigs, reads, CFG, processes=2)
+    assert [si.read_index for si in got.infos] == [
+        i for r in range(len(reads)) for i in (r, r)
+    ]
+
+
+def test_invalid_processes(world):
+    contigs, reads = world
+    with pytest.raises(CommError):
+        map_reads_multiprocess(contigs, reads, CFG, processes=0)

@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CommError
+from repro.parallel import partition_bounds, partition_imbalance, partition_set
+from repro.seq import SequenceSet
+
+
+def make_set(lengths):
+    return SequenceSet.from_strings([(f"s{i}", "a" * ln) for i, ln in enumerate(lengths)])
+
+
+def test_even_partition():
+    s = make_set([100] * 8)
+    parts = partition_set(s, 4)
+    assert [len(p) for p in parts] == [2, 2, 2, 2]
+    assert partition_imbalance(parts) == 1.0
+
+
+def test_partition_conserves_everything():
+    s = make_set([10, 200, 5, 300, 70, 42])
+    parts = partition_set(s, 3)
+    assert sum(len(p) for p in parts) == len(s)
+    assert sum(p.total_bases for p in parts) == s.total_bases
+    names = [n for p in parts for n in p.names]
+    assert names == s.names
+
+
+def test_more_ranks_than_sequences():
+    s = make_set([50, 50])
+    parts = partition_set(s, 5)
+    assert sum(len(p) for p in parts) == 2
+    assert all(len(p) in (0, 1) for p in parts)
+
+
+def test_single_rank():
+    s = make_set([10, 20])
+    parts = partition_set(s, 1)
+    assert len(parts) == 1 and parts[0].total_bases == 30
+
+
+def test_invalid_p():
+    with pytest.raises(CommError):
+        partition_bounds(np.array([0, 5]), 0)
+
+
+def test_skewed_lengths_balanced():
+    s = make_set([1000, 10, 10, 10, 1000, 10, 10, 1000])
+    parts = partition_set(s, 3)
+    assert partition_imbalance(parts) < 1.5
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=10),
+)
+def test_partition_properties(lengths, p):
+    offsets = np.zeros(len(lengths) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    bounds = partition_bounds(offsets, p)
+    assert bounds[0] == 0 and bounds[-1] == len(lengths)
+    assert (np.diff(bounds) >= 0).all()
+    assert bounds.size == p + 1

@@ -1,0 +1,88 @@
+import pytest
+
+from repro.errors import MappingError
+from repro.scaffold import ContigLink, ScaffoldGraph
+
+
+def link(a, a_end, b, b_end, support=5, gap=100):
+    return ContigLink(a=a, b=b, a_end=a_end, b_end=b_end, support=support, gap=gap)
+
+
+def test_simple_chain():
+    # 0(tail) - (head)1(tail) - (head)2 : a forward chain 0,1,2
+    g = ScaffoldGraph(3)
+    accepted = g.add_links([link(0, "tail", 1, "head"), link(1, "tail", 2, "head")])
+    assert accepted == 2
+    paths = g.paths()
+    assert len(paths) == 1
+    path = paths[0]
+    assert path.order in ([0, 1, 2], [2, 1, 0])
+    if path.order == [0, 1, 2]:
+        assert path.orientations == [1, 1, 1]
+    else:
+        assert path.orientations == [-1, -1, -1]
+    assert len(path.gaps) == 2
+
+
+def test_orientation_flip():
+    # 0(tail) joined to 1(tail): contig 1 must appear reversed after 0
+    g = ScaffoldGraph(2)
+    g.add_links([link(0, "tail", 1, "tail")])
+    (path,) = g.paths()
+    flipped = dict(zip(path.order, path.orientations))
+    assert flipped[0] * flipped[1] == -1  # opposite orientations
+
+
+def test_end_occupancy_prevents_branching():
+    g = ScaffoldGraph(3)
+    accepted = g.add_links(
+        [
+            link(0, "tail", 1, "head", support=9),
+            link(0, "tail", 2, "head", support=1),  # same end of 0 -> rejected
+        ]
+    )
+    assert accepted == 1
+    assert (0, "tail") in g.joins
+    assert g.joins[(0, "tail")][0] == 1  # the stronger link won
+
+
+def test_cycle_prevented():
+    g = ScaffoldGraph(3)
+    accepted = g.add_links(
+        [
+            link(0, "tail", 1, "head"),
+            link(1, "tail", 2, "head"),
+            link(2, "tail", 0, "head"),  # would close the cycle
+        ]
+    )
+    assert accepted == 2
+    (path,) = g.paths()
+    assert len(path) == 3
+
+
+def test_singletons():
+    g = ScaffoldGraph(3)
+    g.add_links([link(0, "tail", 1, "head")])
+    assert len(g.paths()) == 1
+    with_singletons = g.paths(include_singletons=True)
+    assert len(with_singletons) == 2
+    assert any(len(p) == 1 and p.order == [2] for p in with_singletons)
+
+
+def test_two_independent_chains():
+    g = ScaffoldGraph(4)
+    g.add_links([link(0, "tail", 1, "head"), link(2, "tail", 3, "head")])
+    paths = g.paths()
+    assert len(paths) == 2
+    assert {frozenset(p.order) for p in paths} == {frozenset({0, 1}), frozenset({2, 3})}
+
+
+def test_unknown_contig_rejected():
+    g = ScaffoldGraph(2)
+    with pytest.raises(MappingError):
+        g.add_links([link(0, "tail", 5, "head")])
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(MappingError):
+        ScaffoldGraph(0)

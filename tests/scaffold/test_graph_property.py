@@ -1,0 +1,68 @@
+"""Property tests: scaffold-graph invariants under random link sets."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scaffold import ContigLink, ScaffoldGraph
+
+ends = st.sampled_from(["head", "tail"])
+
+
+@st.composite
+def random_links(draw, max_contigs=10, max_links=15):
+    n = draw(st.integers(min_value=2, max_value=max_contigs))
+    n_links = draw(st.integers(min_value=0, max_value=max_links))
+    links = []
+    for _ in range(n_links):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        if a == b:
+            continue
+        links.append(
+            ContigLink(
+                a=min(a, b), b=max(a, b),
+                a_end=draw(ends), b_end=draw(ends),
+                support=draw(st.integers(min_value=1, max_value=20)),
+                gap=draw(st.integers(min_value=-50, max_value=500)),
+            )
+        )
+    return n, links
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_links())
+def test_paths_partition_contigs(data):
+    """Every contig appears in exactly one path (with singletons included)."""
+    n, links = data
+    graph = ScaffoldGraph(n)
+    graph.add_links(links)
+    paths = graph.paths(include_singletons=True)
+    seen = [c for p in paths for c in p.order]
+    assert sorted(seen) == list(range(n))
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_links())
+def test_path_shape_invariants(data):
+    n, links = data
+    graph = ScaffoldGraph(n)
+    accepted = graph.add_links(links)
+    assert accepted <= len(links)
+    for path in graph.paths(include_singletons=True):
+        assert len(path.orientations) == len(path.order)
+        assert len(path.gaps) == max(len(path.order) - 1, 0)
+        assert all(o in (1, -1) for o in path.orientations)
+        assert len(set(path.order)) == len(path.order)  # no repeats
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_links())
+def test_each_end_joined_at_most_once(data):
+    n, links = data
+    graph = ScaffoldGraph(n)
+    graph.add_links(links)
+    # joins is symmetric: (a, ea) -> (b, eb) implies (b, eb) -> (a, ea)
+    for (a, ea), (b, eb, _gap) in graph.joins.items():
+        back = graph.joins[(b, eb)]
+        assert (back[0], back[1]) == (a, ea)

@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.core import JEMConfig, JEMMapper
+from repro.core.mapper import MappingResult
+from repro.errors import MappingError
+from repro.scaffold import build_links
+from repro.seq import SeqRecord, SequenceSet, SequenceSetBuilder, random_codes
+
+
+@pytest.fixture
+def linked_world(rng):
+    """Two contigs separated by a 500 bp gap, plus reads spanning the gap."""
+    genome = random_codes(12_000, rng)
+    contig_a = genome[0:5_000]
+    contig_b = genome[5_500:11_500]  # gap 5000..5500
+    contigs = SequenceSet.from_records(
+        [
+            SeqRecord("A", contig_a),
+            SeqRecord("B", contig_b),
+        ]
+    )
+    builder = SequenceSetBuilder()
+    for i, start in enumerate((1_000, 1_500, 2_000)):
+        builder.add(f"r{i}", genome[start : start + 9_000])
+    return genome, contigs, builder.build()
+
+
+def _map(contigs, reads):
+    cfg = JEMConfig(k=14, w=20, ell=800, trials=12, seed=9)
+    mapper = JEMMapper(cfg)
+    mapper.index(contigs)
+    return cfg, mapper.map_reads(reads)
+
+
+def test_links_found_with_orientation_and_gap(linked_world):
+    genome, contigs, reads = linked_world
+    cfg, mapping = _map(contigs, reads)
+    links = build_links(contigs, reads, mapping, ell=cfg.ell, min_support=2, k=cfg.k)
+    assert len(links) == 1
+    link = links[0]
+    assert (link.a, link.b) == (0, 1)
+    # reads run A(tail) -> gap -> B(head)
+    assert link.a_end == "tail"
+    assert link.b_end == "head"
+    assert link.support == 3
+    # true gap is 500 bp; anchors give it within a few hundred bp
+    assert -300 < link.gap < 1_500
+
+
+def test_min_support_filters(linked_world):
+    genome, contigs, reads = linked_world
+    cfg, mapping = _map(contigs, reads)
+    assert build_links(contigs, reads, mapping, ell=cfg.ell, min_support=4) == []
+
+
+def test_same_contig_pairs_ignored(rng):
+    contig = random_codes(8_000, rng)
+    contigs = SequenceSet.from_records(
+        [SeqRecord("A", contig)]
+    )
+    builder = SequenceSetBuilder()
+    builder.add("r", contig[500:7_500])
+    reads = builder.build()
+    cfg, mapping = _map(contigs, reads)
+    assert mapping.subject[0] == mapping.subject[1] == 0
+    assert build_links(contigs, reads, mapping, ell=cfg.ell, min_support=1) == []
+
+
+def test_row_count_mismatch_rejected(linked_world):
+    genome, contigs, reads = linked_world
+    bad = MappingResult(["x"], np.array([0]), np.array([1]))
+    with pytest.raises(MappingError, match="2 segments per read"):
+        build_links(contigs, reads, bad)

@@ -1,0 +1,84 @@
+import numpy as np
+import pytest
+
+from repro.core import JEMConfig
+from repro.errors import MappingError
+from repro.scaffold import Scaffolder
+from repro.seq import SeqRecord, SequenceSet, SequenceSetBuilder, decode, random_codes
+
+
+CFG = JEMConfig(k=14, w=20, ell=800, trials=12, seed=9)
+
+
+@pytest.fixture
+def gapped_world(rng):
+    """Genome split into 4 contigs with 400 bp unassembled gaps between them."""
+    genome = random_codes(26_000, rng)
+    bounds = [(0, 6_000), (6_400, 12_600), (13_000, 19_400), (19_800, 26_000)]
+    contigs = SequenceSet.from_records(
+        [SeqRecord(f"c{i}", genome[a:b]) for i, (a, b) in enumerate(bounds)]
+    )
+    builder = SequenceSetBuilder()
+    rstarts = list(range(0, 16_500, 750))
+    for i, start in enumerate(rstarts):
+        builder.add(f"r{i}", genome[start : start + 9_500])
+    return genome, contigs, builder.build()
+
+
+def test_scaffolder_recovers_order(gapped_world):
+    genome, contigs, reads = gapped_world
+    result = Scaffolder(CFG, min_support=1).scaffold(contigs, reads)
+    assert result.n_links_used >= 2
+    assert result.n_scaffolds >= 1
+    longest = max(result.paths, key=len)
+    order = longest.order
+    # order must be a contiguous run of 0,1,2,3 in either direction
+    assert order == sorted(order) or order == sorted(order, reverse=True)
+    assert len(order) >= 3
+
+
+def test_scaffold_sequences_contain_gaps(gapped_world):
+    genome, contigs, reads = gapped_world
+    result = Scaffolder(CFG, min_support=1).scaffold(contigs, reads)
+    seq = result.sequences[0].sequence
+    assert "n" in seq  # gap fill
+    # scaffold length ~ sum of member contigs + gaps
+    path = result.paths[0]
+    member_bases = sum(int(contigs.lengths[c]) for c in path.order)
+    assert len(seq) >= member_bases
+
+
+def test_span_exceeds_longest_contig(gapped_world):
+    genome, contigs, reads = gapped_world
+    result = Scaffolder(CFG, min_support=1).scaffold(contigs, reads)
+    assert result.span(contigs.lengths) > int(contigs.lengths.max())
+
+
+def test_reuse_existing_mapping(gapped_world):
+    genome, contigs, reads = gapped_world
+    from repro.core import JEMMapper
+
+    mapper = JEMMapper(CFG)
+    mapper.index(contigs)
+    mapping = mapper.map_reads(reads)
+    result = Scaffolder(CFG, min_support=1).scaffold(contigs, reads, mapping=mapping)
+    assert result.mapping is mapping
+    assert result.n_scaffolds >= 1
+
+
+def test_empty_contigs_rejected(gapped_world):
+    genome, contigs, reads = gapped_world
+    with pytest.raises(MappingError):
+        Scaffolder(CFG).scaffold(SequenceSet.empty(), reads)
+
+
+def test_gap_clipping(gapped_world):
+    import re
+
+    genome, contigs, reads = gapped_world
+    result = Scaffolder(CFG, min_support=1, min_gap=50, max_gap=120).scaffold(
+        contigs, reads
+    )
+    for rec in result.sequences:
+        for match in re.finditer(r"n+", rec.sequence):
+            assert 50 <= len(match.group()) <= 120

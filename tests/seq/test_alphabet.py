@@ -1,0 +1,47 @@
+import numpy as np
+import pytest
+
+from repro.seq.alphabet import (
+    ALPHABET,
+    BYTE_TO_CODE,
+    CODE_TO_BYTE,
+    COMPLEMENT_CODE,
+    INVALID_CODE,
+    complement_codes,
+)
+
+
+def test_alphabet_order_is_lexicographic():
+    assert ALPHABET == "acgt"
+    assert sorted(ALPHABET) == list(ALPHABET)
+
+
+def test_byte_to_code_maps_both_cases():
+    for i, base in enumerate("acgt"):
+        assert BYTE_TO_CODE[ord(base)] == i
+        assert BYTE_TO_CODE[ord(base.upper())] == i
+
+
+def test_byte_to_code_invalid_bytes():
+    for ch in "nNxX*- 0":
+        assert BYTE_TO_CODE[ord(ch)] == INVALID_CODE
+
+
+def test_code_to_byte_round_trip():
+    for i, base in enumerate("acgt"):
+        assert chr(CODE_TO_BYTE[i]) == base
+    assert chr(CODE_TO_BYTE[INVALID_CODE]) == "n"
+
+
+def test_complement_is_involution():
+    codes = np.array([0, 1, 2, 3, 4], dtype=np.uint8)
+    assert np.array_equal(complement_codes(complement_codes(codes)), codes)
+
+
+def test_complement_pairs():
+    # a<->t, c<->g
+    assert COMPLEMENT_CODE[0] == 3
+    assert COMPLEMENT_CODE[3] == 0
+    assert COMPLEMENT_CODE[1] == 2
+    assert COMPLEMENT_CODE[2] == 1
+    assert COMPLEMENT_CODE[INVALID_CODE] == INVALID_CODE

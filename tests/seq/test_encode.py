@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SequenceError
+from repro.seq import (
+    count_invalid,
+    decode,
+    encode,
+    random_codes,
+    reverse_complement,
+    reverse_complement_str,
+)
+from repro.seq.alphabet import INVALID_CODE
+
+dna = st.text(alphabet="acgt", min_size=0, max_size=200)
+
+
+def test_encode_simple():
+    assert np.array_equal(encode("acgt"), np.array([0, 1, 2, 3], dtype=np.uint8))
+
+
+def test_encode_case_insensitive():
+    assert np.array_equal(encode("AcGt"), encode("acgt"))
+
+
+def test_encode_invalid_maps_to_sentinel():
+    codes = encode("acNgt")
+    assert codes[2] == INVALID_CODE
+    assert count_invalid(codes) == 1
+
+
+def test_encode_validate_raises():
+    with pytest.raises(SequenceError, match="position 2"):
+        encode("acNgt", validate=True)
+
+
+def test_decode_rejects_out_of_range():
+    with pytest.raises(SequenceError):
+        decode(np.array([0, 9], dtype=np.uint8))
+
+
+def test_reverse_complement_known():
+    assert reverse_complement_str("acgt") == "acgt"  # palindrome
+    assert reverse_complement_str("aacc") == "ggtt"
+    assert reverse_complement_str("gattaca") == "tgtaatc"
+
+
+@given(dna)
+def test_round_trip(s):
+    assert decode(encode(s)) == s
+
+
+@given(dna)
+def test_revcomp_involution(s):
+    codes = encode(s)
+    assert np.array_equal(reverse_complement(reverse_complement(codes)), codes)
+
+
+@given(dna.filter(lambda s: len(s) > 0))
+def test_revcomp_reverses_order(s):
+    rc = reverse_complement_str(s)
+    assert len(rc) == len(s)
+    # First base of rc is the complement of the last base of s.
+    comp = {"a": "t", "t": "a", "c": "g", "g": "c"}
+    assert rc[0] == comp[s[-1]]
+
+
+def test_random_codes_range(rng):
+    codes = random_codes(1000, rng)
+    assert codes.dtype == np.uint8
+    assert codes.min() >= 0 and codes.max() <= 3
+
+
+def test_random_codes_negative_length(rng):
+    with pytest.raises(SequenceError):
+        random_codes(-1, rng)

@@ -1,0 +1,84 @@
+import gzip
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.seq import SequenceSet, iter_fasta, read_fasta, write_fasta
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "x.fasta"
+    original = SequenceSet.from_strings([("s1", "acgtacgtacgt"), ("s2", "ttag")])
+    write_fasta(path, original)
+    loaded = read_fasta(path)
+    assert loaded.names == ["s1", "s2"]
+    assert loaded[0].sequence == "acgtacgtacgt"
+    assert loaded[1].sequence == "ttag"
+
+
+def test_round_trip_gzip(tmp_path):
+    path = tmp_path / "x.fasta.gz"
+    original = SequenceSet.from_strings([("s1", "acgt" * 50)])
+    write_fasta(path, original)
+    with gzip.open(path, "rt") as fh:
+        assert fh.readline().startswith(">s1")
+    assert read_fasta(path)[0].sequence == "acgt" * 50
+
+
+def test_multiline_records(tmp_path):
+    path = tmp_path / "m.fasta"
+    path.write_text(">r desc here\nacgt\nacgt\n\n>r2\ngg\n")
+    records = list(iter_fasta(path))
+    assert records[0].name == "r"
+    assert records[0].meta["description"] == "desc here"
+    assert records[0].sequence == "acgtacgt"
+    assert records[1].sequence == "gg"
+
+
+def test_wrap_width(tmp_path):
+    path = tmp_path / "w.fasta"
+    write_fasta(path, SequenceSet.from_strings([("s", "a" * 25)]), width=10)
+    lines = path.read_text().splitlines()
+    assert lines[1:] == ["a" * 10, "a" * 10, "a" * 5]
+
+
+def test_data_before_header(tmp_path):
+    path = tmp_path / "bad.fasta"
+    path.write_text("acgt\n>r\nacgt\n")
+    with pytest.raises(ParseError, match="before any"):
+        list(iter_fasta(path))
+
+
+def test_empty_header(tmp_path):
+    path = tmp_path / "bad2.fasta"
+    path.write_text(">\nacgt\n")
+    with pytest.raises(ParseError, match="empty FASTA header"):
+        list(iter_fasta(path))
+
+
+def test_empty_file(tmp_path):
+    path = tmp_path / "empty.fasta"
+    path.write_text("")
+    assert len(read_fasta(path)) == 0
+
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.",
+    min_size=1,
+    max_size=20,
+)
+seqs = st.text(alphabet="acgt", min_size=1, max_size=300)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(names, seqs), min_size=1, max_size=10))
+def test_round_trip_property(tmp_path_factory, pairs):
+    path = tmp_path_factory.mktemp("fa") / "p.fasta"
+    original = SequenceSet.from_strings(pairs)
+    write_fasta(path, original, width=7)
+    loaded = read_fasta(path)
+    assert loaded.names == original.names
+    for i in range(len(original)):
+        assert loaded[i].sequence == original[i].sequence

@@ -1,0 +1,58 @@
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.seq import SeqRecord, SequenceSet, encode, iter_fastq, read_fastq, write_fastq
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "x.fastq"
+    rec = SeqRecord("r1", encode("acgt"), quality=np.array([10, 20, 30, 40], dtype=np.uint8))
+    write_fastq(path, [rec])
+    loaded = list(iter_fastq(path))
+    assert loaded[0].name == "r1"
+    assert loaded[0].sequence == "acgt"
+    assert np.array_equal(loaded[0].quality, [10, 20, 30, 40])
+
+
+def test_default_quality(tmp_path):
+    path = tmp_path / "d.fastq"
+    write_fastq(path, SequenceSet.from_strings([("r", "acg")]), default_quality=35)
+    rec = next(iter_fastq(path))
+    assert np.array_equal(rec.quality, [35, 35, 35])
+
+
+def test_read_fastq_set(tmp_path):
+    path = tmp_path / "s.fastq"
+    write_fastq(path, SequenceSet.from_strings([("a", "acgt"), ("b", "gg")]))
+    loaded = read_fastq(path)
+    assert loaded.names == ["a", "b"]
+    assert loaded.total_bases == 6
+
+
+def test_bad_header(tmp_path):
+    path = tmp_path / "bad.fastq"
+    path.write_text("r1\nacgt\n+\nIIII\n")
+    with pytest.raises(ParseError, match="expected '@'"):
+        list(iter_fastq(path))
+
+
+def test_bad_separator(tmp_path):
+    path = tmp_path / "bad2.fastq"
+    path.write_text("@r1\nacgt\n-\nIIII\n")
+    with pytest.raises(ParseError, match="expected '\\+'"):
+        list(iter_fastq(path))
+
+
+def test_quality_length_mismatch(tmp_path):
+    path = tmp_path / "bad3.fastq"
+    path.write_text("@r1\nacgt\n+\nII\n")
+    with pytest.raises(ParseError, match="quality length"):
+        list(iter_fastq(path))
+
+
+def test_description_preserved(tmp_path):
+    path = tmp_path / "desc.fastq"
+    path.write_text("@r1 some description\nacgt\n+\nIIII\n")
+    rec = next(iter_fastq(path))
+    assert rec.meta["description"] == "some description"

@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SequenceError
+from repro.seq import encode
+from repro.seq.packed import pack_codes, packed_nbytes, unpack_codes
+
+dna_n = st.text(alphabet="acgtn", min_size=0, max_size=300)
+
+
+def test_packed_nbytes():
+    assert packed_nbytes(0) == 0
+    assert packed_nbytes(1) == 1
+    assert packed_nbytes(4) == 1
+    assert packed_nbytes(5) == 2
+
+
+def test_known_packing():
+    packed, invalid = pack_codes(encode("acgt"))
+    # a=0,c=1,g=2,t=3 little-endian 2-bit: 0 | 1<<2 | 2<<4 | 3<<6 = 0b11100100
+    assert packed.tolist() == [0b11100100]
+    assert invalid.size == 0
+
+
+def test_compression_ratio():
+    codes = encode("acgt" * 1000)
+    packed, _ = pack_codes(codes)
+    assert packed.nbytes == codes.nbytes // 4
+
+
+@given(dna_n)
+def test_round_trip(s):
+    codes = encode(s)
+    packed, invalid = pack_codes(codes)
+    restored = unpack_codes(packed, codes.size, invalid)
+    assert np.array_equal(restored, codes)
+
+
+def test_invalid_positions_restored():
+    codes = encode("acnngt")
+    packed, invalid = pack_codes(codes)
+    assert invalid.tolist() == [2, 3]
+    assert np.array_equal(unpack_codes(packed, 6, invalid), codes)
+
+
+def test_size_mismatch_rejected():
+    packed, _ = pack_codes(encode("acgt"))
+    with pytest.raises(SequenceError):
+        unpack_codes(packed, 9)
+
+
+def test_out_of_range_codes_rejected():
+    with pytest.raises(SequenceError):
+        pack_codes(np.array([7], dtype=np.uint8))
+
+
+def test_dataset_cache_uses_packing(tmp_path):
+    from repro.eval import load_or_generate
+
+    a = load_or_generate("e_coli", scale=1 / 5000, seed=9, cache_dir=tmp_path)
+    files = list(tmp_path.glob("*.npz"))
+    assert len(files) == 1
+    with np.load(files[0]) as data:
+        assert "genome_packed" in data
+        assert "reads_packed" in data
+    b = load_or_generate("e_coli", scale=1 / 5000, seed=9, cache_dir=tmp_path)
+    assert np.array_equal(a.genome, b.genome)
+    assert np.array_equal(a.reads.buffer, b.reads.buffer)
+    assert np.array_equal(a.contigs.buffer, b.contigs.buffer)

@@ -1,0 +1,46 @@
+import numpy as np
+
+from repro.seq import SequenceSet, n50, set_stats
+
+
+def test_n50_simple():
+    # total = 10; sorted desc: 4,3,2,1; cumsum 4,7,9,10; half=5 -> first >=5 is 7 at len 3
+    assert n50(np.array([1, 2, 3, 4])) == 3
+
+
+def test_n50_single():
+    assert n50(np.array([42])) == 42
+
+
+def test_n50_empty():
+    assert n50(np.array([], dtype=np.int64)) == 0
+
+
+def test_set_stats_basic():
+    s = SequenceSet.from_strings([("a", "acgt" * 10), ("b", "acgt" * 5)])
+    st = set_stats(s)
+    assert st.count == 2
+    assert st.total_bases == 60
+    assert st.mean_length == 30.0
+    assert st.min_length == 20
+    assert st.max_length == 40
+
+
+def test_set_stats_min_length_filter():
+    s = SequenceSet.from_strings([("a", "a" * 600), ("b", "a" * 100)])
+    st = set_stats(s, min_length=500)
+    assert st.count == 1
+    assert st.total_bases == 600
+
+
+def test_set_stats_empty_after_filter():
+    s = SequenceSet.from_strings([("a", "aa")])
+    st = set_stats(s, min_length=500)
+    assert st.count == 0
+    assert st.n50 == 0
+
+
+def test_format_row_contains_fields():
+    s = SequenceSet.from_strings([("a", "a" * 1000)])
+    row = set_stats(s).format_row()
+    assert "n=" in row and "total=" in row and "N50" in row

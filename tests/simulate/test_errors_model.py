@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.simulate import HIFI_ERRORS, ErrorModel, apply_errors
+
+
+def test_zero_errors_is_identity(rng):
+    codes = rng.integers(0, 4, size=1000).astype(np.uint8)
+    out = apply_errors(codes, ErrorModel(), rng)
+    assert np.array_equal(out, codes)
+    assert out is not codes  # copy, not alias
+
+
+def test_substitutions_change_bases(rng):
+    codes = np.zeros(20_000, dtype=np.uint8)
+    out = apply_errors(codes, ErrorModel(substitution=0.1), rng)
+    assert out.size == codes.size
+    changed = (out != codes).mean()
+    assert 0.05 < changed < 0.15
+    # substitutions always pick a *different* base
+    assert (out[out != codes] != 0).all()
+
+
+def test_insertions_grow_sequence(rng):
+    codes = rng.integers(0, 4, size=20_000).astype(np.uint8)
+    out = apply_errors(codes, ErrorModel(insertion=0.05), rng)
+    assert out.size > codes.size
+    assert abs(out.size - codes.size * 1.05) < codes.size * 0.02
+
+
+def test_deletions_shrink_sequence(rng):
+    codes = rng.integers(0, 4, size=20_000).astype(np.uint8)
+    out = apply_errors(codes, ErrorModel(deletion=0.05), rng)
+    assert out.size < codes.size
+    assert abs(out.size - codes.size * 0.95) < codes.size * 0.02
+
+
+def test_hifi_accuracy_regime(rng):
+    assert HIFI_ERRORS.accuracy > 0.998
+
+
+def test_empty_input(rng):
+    out = apply_errors(np.empty(0, dtype=np.uint8), HIFI_ERRORS, rng)
+    assert out.size == 0
+
+
+def test_invalid_rates():
+    with pytest.raises(DatasetError):
+        ErrorModel(substitution=0.6, insertion=0.5)
+    with pytest.raises(DatasetError):
+        ErrorModel(substitution=-0.1)
+
+
+def test_error_identity_rate(rng):
+    """Edit distance to the original tracks the configured error rate."""
+    from repro.align import banded_edit_distance
+
+    codes = rng.integers(0, 4, size=3000).astype(np.uint8)
+    model = ErrorModel(substitution=0.006, insertion=0.002, deletion=0.002)
+    out = apply_errors(codes, model, rng)
+    d = banded_edit_distance(codes, out, band=64)
+    rate = d / codes.size
+    assert rate < 0.02  # ~1% errors, with slack
+    assert d > 0

@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.simulate import GenomeProfile, simulate_genome
+
+
+def test_length_and_range():
+    g = simulate_genome(GenomeProfile(length=10_000), rng=1)
+    assert g.size == 10_000
+    assert g.dtype == np.uint8
+    assert g.max() <= 3
+
+
+def test_deterministic_by_seed():
+    a = simulate_genome(GenomeProfile(length=5_000, repeat_fraction=0.1), rng=7)
+    b = simulate_genome(GenomeProfile(length=5_000, repeat_fraction=0.1), rng=7)
+    assert np.array_equal(a, b)
+
+
+def test_seed_sensitivity():
+    a = simulate_genome(GenomeProfile(length=5_000), rng=1)
+    b = simulate_genome(GenomeProfile(length=5_000), rng=2)
+    assert not np.array_equal(a, b)
+
+
+def test_gc_content_controls_composition():
+    high_gc = simulate_genome(GenomeProfile(length=100_000, gc_content=0.8), rng=1)
+    frac_gc = np.isin(high_gc, [1, 2]).mean()
+    assert 0.75 < frac_gc < 0.85
+
+
+def test_repeats_increase_kmer_duplication():
+    from repro.sketch import canonical_kmer_ranks
+
+    plain = simulate_genome(GenomeProfile(length=100_000, repeat_fraction=0.0), rng=3)
+    repetitive = simulate_genome(
+        GenomeProfile(length=100_000, repeat_fraction=0.3, repeat_divergence=0.0), rng=3
+    )
+    def dup_fraction(g):
+        canon, _ = canonical_kmer_ranks(g, 16)
+        _, counts = np.unique(canon, return_counts=True)
+        return (counts > 1).sum() / counts.size
+
+    assert dup_fraction(repetitive) > dup_fraction(plain) + 0.05
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"length": 0},
+        {"length": 100, "gc_content": 0.0},
+        {"length": 100, "repeat_fraction": 1.0},
+        {"length": 100, "repeat_length": 0},
+        {"length": 100, "repeat_divergence": 1.0},
+    ],
+)
+def test_invalid_profiles(kwargs):
+    with pytest.raises(DatasetError):
+        GenomeProfile(**kwargs)

@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.simulate import (
+    ErrorModel,
+    HiFiProfile,
+    IlluminaProfile,
+    simulate_hifi_reads,
+    simulate_short_reads,
+)
+
+
+@pytest.fixture
+def genome(rng):
+    return rng.integers(0, 4, size=100_000).astype(np.uint8)
+
+
+def test_hifi_coverage(genome, rng):
+    reads = simulate_hifi_reads(genome, HiFiProfile(coverage=5, median_length=8_000), rng)
+    assert reads.total_bases >= 5 * genome.size
+    assert reads.total_bases < 6 * genome.size  # one read of overshoot max
+
+
+def test_hifi_truth_coordinates_match_source(genome, rng):
+    reads = simulate_hifi_reads(
+        genome, HiFiProfile(coverage=2, median_length=5_000, errors=ErrorModel()), rng
+    )
+    for i in range(min(10, len(reads))):
+        meta = reads.metas[i]
+        src = genome[meta["ref_start"] : meta["ref_end"]]
+        got = reads.codes_of(i)
+        if meta["ref_strand"] == -1:
+            src = (3 - src)[::-1]
+        assert np.array_equal(got, src)
+
+
+def test_hifi_length_distribution(genome, rng):
+    profile = HiFiProfile(coverage=10, median_length=10_000, min_length=1_000)
+    reads = simulate_hifi_reads(genome, profile, rng)
+    lengths = reads.lengths
+    assert abs(np.median(lengths) - 10_000) < 2_000
+    assert lengths.min() >= 1_000
+
+
+def test_hifi_both_strands(genome, rng):
+    reads = simulate_hifi_reads(genome, HiFiProfile(coverage=5), rng)
+    strands = {m["ref_strand"] for m in reads.metas}
+    assert strands == {1, -1}
+
+
+def test_hifi_genome_too_short(rng):
+    with pytest.raises(DatasetError):
+        simulate_hifi_reads(np.zeros(100, dtype=np.uint8), HiFiProfile(), rng)
+
+
+def test_short_reads_count_and_length(genome, rng):
+    reads = simulate_short_reads(genome, IlluminaProfile(coverage=10, read_length=100), rng)
+    assert len(reads) == genome.size * 10 // 100
+    assert (reads.lengths == 100).all()
+
+
+def test_short_reads_error_rate(genome, rng):
+    clean = IlluminaProfile(coverage=1, substitution_rate=0.0, both_strands=False)
+    reads = simulate_short_reads(genome, clean, np.random.default_rng(5))
+    # error-free forward reads are exact substrings
+    for i in range(5):
+        codes = reads.codes_of(i)
+        s = codes.tobytes()
+        assert s in genome.tobytes()
+
+
+def test_short_reads_deterministic(genome):
+    a = simulate_short_reads(genome, IlluminaProfile(coverage=2), np.random.default_rng(3))
+    b = simulate_short_reads(genome, IlluminaProfile(coverage=2), np.random.default_rng(3))
+    assert np.array_equal(a.buffer, b.buffer)
+
+
+def test_invalid_profiles():
+    with pytest.raises(DatasetError):
+        IlluminaProfile(coverage=0)
+    with pytest.raises(DatasetError):
+        HiFiProfile(coverage=-1)
+    with pytest.raises(DatasetError):
+        HiFiProfile(median_length=100, min_length=1_000)

@@ -1,0 +1,53 @@
+import numpy as np
+
+from repro.core import JEMConfig, JEMMapper
+from repro.seq import SequenceSet, decode, random_codes
+from repro.sketch.diagnostics import observed_minimizer_density, table_stats
+
+
+def make_contigs(rng, n=6, length=2_000):
+    return SequenceSet.from_strings(
+        [(f"c{i}", decode(random_codes(length, rng))) for i in range(n)]
+    )
+
+
+def test_table_stats_shapes(rng):
+    contigs = make_contigs(rng)
+    mapper = JEMMapper(JEMConfig(k=12, w=20, ell=500, trials=8, seed=2))
+    table = mapper.index(contigs)
+    stats = table_stats(table)
+    assert stats.trials == 8
+    assert stats.n_subjects == 6
+    assert stats.total_entries == table.total_entries
+    assert stats.nbytes == table.nbytes
+    assert stats.entries_per_trial_mean > 0
+    assert stats.distinct_values_per_trial_mean <= stats.entries_per_trial_mean
+    assert 1.0 <= stats.mean_subjects_per_value <= stats.max_subjects_per_value
+
+
+def test_table_stats_repetitive_subjects(rng):
+    """Identical subjects share every sketch value -> max bucket = n."""
+    seq = decode(random_codes(2_000, rng))
+    contigs = SequenceSet.from_strings([(f"c{i}", seq) for i in range(4)])
+    mapper = JEMMapper(JEMConfig(k=12, w=20, ell=500, trials=4, seed=2))
+    stats = table_stats(mapper.index(contigs))
+    assert stats.max_subjects_per_value == 4
+
+
+def test_format_report(rng):
+    contigs = make_contigs(rng)
+    mapper = JEMMapper(JEMConfig(k=12, w=20, ell=500, trials=4, seed=2))
+    report = table_stats(mapper.index(contigs)).format_report()
+    assert "sketch table" in report and "subjects per value" in report
+
+
+def test_observed_density_tracks_theory(rng):
+    contigs = make_contigs(rng, n=4, length=20_000)
+    w = 30
+    density = observed_minimizer_density(contigs, 12, w)
+    expected = 2.0 / (w + 1)
+    assert 0.5 * expected < density < 2.0 * expected
+
+
+def test_density_empty_set():
+    assert observed_minimizer_density(SequenceSet.empty(), 12, 10) == 0.0

@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SketchError
+from repro.seq import encode, reverse_complement
+from repro.sketch import (
+    canonical_kmer_ranks,
+    kmer_ranks,
+    rank_to_string,
+    revcomp_rank,
+    string_to_rank,
+    valid_kmer_mask,
+)
+
+dna = st.text(alphabet="acgt", min_size=1, max_size=120)
+
+
+def naive_ranks(seq: str, k: int) -> list[int]:
+    return [string_to_rank(seq[i : i + k]) for i in range(len(seq) - k + 1)]
+
+
+def test_kmer_ranks_known():
+    # "acgt": 2-mers ac=0b0001=1, cg=0b0110=6, gt=0b1011=11
+    assert list(kmer_ranks(encode("acgt"), 2)) == [1, 6, 11]
+
+
+def test_kmer_ranks_short_sequence():
+    assert kmer_ranks(encode("ac"), 3).size == 0
+
+
+def test_kmer_ranks_bad_k():
+    with pytest.raises(SketchError):
+        kmer_ranks(encode("acgt"), 0)
+    with pytest.raises(SketchError):
+        kmer_ranks(encode("acgt"), 32)
+
+
+@given(dna, st.integers(min_value=1, max_value=12))
+def test_kmer_ranks_match_naive(seq, k):
+    if len(seq) < k:
+        return
+    assert list(kmer_ranks(encode(seq), k)) == naive_ranks(seq, k)
+
+
+@given(dna, st.integers(min_value=1, max_value=12))
+def test_canonical_invariant_under_revcomp(seq, k):
+    """Canonical k-mer multiset of a sequence equals that of its revcomp."""
+    if len(seq) < k:
+        return
+    fwd, _ = canonical_kmer_ranks(encode(seq), k)
+    rc, _ = canonical_kmer_ranks(reverse_complement(encode(seq)), k)
+    assert sorted(fwd.tolist()) == sorted(rc.tolist())
+
+
+@given(dna, st.integers(min_value=1, max_value=12))
+def test_canonical_is_min_of_strands(seq, k):
+    if len(seq) < k:
+        return
+    canon, valid = canonical_kmer_ranks(encode(seq), k)
+    assert valid.all()
+    for i in range(len(seq) - k + 1):
+        f = string_to_rank(seq[i : i + k])
+        r = revcomp_rank(f, k)
+        assert canon[i] == min(f, r)
+
+
+def test_valid_mask_blocks_invalid_windows():
+    mask = valid_kmer_mask(encode("acgNacg"), 3)
+    #  windows: acg cgN gNa Nac acg -> valid at 0 and 4
+    assert list(mask) == [True, False, False, False, True]
+
+
+def test_canonical_masks_invalid():
+    _, valid = canonical_kmer_ranks(encode("aNa"), 2)
+    assert list(valid) == [False, False]
+
+
+def test_rank_string_round_trip():
+    for kmer in ["a", "acgt", "ttgca", "gggggggg"]:
+        assert rank_to_string(string_to_rank(kmer), len(kmer)) == kmer
+
+
+def test_rank_to_string_out_of_range():
+    with pytest.raises(SketchError):
+        rank_to_string(16, 2)
+
+
+def test_revcomp_rank_matches_string():
+    r = string_to_rank("aacg")
+    assert rank_to_string(revcomp_rank(r, 4), 4) == "cgtt"

@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SketchError
+from repro.seq import SequenceSet, encode
+from repro.sketch import (
+    HashFamily,
+    jaccard,
+    minhash_jaccard_estimate,
+    minhash_sketch,
+    minhash_sketch_set,
+)
+
+dna = st.text(alphabet="acgt", min_size=10, max_size=200)
+
+
+def test_sketch_deterministic():
+    f = HashFamily.generate(8, seed=1)
+    codes = encode("acgtacgtagcatgcatg")
+    assert np.array_equal(minhash_sketch(codes, 4, f), minhash_sketch(codes, 4, f))
+
+
+def test_sketch_identical_sequences_match():
+    f = HashFamily.generate(8, seed=1)
+    a = minhash_sketch(encode("acgtacgtagcatgcatg"), 4, f)
+    b = minhash_sketch(encode("acgtacgtagcatgcatg"), 4, f)
+    assert minhash_jaccard_estimate(a, b) == 1.0
+
+
+def test_sketch_empty_rejected():
+    f = HashFamily.generate(2, seed=1)
+    with pytest.raises(SketchError):
+        minhash_sketch(encode("ac"), 5, f)
+
+
+def test_sketch_set_matches_individual():
+    f = HashFamily.generate(6, seed=2)
+    seqs = SequenceSet.from_strings(
+        [("a", "acgtacgtagcatgcatg"), ("b", "ttacgacgtacgaacgt"), ("c", "ggggcccaatt")]
+    )
+    sketches, has = minhash_sketch_set(seqs, 4, f)
+    assert has.all()
+    for i in range(3):
+        expected = minhash_sketch(seqs.codes_of(i), 4, f)
+        assert np.array_equal(sketches[:, i], expected)
+
+
+def test_sketch_set_empty_sequences_flagged():
+    f = HashFamily.generate(3, seed=2)
+    seqs = SequenceSet.from_strings([("a", "acgtacgta"), ("b", "nn")])
+    _, has = minhash_sketch_set(seqs, 4, f)
+    assert list(has) == [True, False]
+
+
+def test_sketch_set_minimizer_variant():
+    """minimizer_w switches the base set to minimizers (a subset of k-mers)."""
+    from repro.sketch import minimizers
+
+    f = HashFamily.generate(6, seed=4)
+    rng = np.random.default_rng(6)
+    from repro.seq import decode, random_codes
+
+    seqs = SequenceSet.from_strings([("s", decode(random_codes(3_000, rng)))])
+    full, _ = minhash_sketch_set(seqs, 8, f)
+    mini, has = minhash_sketch_set(seqs, 8, f, minimizer_w=12)
+    assert has.all()
+    mins = minimizers(seqs.codes_of(0), 8, 12).ranks
+    # every minimizer-variant sketch value is a minimizer of the sequence
+    assert np.isin(mini[:, 0], mins).all()
+    # and differs from the all-k-mer sketch in at least one trial (almost
+    # surely, since the base set shrank ~6x)
+    assert not np.array_equal(full, mini)
+
+
+def test_sketch_set_minimizer_variant_empty():
+    f = HashFamily.generate(2, seed=4)
+    seqs = SequenceSet.from_strings([("s", "nnnnnnnnnnnn")])
+    _, has = minhash_sketch_set(seqs, 8, f, minimizer_w=4)
+    assert not has[0]
+
+
+def test_jaccard_exact():
+    assert jaccard(np.array([1, 2, 3]), np.array([2, 3, 4])) == 0.5
+    assert jaccard(np.array([1]), np.array([2])) == 0.0
+    assert jaccard(np.array([], dtype=np.int64), np.array([], dtype=np.int64)) == 1.0
+
+
+def test_estimate_mismatched_shapes():
+    with pytest.raises(SketchError):
+        minhash_jaccard_estimate(np.array([1, 2]), np.array([1]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(dna)
+def test_estimator_statistically_tracks_jaccard(seq):
+    """With many trials the match fraction approaches the true Jaccard."""
+    from repro.sketch.kmers import canonical_kmer_ranks
+
+    f = HashFamily.generate(100, seed=5)
+    # Perturb the sequence by replacing the middle third.
+    middle = len(seq) // 3
+    other = seq[:middle] + "a" * middle + seq[2 * middle :]
+    k = 4
+    a_codes, b_codes = encode(seq), encode(other)
+    canon_a, va = canonical_kmer_ranks(a_codes, k)
+    canon_b, vb = canonical_kmer_ranks(b_codes, k)
+    true_j = jaccard(canon_a[va], canon_b[vb])
+    est = minhash_jaccard_estimate(
+        minhash_sketch(a_codes, k, f), minhash_sketch(b_codes, k, f)
+    )
+    assert abs(est - true_j) < 0.35  # loose statistical bound, 100 trials

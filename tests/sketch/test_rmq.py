@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SketchError
+from repro.sketch import SparseTableRMQ, range_argmin, range_min
+
+
+def test_known_case():
+    values = np.array([5, 3, 8, 1, 9], dtype=np.uint64)
+    rmq = SparseTableRMQ(values)
+    starts = np.array([0, 1, 2, 0])
+    ends = np.array([2, 4, 3, 5])
+    assert list(rmq.query(starts, ends)) == [3, 1, 8, 1]
+
+
+def test_argmin_leftmost_ties():
+    values = np.array([7, 2, 2, 2, 9], dtype=np.uint64)
+    idx, mins = range_argmin(values, np.array([0, 2]), np.array([5, 5]))
+    assert list(mins) == [2, 2]
+    assert list(idx) == [1, 2]
+
+
+def test_single_element():
+    rmq = SparseTableRMQ(np.array([42], dtype=np.uint64))
+    assert rmq.query(np.array([0]), np.array([1]))[0] == 42
+
+
+def test_empty_build_rejected():
+    with pytest.raises(SketchError):
+        SparseTableRMQ(np.array([], dtype=np.uint64))
+
+
+def test_empty_interval_rejected():
+    rmq = SparseTableRMQ(np.array([1, 2], dtype=np.uint64))
+    with pytest.raises(SketchError):
+        rmq.query(np.array([1]), np.array([1]))
+
+
+def test_out_of_bounds_rejected():
+    rmq = SparseTableRMQ(np.array([1, 2], dtype=np.uint64))
+    with pytest.raises(SketchError):
+        rmq.query(np.array([0]), np.array([3]))
+
+
+def test_argmin_requires_flag():
+    rmq = SparseTableRMQ(np.array([1, 2], dtype=np.uint64))
+    with pytest.raises(SketchError):
+        rmq.query_argmin(np.array([0]), np.array([1]))
+
+
+def test_uint64_values_beyond_float53():
+    big = np.array([(1 << 60) + 5, (1 << 60) + 1, (1 << 60) + 3], dtype=np.uint64)
+    assert range_min(big, np.array([0]), np.array([3]))[0] == (1 << 60) + 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1), min_size=1, max_size=200),
+    st.data(),
+)
+def test_matches_naive(values, data):
+    arr = np.array(values, dtype=np.uint64)
+    n = arr.size
+    n_queries = data.draw(st.integers(min_value=1, max_value=20))
+    starts = np.array(
+        [data.draw(st.integers(min_value=0, max_value=n - 1)) for _ in range(n_queries)]
+    )
+    ends = np.array(
+        [data.draw(st.integers(min_value=int(s) + 1, max_value=n)) for s in starts]
+    )
+    rmq = SparseTableRMQ(arr, track_argmin=True)
+    idx, mins = rmq.query_argmin(starts, ends)
+    for q in range(n_queries):
+        window = arr[starts[q] : ends[q]]
+        assert mins[q] == window.min()
+        assert idx[q] == starts[q] + int(np.argmin(window))
