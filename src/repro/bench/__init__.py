@@ -12,6 +12,7 @@ from .experiments import (
     BenchContext,
     ExperimentOutput,
     ThreadScalingModel,
+    exp_faults,
     exp_fig5,
     exp_fig6,
     exp_fig7,
@@ -38,6 +39,7 @@ __all__ = [
     "exp_fig7",
     "exp_fig8",
     "exp_fig9",
+    "exp_faults",
     "ablation_topx",
     "ablation_segments",
     "ablation_window",

@@ -396,6 +396,62 @@ def exp_fig9(ctx: BenchContext, *, max_pairs: int = 400) -> ExperimentOutput:
     return _finish(ctx, ExperimentOutput("fig9", text, data))
 
 
+# -- Fault-injection smoke -----------------------------------------------------
+
+
+def exp_faults(ctx: BenchContext) -> ExperimentOutput:
+    """Recovery-overhead smoke: seeded fault plans must not change output.
+
+    Runs the simulated S1–S4 driver on one dataset at p=8 under several
+    seeded recoverable fault plans and reports, per seed, the faults that
+    fired, the modelled recovery time, and whether the mapping stayed
+    bit-identical to the fault-free run — a fast regression tripwire for
+    the recovery machinery's overhead and correctness.
+    """
+    from ..parallel.faults import FaultPlan
+    from ..parallel.retry import RetryPolicy
+
+    name = ctx.pick(("e_coli",))[0]
+    ds = ctx.dataset(name)
+    p = 8
+    baseline = run_parallel_jem(
+        ds.contigs, ds.reads, ctx.config, p=p, cost_model=ctx.cost_model
+    )
+    policy = RetryPolicy(base_delay=0.005, max_delay=0.05)
+    rows = []
+    data: dict = {"dataset": name, "p": p, "seeds": {}}
+    for seed in (1, 2, 3, 4):
+        plan = FaultPlan.seeded(seed, p, delay=0.02)
+        run = run_parallel_jem(
+            ds.contigs, ds.reads, ctx.config, p=p,
+            cost_model=ctx.cost_model, faults=plan, retry=policy,
+        )
+        identical = bool(
+            np.array_equal(run.mapping.subject, baseline.mapping.subject)
+            and np.array_equal(run.mapping.hit_count, baseline.mapping.hit_count)
+            and run.mapping.segment_names == baseline.mapping.segment_names
+        )
+        rows.append([
+            str(seed),
+            str(plan.total_fired),
+            f"{run.recovery_time:.4f}",
+            str(run.steps.gather_retries),
+            "yes" if identical else "NO",
+        ])
+        data["seeds"][seed] = {
+            "faults_fired": plan.total_fired,
+            "recovery_time": run.recovery_time,
+            "gather_retries": run.steps.gather_retries,
+            "identical": identical,
+        }
+    text = render_table(
+        f"Fault-injection smoke — {DATASETS[name].organism}, p={p}",
+        ["seed", "faults fired", "recovery (s)", "gather retries", "output identical"],
+        rows,
+    )
+    return _finish(ctx, ExperimentOutput("faults", text, data))
+
+
 #: Experiment registry for the CLI.
 EXPERIMENTS = {
     "table1": exp_table1,
@@ -405,4 +461,5 @@ EXPERIMENTS = {
     "fig7": exp_fig7,
     "fig8": exp_fig8,
     "fig9": exp_fig9,
+    "faults": exp_faults,
 }

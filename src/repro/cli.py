@@ -50,12 +50,20 @@ def _config_from(args: argparse.Namespace) -> JEMConfig:
     return JEMConfig(k=args.k, w=args.w, ell=args.ell, trials=args.trials, seed=args.seed)
 
 
-def _read_sequences(path: str) -> SequenceSet:
+def _read_sequences(path: str, *, on_error: str = "raise") -> SequenceSet:
+    from .seq.io_fasta import ParseReport
+
+    report = ParseReport()
     if path.endswith((".fq", ".fastq", ".fq.gz", ".fastq.gz")):
         from .seq.io_fastq import read_fastq
 
-        return read_fastq(path)
-    return read_fasta(path)
+        seqs = read_fastq(path, on_error=on_error, report=report)
+    else:
+        seqs = read_fasta(path, on_error=on_error, report=report)
+    if report.skipped:
+        print(f"warning: skipped {report.skipped} malformed record(s) in {path}",
+              file=sys.stderr)
+    return seqs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,9 +95,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_map.add_argument("-p", "--processes", type=int, default=1,
                        help="simulated ranks for the parallel driver (jem only)")
+    p_map.add_argument("--backend", choices=("simulated", "process"), default="simulated",
+                       help="parallel backend for -p > 1: instrumented SPMD "
+                            "simulation or real worker processes")
     p_map.add_argument("--paf", action="store_true",
                        help="write PAF with coordinates instead of the TSV "
                             "(requires -s, not --index)")
+    p_map.add_argument("--strict", action=argparse.BooleanOptionalAction, default=True,
+                       help="abort on unrecoverable faults (--no-strict degrades "
+                            "to a partial mapping and reports the lost reads)")
+    p_map.add_argument("--timeout", type=float, default=60.0,
+                       help="per-work-unit timeout in seconds for the process "
+                            "backend (dead/hung worker detection; default 60)")
+    p_map.add_argument("--on-error", choices=("raise", "skip"), default="raise",
+                       help="input parser policy: abort on malformed records "
+                            "or skip them with a counted warning")
+    p_map.add_argument("--inject-faults", type=int, default=None, metavar="SEED",
+                       help="inject a seeded recoverable fault plan "
+                            "(testing/demo; recovery shows up in the timing line)")
     _add_config_args(p_map)
 
     p_scaf = sub.add_parser("scaffold", help="hybrid scaffolding from reads + contigs")
@@ -158,12 +181,25 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_partial(partial) -> None:
+    """Warn (stderr) when a run degraded to a partial mapping."""
+    if partial is not None:
+        print(f"warning: partial result — {partial.describe()}", file=sys.stderr)
+        for name in partial.failed_reads:
+            print(f"warning: unmapped read {name}", file=sys.stderr)
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
     if (args.subjects is None) == (args.index is None):
         print("error: provide exactly one of -s/--subjects or --index", file=sys.stderr)
         return 2
     config = _config_from(args)
-    queries = _read_sequences(args.queries)
+    queries = _read_sequences(args.queries, on_error=args.on_error)
+    faults = None
+    if args.inject_faults is not None:
+        from .parallel.faults import FaultPlan
+
+        faults = FaultPlan.seeded(args.inject_faults, max(args.processes, 1))
     t0 = time.perf_counter()
     if args.index is not None:
         from .core.persist import load_index
@@ -172,17 +208,39 @@ def _cmd_map(args: argparse.Namespace) -> int:
         result = mapper.map_reads(queries)
         subject_names = mapper.subject_names
         timing = f"# jem (saved index): {time.perf_counter() - t0:.3f}s wall"
+    elif args.mapper == "jem" and args.processes > 1 and args.backend == "process":
+        from .parallel.faults import RecoveryReport
+        from .parallel.mp_backend import map_reads_multiprocess
+
+        subjects = read_fasta(args.subjects, on_error=args.on_error)
+        report = RecoveryReport()
+        result = map_reads_multiprocess(
+            subjects, queries, config, processes=args.processes,
+            faults=faults, strict=args.strict, timeout=args.timeout, report=report,
+        )
+        subject_names = list(subjects.names)
+        timing = f"# process backend p={args.processes}: {time.perf_counter() - t0:.3f}s wall"
+        if report.faults_encountered:
+            timing += (f", recovery {report.recovery_seconds:.3f}s "
+                       f"({report.redispatches} re-dispatches)")
+        _report_partial(report.partial)
     elif args.mapper == "jem" and args.processes > 1:
-        subjects = read_fasta(args.subjects)
-        run = run_parallel_jem(subjects, queries, config, p=args.processes)
+        subjects = read_fasta(args.subjects, on_error=args.on_error)
+        run = run_parallel_jem(
+            subjects, queries, config, p=args.processes,
+            faults=faults, strict=args.strict,
+        )
         result = run.mapping
         subject_names = list(subjects.names)
         timing = (
             f"# parallel p={args.processes}: modelled time {run.total_time:.3f}s, "
             f"comm {100 * run.steps.comm_fraction:.1f}%"
         )
+        if run.recovery_time > 0:
+            timing += f", recovery {run.recovery_time:.3f}s"
+        _report_partial(run.partial)
     else:
-        subjects = read_fasta(args.subjects)
+        subjects = read_fasta(args.subjects, on_error=args.on_error)
         if args.mapper == "jem":
             mapper = JEMMapper(config)
         elif args.mapper == "mashmap":

@@ -5,11 +5,18 @@ against it; this module makes the sketch table a durable artifact.  The
 bundle records the full :class:`JEMConfig` so a loaded mapper is guaranteed
 to sketch queries with the same constants the index was built with —
 loading with a mismatched config is impossible by construction.
+
+The bundle also carries a CRC32 content checksum (config + names + every
+trial's keys) that is verified on load, so a truncated, bit-rotted or
+hand-edited index surfaces as a clear :class:`~repro.errors.MappingError`
+instead of a silently wrong mapping or a raw ``numpy``/``KeyError`` leak.
 """
 
 from __future__ import annotations
 
 import os
+import zipfile
+import zlib
 
 import numpy as np
 
@@ -21,7 +28,30 @@ from .sketch_table import SketchTable
 __all__ = ["save_index", "load_index", "INDEX_FORMAT_VERSION"]
 
 #: Bumped on any incompatible change to the on-disk layout.
-INDEX_FORMAT_VERSION = 1
+#: v2 added the content checksum; v1 bundles must be rebuilt.
+INDEX_FORMAT_VERSION = 2
+
+#: Low-level failures that mean "this file is not a readable index".
+_CORRUPTION_ERRORS = (
+    KeyError,
+    ValueError,
+    OSError,
+    EOFError,
+    zipfile.BadZipFile,
+    zlib.error,
+)
+
+
+def _content_checksum(
+    config_arr: np.ndarray, n_subjects: int, names: np.ndarray, keys: list[np.ndarray]
+) -> int:
+    """CRC32 over everything that determines mapping behaviour."""
+    crc = zlib.crc32(np.ascontiguousarray(config_arr).tobytes())
+    crc = zlib.crc32(str(int(n_subjects)).encode(), crc)
+    crc = zlib.crc32("\x00".join(str(n) for n in names).encode(), crc)
+    for k in keys:
+        crc = zlib.crc32(np.ascontiguousarray(k).tobytes(), crc)
+    return crc & 0xFFFFFFFF
 
 
 def save_index(mapper: JEMMapper, path: str | os.PathLike) -> str:
@@ -31,13 +61,18 @@ def save_index(mapper: JEMMapper, path: str | os.PathLike) -> str:
     """
     table = mapper.table  # raises MappingError when not indexed
     cfg = mapper.config
+    config_arr = np.array(
+        [cfg.k, cfg.w, cfg.ell, cfg.trials, cfg.seed, cfg.min_hits], dtype=np.int64
+    )
+    names_arr = np.array(mapper.subject_names)
     payload: dict = {
         "format_version": np.int64(INDEX_FORMAT_VERSION),
-        "config": np.array(
-            [cfg.k, cfg.w, cfg.ell, cfg.trials, cfg.seed, cfg.min_hits], dtype=np.int64
-        ),
+        "config": config_arr,
         "n_subjects": np.int64(table.n_subjects),
-        "subject_names": np.array(mapper.subject_names),
+        "subject_names": names_arr,
+        "checksum": np.uint32(
+            _content_checksum(config_arr, table.n_subjects, names_arr, table.keys)
+        ),
     }
     for t, keys in enumerate(table.keys):
         payload[f"trial_{t:03d}"] = keys
@@ -48,21 +83,48 @@ def save_index(mapper: JEMMapper, path: str | os.PathLike) -> str:
 
 
 def load_index(path: str | os.PathLike) -> JEMMapper:
-    """Reconstruct a ready-to-map :class:`JEMMapper` from a saved index."""
+    """Reconstruct a ready-to-map :class:`JEMMapper` from a saved index.
+
+    Truncated, corrupted, or future-format files raise
+    :class:`~repro.errors.MappingError` with the root cause chained.
+    """
     path = os.fspath(path)
     if not os.path.exists(path) and os.path.exists(path + ".npz"):
         path = path + ".npz"
-    with np.load(path, allow_pickle=False) as data:
-        version = int(data["format_version"])
-        if version != INDEX_FORMAT_VERSION:
-            raise MappingError(
-                f"index format {version} unsupported (expected {INDEX_FORMAT_VERSION})"
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            version = int(data["format_version"])
+            if version != INDEX_FORMAT_VERSION:
+                hint = (
+                    "rebuild the index with save_index"
+                    if version < INDEX_FORMAT_VERSION
+                    else "upgrade this library"
+                )
+                raise MappingError(
+                    f"index format {version} unsupported "
+                    f"(expected {INDEX_FORMAT_VERSION}); {hint}"
+                )
+            config_arr = np.asarray(data["config"], dtype=np.int64)
+            k, w, ell, trials, seed, min_hits = (int(v) for v in config_arr)
+            config = JEMConfig(
+                k=k, w=w, ell=ell, trials=trials, seed=seed, min_hits=min_hits
             )
-        k, w, ell, trials, seed, min_hits = (int(v) for v in data["config"])
-        config = JEMConfig(k=k, w=w, ell=ell, trials=trials, seed=seed, min_hits=min_hits)
-        keys = [data[f"trial_{t:03d}"] for t in range(trials)]
-        n_subjects = int(data["n_subjects"])
-        names = [str(n) for n in data["subject_names"]]
+            keys = [data[f"trial_{t:03d}"] for t in range(trials)]
+            n_subjects = int(data["n_subjects"])
+            names_arr = data["subject_names"]
+            names = [str(n) for n in names_arr]
+            stored = int(data["checksum"])
+    except MappingError:
+        raise
+    except _CORRUPTION_ERRORS as exc:
+        raise MappingError(f"corrupt or unreadable index {path!r}: {exc}") from exc
+    actual = _content_checksum(config_arr, n_subjects, names_arr, keys)
+    if actual != stored:
+        raise MappingError(
+            f"index {path!r} failed its integrity check "
+            f"(stored {stored:#010x}, computed {actual:#010x}); "
+            "the file is corrupt — rebuild the index"
+        )
     mapper = JEMMapper(config)
     mapper._table = SketchTable(keys, n_subjects=n_subjects)
     mapper._subject_names = names

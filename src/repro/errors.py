@@ -15,6 +15,9 @@ __all__ = [
     "SketchError",
     "MappingError",
     "CommError",
+    "FaultError",
+    "RankTimeoutError",
+    "PartialResultError",
     "AssemblyError",
     "DatasetError",
 ]
@@ -58,6 +61,40 @@ class MappingError(ReproError):
 
 class CommError(ReproError):
     """Misuse of the communicator / SPMD engine."""
+
+
+class FaultError(ReproError):
+    """A (possibly injected) fault hit a parallel work unit.
+
+    Raised by the fault-injection hooks and by the recovery machinery when
+    a work unit exhausts its retry budget.  The ``__cause__`` chain keeps
+    the root fault visible through the retry wrapper.
+    """
+
+
+class RankTimeoutError(CommError):
+    """One or more ranks failed to finish a phase within the deadline.
+
+    ``ranks`` lists the stuck ranks so a caller (or operator) can tell a
+    straggler from a global deadlock.
+    """
+
+    def __init__(self, message: str, *, ranks: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.ranks = tuple(ranks)
+
+
+class PartialResultError(ReproError):
+    """Strict-mode signal that part of the query set could not be mapped.
+
+    ``failed_reads`` names the reads whose blocks were lost; with
+    ``strict=False`` the same information is returned as a
+    :class:`~repro.parallel.faults.PartialResult` instead of raised.
+    """
+
+    def __init__(self, message: str, *, failed_reads: tuple[str, ...] = ()):
+        super().__init__(message)
+        self.failed_reads = tuple(failed_reads)
 
 
 class AssemblyError(ReproError):

@@ -1,10 +1,20 @@
-"""Distributed-memory substrate: communicator, partitioning, cost model, driver."""
+"""Distributed-memory substrate: communicator, partitioning, cost model,
+driver, plus the fault-injection / recovery machinery."""
 
 from .comm import Communicator, SerialComm, ThreadComm, spmd_run
 from .costmodel import CostModel, StepTimes, modelled_runtime
 from .driver import ParallelRunResult, run_parallel_jem, run_parallel_jem_threaded
+from .faults import (
+    FAULT_KINDS,
+    FAULT_PHASES,
+    FaultPlan,
+    FaultSpec,
+    PartialResult,
+    RecoveryReport,
+)
 from .mp_backend import map_reads_multiprocess
 from .partition import partition_bounds, partition_imbalance, partition_set
+from .retry import RetryPolicy, retry_call
 
 __all__ = [
     "Communicator",
@@ -21,4 +31,12 @@ __all__ = [
     "partition_bounds",
     "partition_imbalance",
     "partition_set",
+    "FAULT_KINDS",
+    "FAULT_PHASES",
+    "FaultPlan",
+    "FaultSpec",
+    "PartialResult",
+    "RecoveryReport",
+    "RetryPolicy",
+    "retry_call",
 ]

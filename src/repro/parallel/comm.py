@@ -18,14 +18,35 @@ feed the cost model — are measured, not estimated.
 from __future__ import annotations
 
 import threading
+import time
+import zlib
 from collections.abc import Callable
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from ..errors import CommError
+from ..errors import CommError, RankTimeoutError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .faults import FaultPlan
 
 __all__ = ["Communicator", "SerialComm", "ThreadComm", "spmd_run"]
+
+#: Checksum-failed gathers are re-requested at most this many times.
+MAX_GATHER_ATTEMPTS = 4
+
+
+def _payload_checksum(buf: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(buf).tobytes())
+
+
+def _tamper(buf: np.ndarray) -> np.ndarray:
+    """A transit-corrupted copy of ``buf`` (first byte flipped)."""
+    wire = np.ascontiguousarray(buf).copy()
+    if wire.nbytes:
+        flat = wire.view(np.uint8).reshape(-1)
+        flat[0] ^= 0xFF
+    return wire
 
 
 class Communicator:
@@ -95,11 +116,12 @@ class SerialComm(Communicator):
 class _SharedState:
     """Rendezvous state shared by the p endpoints of a ThreadComm world."""
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, fault_plan: "FaultPlan | None" = None) -> None:
         self.size = size
         self.barrier = threading.Barrier(size)
         self.slots: list[Any] = [None] * size
         self.lock = threading.Lock()
+        self.fault_plan = fault_plan
 
 
 class ThreadComm(Communicator):
@@ -114,13 +136,20 @@ class ThreadComm(Communicator):
         self._state = state
         self._rank = rank
         self._bytes = 0
+        self._regathers = 0
 
     @classmethod
-    def world(cls, size: int) -> list["ThreadComm"]:
-        """Create all p endpoints of a communicator world."""
+    def world(
+        cls, size: int, *, fault_plan: "FaultPlan | None" = None
+    ) -> list["ThreadComm"]:
+        """Create all p endpoints of a communicator world.
+
+        ``fault_plan`` lets the test harness corrupt or drop Allgatherv
+        payloads in transit; the checksum layer detects and re-requests.
+        """
         if size < 1:
             raise CommError(f"communicator size must be >= 1, got {size}")
-        state = _SharedState(size)
+        state = _SharedState(size, fault_plan)
         return [cls(state, r) for r in range(size)]
 
     @property
@@ -156,25 +185,59 @@ class ThreadComm(Communicator):
     def allgather(self, obj: Any) -> list[Any]:
         return self._exchange(obj)
 
+    @property
+    def gather_retries(self) -> int:
+        """How many checksum-failed gathers this endpoint re-requested."""
+        return self._regathers
+
     def Allgatherv(self, sendbuf: np.ndarray) -> np.ndarray:
+        """Checksummed Allgatherv: corrupted payloads are re-requested.
+
+        Every part travels with its CRC32; after the exchange the ranks
+        vote on integrity (a second collective, so all endpoints agree)
+        and redo the gather while any part fails its checksum, up to
+        :data:`MAX_GATHER_ATTEMPTS` rounds.
+        """
         sendbuf = np.ascontiguousarray(sendbuf)
-        parts = self._exchange(sendbuf)
-        self._bytes += int(sendbuf.nbytes)
-        return np.concatenate(parts) if parts else sendbuf
+        plan = self._state.fault_plan
+        crc = _payload_checksum(sendbuf)
+        for _attempt in range(MAX_GATHER_ATTEMPTS):
+            self._bytes += int(sendbuf.nbytes)
+            wire = sendbuf
+            if plan is not None:
+                for spec in plan.consume("gather", block=self._rank, exec_rank=self._rank):
+                    wire = sendbuf[:0] if spec.kind == "drop" else _tamper(sendbuf)
+            parts = self._exchange((wire, crc))
+            ok = all(_payload_checksum(buf) == want for buf, want in parts)
+            votes = self._exchange(bool(ok))
+            if all(votes):
+                return np.concatenate([buf for buf, _ in parts]) if parts else sendbuf
+            self._regathers += 1
+        raise CommError(
+            f"Allgatherv payload failed integrity check {MAX_GATHER_ATTEMPTS} "
+            f"times on rank {self._rank} (permanently corrupted link?)"
+        )
 
 
 def spmd_run(
-    fn: Callable[[Communicator], Any], size: int, *, timeout: float | None = 300.0
+    fn: Callable[[Communicator], Any],
+    size: int,
+    *,
+    timeout: float | None = 300.0,
+    fault_plan: "FaultPlan | None" = None,
 ) -> list[Any]:
     """Run ``fn(comm)`` on every rank of a ThreadComm world; return results.
 
     The single-rank case short-circuits to a :class:`SerialComm` call on
     the current thread.  Exceptions on any rank are re-raised after the
-    world is joined (first failing rank wins).
+    world is joined (first failing rank wins).  Ranks that fail to finish
+    within ``timeout`` seconds raise :class:`~repro.errors.RankTimeoutError`
+    naming the stuck ranks, so a straggler is distinguishable from a
+    global deadlock.
     """
     if size == 1:
         return [fn(SerialComm())]
-    comms = ThreadComm.world(size)
+    comms = ThreadComm.world(size, fault_plan=fault_plan)
     results: list[Any] = [None] * size
     failures: list[tuple[int, BaseException]] = []
     lock = threading.Lock()
@@ -188,12 +251,21 @@ def spmd_run(
             comms[r]._state.barrier.abort()
 
     threads = [threading.Thread(target=runner, args=(r,), daemon=True) for r in range(size)]
+    deadline = None if timeout is None else time.monotonic() + timeout
     for t in threads:
         t.start()
     for t in threads:
-        t.join(timeout)
-        if t.is_alive():
-            raise CommError("SPMD run timed out (deadlocked collective?)")
+        t.join(None if deadline is None else max(0.0, deadline - time.monotonic()))
+    stuck = tuple(r for r, t in enumerate(threads) if t.is_alive())
+    if stuck:
+        # Unblock any rank parked at a collective with the stragglers, so
+        # the world does not leak threads waiting forever.
+        comms[0]._state.barrier.abort()
+        raise RankTimeoutError(
+            f"SPMD rank(s) {list(stuck)} still running after {timeout}s "
+            "(straggler or deadlocked collective)",
+            ranks=stuck,
+        )
     if failures:
         # A rank's real exception aborts the barrier, making the others see
         # BrokenBarrierError — report the root cause, not the fallout.

@@ -12,12 +12,33 @@ Two execution modes:
   :class:`ThreadComm` world with genuine ``Allgatherv`` data movement; used
   to verify the SPMD program's collectives are correct (its mapping output
   must equal the sequential mapper's bit for bit).
+
+Both modes accept a :class:`~repro.parallel.faults.FaultPlan`.  Failure
+handling follows one playbook:
+
+1. a faulted S2/S4 work unit is retried on its own rank under the
+   :class:`~repro.parallel.retry.RetryPolicy` (backoff accounted in the
+   simulation, really slept in threaded mode);
+2. a unit whose rank is beyond saving is **re-dispatched** to a surviving
+   rank (simulation only — threaded ranks cannot swap blocks without
+   desynchronising the collectives);
+3. corrupted/dropped gather payloads are detected by checksum and
+   re-requested, their cost charged to the cost model;
+4. an S4 unit that fails everywhere is fatal under ``strict=True``
+   (:class:`~repro.errors.PartialResultError`), or degrades gracefully
+   under ``strict=False`` into a :class:`~repro.parallel.faults.PartialResult`
+   naming exactly the affected reads.  A lost S2 unit is always fatal:
+   mapping against a silently incomplete index would corrupt *every*
+   rank's results, not just one block's.
+
+All recovery time lands in ``StepTimes`` so fault overhead shows up in the
+Fig. 7/8-style breakdowns.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -26,12 +47,14 @@ from ..core.hitcounter import count_hits_vectorised
 from ..core.mapper import MappingResult
 from ..core.segments import SegmentInfo, extract_end_segments
 from ..core.sketch_table import SketchTable
-from ..errors import CommError
+from ..errors import CommError, FaultError, PartialResultError
 from ..seq.records import SequenceSet
 from ..sketch.jem import query_sketch_values, subject_sketch_pairs
-from .comm import Communicator, spmd_run
+from .comm import MAX_GATHER_ATTEMPTS, Communicator, spmd_run
 from .costmodel import CostModel, StepTimes
+from .faults import FaultPlan, PartialResult, inject_compute_faults
 from .partition import partition_bounds, partition_set
+from .retry import RetryPolicy, retry_call
 
 __all__ = ["ParallelRunResult", "run_parallel_jem", "run_parallel_jem_threaded"]
 
@@ -44,11 +67,22 @@ class ParallelRunResult:
     steps: StepTimes
     p: int
     n_segments: int
+    partial: PartialResult | None = field(default=None)
 
     @property
     def total_time(self) -> float:
-        """Modelled parallel runtime (compute makespan + gather)."""
+        """Modelled parallel runtime (compute makespan + gather + recovery)."""
         return self.steps.total_time
+
+    @property
+    def recovery_time(self) -> float:
+        """Modelled seconds lost to fault recovery (0 on a clean run)."""
+        return self.steps.recovery_time
+
+    @property
+    def complete(self) -> bool:
+        """True when every query block survived (no graceful degradation)."""
+        return self.partial is None
 
     @property
     def query_throughput(self) -> float:
@@ -81,6 +115,52 @@ def _merge_rank_results(
     )
 
 
+def _simulate_unit(
+    plan: FaultPlan | None,
+    policy: RetryPolicy,
+    phase: str,
+    *,
+    block: int,
+    exec_rank: int,
+    stream: int,
+    fn,
+):
+    """One S2/S4 work unit under the fault plan, recovery *accounted*.
+
+    Returns ``(result_or_None, measured_seconds, recovery_seconds, cause)``.
+    Injected straggler delays and retry backoff are added to the recovery
+    account rather than slept — this is the simulation mode, so fault cost
+    is modelled exactly like communication cost.
+    """
+    if plan is None:
+        t0 = time.perf_counter()
+        result = fn()
+        return result, time.perf_counter() - t0, 0.0, None
+    recovery = 0.0
+    retries = 0
+    cause: str | None = None
+    measured = 0.0
+    for attempt in range(policy.max_attempts):
+        actions = plan.consume(phase, block=block, exec_rank=exec_rank)
+        crash = None
+        for spec in actions:
+            if spec.kind == "straggler":
+                recovery += spec.delay
+            elif spec.kind in ("crash", "worker_death"):
+                crash = spec
+        if crash is None:
+            t0 = time.perf_counter()
+            result = fn()
+            measured = time.perf_counter() - t0
+            recovery += policy.total_backoff(retries, stream=stream)
+            return result, measured, recovery, None
+        cause = f"injected {crash.kind} ({phase} block {block} on rank {exec_rank})"
+        if attempt < policy.max_attempts - 1:
+            retries += 1
+    recovery += policy.total_backoff(retries, stream=stream)
+    return None, measured, recovery, cause
+
+
 def run_parallel_jem(
     contigs: SequenceSet,
     reads: SequenceSet,
@@ -88,6 +168,9 @@ def run_parallel_jem(
     *,
     p: int = 4,
     cost_model: CostModel | None = None,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    strict: bool = True,
 ) -> ParallelRunResult:
     """Instrumented S1–S4 run on p simulated ranks.
 
@@ -97,10 +180,11 @@ def run_parallel_jem(
     the cost model).  S4: each rank maps its query block against the global
     table (measured).  The merged mapping is identical to a sequential
     :class:`~repro.core.mapper.JEMMapper` run — a property the test suite
-    asserts.
+    asserts, *including under any recoverable fault plan*.
     """
     config = config if config is not None else JEMConfig()
     cost_model = cost_model if cost_model is not None else CostModel()
+    policy = retry if retry is not None else RetryPolicy()
     if p < 1:
         raise CommError(f"p must be >= 1, got {p}")
     family = config.hash_family()
@@ -109,6 +193,11 @@ def run_parallel_jem(
     subject_parts = partition_set(contigs, p)
     read_parts = partition_set(reads, p)
     read_bounds = partition_bounds(reads.offsets, p)
+    subject_offsets = [0] * p
+    acc = 0
+    for r in range(p):
+        subject_offsets[r] = acc
+        acc += len(subject_parts[r])
     load = np.array(
         [
             (subject_parts[r].total_bases + read_parts[r].total_bases)
@@ -116,55 +205,167 @@ def run_parallel_jem(
             for r in range(p)
         ]
     )
+    recovery = np.zeros(p)
+    redispatches = 0
 
-    # -- S2: sketch local subjects (measured per rank) ------------------------
-    sketch_times = np.zeros(p)
-    local_keys: list[list[np.ndarray]] = []
-    offset = 0
-    for r in range(p):
-        t0 = time.perf_counter()
-        keys = subject_sketch_pairs(
-            subject_parts[r], config.k, config.w, config.ell, family,
-            subject_id_offset=offset,
+    # -- S2: sketch local subjects (measured per rank, retried on fault) ------
+    def sketch_block(b: int):
+        return lambda: subject_sketch_pairs(
+            subject_parts[b], config.k, config.w, config.ell, family,
+            subject_id_offset=subject_offsets[b],
         )
-        sketch_times[r] = time.perf_counter() - t0
-        offset += len(subject_parts[r])
-        local_keys.append(keys)
+
+    sketch_times = np.zeros(p)
+    local_keys: list[list[np.ndarray] | None] = [None] * p
+    sketch_failures: list[tuple[int, str]] = []
+    for r in range(p):
+        keys, dt, rec, cause = _simulate_unit(
+            faults, policy, "sketch", block=r, exec_rank=r, stream=r, fn=sketch_block(r)
+        )
+        sketch_times[r] = dt
+        recovery[r] += rec
+        if keys is None:
+            sketch_failures.append((r, cause or "unknown fault"))
+        else:
+            local_keys[r] = keys
+    # Re-dispatch lost sketch blocks to surviving ranks.  A block no
+    # survivor can sketch is fatal in every mode: an incomplete index
+    # would silently corrupt all mappings, not one block's.
+    for b, cause in sketch_failures:
+        survivors = [r for r in range(p) if local_keys[r] is not None and r != b]
+        for donor in survivors:
+            keys, dt, rec, cause2 = _simulate_unit(
+                faults, policy, "sketch",
+                block=b, exec_rank=donor, stream=p + b, fn=sketch_block(b),
+            )
+            sketch_times[donor] += dt
+            recovery[donor] += rec
+            redispatches += 1
+            if keys is not None:
+                local_keys[b] = keys
+                break
+            cause = cause2 or cause
+        if local_keys[b] is None:
+            raise FaultError(
+                f"subject block {b} unsketchable on every rank: {cause}"
+            )
 
     # -- S3: Allgatherv the sketch tables -------------------------------------
-    comm_bytes = int(sum(k.nbytes for keys in local_keys for k in keys))
+    key_arrays: list[list[np.ndarray]] = [k for k in local_keys if k is not None]
+    comm_bytes = int(sum(k.nbytes for keys in key_arrays for k in keys))
+    rank_bytes = [int(sum(k.nbytes for k in keys)) for keys in key_arrays]
     merged = [
-        np.unique(np.concatenate([local_keys[r][t] for r in range(p)]))
+        np.unique(np.concatenate([key_arrays[r][t] for r in range(p)]))
         for t in range(config.trials)
     ]
     table = SketchTable(merged, n_subjects=len(contigs))
     gather_comm = cost_model.allgatherv_time(p, comm_bytes)
-
-    # -- S4: map local queries (measured per rank) -----------------------------
-    map_times = np.zeros(p)
-    rank_results: list[MappingResult] = []
-    n_segments = 0
-    for r in range(p):
-        t0 = time.perf_counter()
-        if len(read_parts[r]) == 0:
-            result = MappingResult([], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), [])
+    regather_comm = 0.0
+    gather_retries = 0
+    if faults is not None:
+        for _attempt in range(MAX_GATHER_ATTEMPTS):
+            bad = [
+                r for r in range(p)
+                if faults.consume("gather", block=r, exec_rank=r)
+            ]
+            if not bad:
+                break
+            # checksum mismatch detected: re-request exactly the bad payloads
+            regather_comm += cost_model.allgatherv_time(
+                p, sum(rank_bytes[r] for r in bad)
+            )
+            gather_retries += len(bad)
         else:
-            segments, infos = extract_end_segments(read_parts[r], config.ell)
+            raise CommError(
+                f"gather payload failed integrity check {MAX_GATHER_ATTEMPTS} "
+                "times (permanently corrupted link?)"
+            )
+
+    # -- S4: map local queries (measured per rank, retried / re-dispatched) ---
+    def map_block(b: int):
+        def _run() -> MappingResult:
+            if len(read_parts[b]) == 0:
+                return MappingResult(
+                    [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), []
+                )
+            segments, infos = extract_end_segments(read_parts[b], config.ell)
             sketches = query_sketch_values(segments, config.k, config.w, family)
             hits = count_hits_vectorised(
-                table, sketches.values, min_hits=config.min_hits, query_mask=sketches.has
+                table, sketches.values, min_hits=config.min_hits,
+                query_mask=sketches.has,
             )
-            result = MappingResult.from_best_hits(segments.names, hits, infos)
-        map_times[r] = time.perf_counter() - t0
-        n_segments += len(result)
-        rank_results.append(result)
+            return MappingResult.from_best_hits(segments.names, hits, infos)
 
-    mapping = _merge_rank_results(rank_results, [int(b) for b in read_bounds[:-1]])
+        return _run
+
+    map_times = np.zeros(p)
+    rank_results: list[MappingResult | None] = [None] * p
+    map_failures: list[tuple[int, str]] = []
+    for r in range(p):
+        result, dt, rec, cause = _simulate_unit(
+            faults, policy, "map", block=r, exec_rank=r, stream=2 * p + r,
+            fn=map_block(r),
+        )
+        map_times[r] = dt
+        recovery[r] += rec
+        if result is None:
+            map_failures.append((r, cause or "unknown fault"))
+        else:
+            rank_results[r] = result
+    failed_blocks: dict[int, str] = {}
+    for b, cause in map_failures:
+        recovered = False
+        for donor in range(p):
+            if donor == b:
+                continue
+            result, dt, rec, cause2 = _simulate_unit(
+                faults, policy, "map",
+                block=b, exec_rank=donor, stream=3 * p + b, fn=map_block(b),
+            )
+            map_times[donor] += dt
+            recovery[donor] += rec
+            redispatches += 1
+            if result is not None:
+                rank_results[b] = result
+                recovered = True
+                break
+            cause = cause2 or cause
+        if not recovered:
+            failed_blocks[b] = cause
+
+    partial: PartialResult | None = None
+    if failed_blocks:
+        failed_reads = tuple(
+            name for b in sorted(failed_blocks) for name in read_parts[b].names
+        )
+        if strict:
+            raise PartialResultError(
+                f"query block(s) {sorted(failed_blocks)} unmappable on every "
+                f"rank ({len(failed_reads)} reads); rerun with strict=False "
+                "to accept a partial mapping",
+                failed_reads=failed_reads,
+            )
+        partial = PartialResult(
+            failed_reads=failed_reads,
+            failed_blocks=tuple(sorted(failed_blocks)),
+            causes=dict(failed_blocks),
+        )
+
+    surviving = [r for r in range(p) if rank_results[r] is not None]
+    mapping = _merge_rank_results(
+        [rank_results[r] for r in surviving],
+        [int(read_bounds[r]) for r in surviving],
+    )
+    n_segments = len(mapping)
     steps = StepTimes(
         load=load, sketch=sketch_times, map=map_times,
         gather_comm=gather_comm, comm_bytes=comm_bytes,
+        recovery=recovery, regather_comm=regather_comm,
+        gather_retries=gather_retries,
     )
-    return ParallelRunResult(mapping=mapping, steps=steps, p=p, n_segments=n_segments)
+    return ParallelRunResult(
+        mapping=mapping, steps=steps, p=p, n_segments=n_segments, partial=partial
+    )
 
 
 def run_parallel_jem_threaded(
@@ -173,14 +374,23 @@ def run_parallel_jem_threaded(
     config: JEMConfig | None = None,
     *,
     p: int = 4,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = 300.0,
 ) -> MappingResult:
     """The same SPMD program on a real ThreadComm world (correctness mode).
 
     Every rank executes S1–S4 concurrently with genuine Allgatherv data
     movement; only the merged mapping is returned (timings under a shared
-    GIL are not meaningful).
+    GIL are not meaningful).  Transient faults are retried in place (the
+    collectives stay aligned because retries complete before the rank
+    reaches its next collective); gather corruption is absorbed by the
+    checksummed :meth:`~repro.parallel.comm.ThreadComm.Allgatherv`.
+    Permanent rank faults abort the world — threaded ranks cannot trade
+    blocks without desynchronising the collectives.
     """
     config = config if config is not None else JEMConfig()
+    policy = retry if retry is not None else RetryPolicy()
     family = config.hash_family()
     subject_bounds = partition_bounds(contigs.offsets, p)
     read_bounds = partition_bounds(reads.offsets, p)
@@ -190,23 +400,37 @@ def run_parallel_jem_threaded(
         # S1: every rank takes its block of the (shared) input
         my_subjects = contigs.slice(int(subject_bounds[r]), int(subject_bounds[r + 1]))
         my_reads = reads.slice(int(read_bounds[r]), int(read_bounds[r + 1]))
-        # S2: sketch local subjects with global subject ids
-        keys = subject_sketch_pairs(
-            my_subjects, config.k, config.w, config.ell, family,
-            subject_id_offset=int(subject_bounds[r]),
-        )
-        # S3: per-trial Allgatherv into the global table
+
+        # S2: sketch local subjects with global subject ids (retried on fault)
+        def attempt_sketch(_attempt: int):
+            inject_compute_faults(faults, "sketch", block=r, exec_rank=r)
+            return subject_sketch_pairs(
+                my_subjects, config.k, config.w, config.ell, family,
+                subject_id_offset=int(subject_bounds[r]),
+            )
+
+        keys, _, _ = retry_call(attempt_sketch, policy=policy, stream=r)
+        # S3: per-trial Allgatherv into the global table (checksummed)
         merged = [np.unique(comm.Allgatherv(keys[t])) for t in range(config.trials)]
         table = SketchTable(merged, n_subjects=len(contigs))
-        # S4: map local queries
-        if len(my_reads) == 0:
-            return MappingResult([], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), [])
-        segments, infos = extract_end_segments(my_reads, config.ell)
-        sketches = query_sketch_values(segments, config.k, config.w, family)
-        hits = count_hits_vectorised(
-            table, sketches.values, min_hits=config.min_hits, query_mask=sketches.has
-        )
-        return MappingResult.from_best_hits(segments.names, hits, infos)
 
-    per_rank = spmd_run(rank_program, p)
+        # S4: map local queries (retried on fault)
+        def attempt_map(_attempt: int) -> MappingResult:
+            inject_compute_faults(faults, "map", block=r, exec_rank=r)
+            if len(my_reads) == 0:
+                return MappingResult(
+                    [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), []
+                )
+            segments, infos = extract_end_segments(my_reads, config.ell)
+            sketches = query_sketch_values(segments, config.k, config.w, family)
+            hits = count_hits_vectorised(
+                table, sketches.values, min_hits=config.min_hits,
+                query_mask=sketches.has,
+            )
+            return MappingResult.from_best_hits(segments.names, hits, infos)
+
+        result, _, _ = retry_call(attempt_map, policy=policy, stream=p + r)
+        return result
+
+    per_rank = spmd_run(rank_program, p, timeout=timeout, fault_plan=faults)
     return _merge_rank_results(per_rank, [int(b) for b in read_bounds[:-1]])

@@ -9,7 +9,7 @@ from .encode import (
     reverse_complement,
     reverse_complement_str,
 )
-from .io_fasta import iter_fasta, read_fasta, write_fasta
+from .io_fasta import ParseReport, iter_fasta, read_fasta, write_fasta
 from .io_fastq import iter_fastq, read_fastq, write_fastq
 from .packed import pack_codes, packed_nbytes, unpack_codes
 from .records import SeqRecord, SequenceSet, SequenceSetBuilder
@@ -28,6 +28,7 @@ __all__ = [
     "SeqRecord",
     "SequenceSet",
     "SequenceSetBuilder",
+    "ParseReport",
     "read_fasta",
     "iter_fasta",
     "write_fasta",

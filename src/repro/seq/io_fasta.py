@@ -2,6 +2,11 @@
 
 Supports plain and gzip-compressed files (by suffix), multi-line records,
 comments in headers, and strict error reporting with file/line positions.
+
+Real-world inputs are partially damaged more often than they are clean;
+``on_error="skip"`` turns malformed records into counted warnings (see
+:class:`ParseReport`) instead of aborting the whole file, so one truncated
+record does not discard an hour of mapping input.
 """
 
 from __future__ import annotations
@@ -9,14 +14,34 @@ from __future__ import annotations
 import gzip
 import io
 import os
+import warnings
 from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
 from typing import IO
 
 from ..errors import ParseError
 from .encode import encode
 from .records import SeqRecord, SequenceSet, SequenceSetBuilder
 
-__all__ = ["read_fasta", "iter_fasta", "write_fasta"]
+__all__ = ["read_fasta", "iter_fasta", "write_fasta", "ParseReport"]
+
+
+@dataclass
+class ParseReport:
+    """Tally of records skipped under the ``on_error="skip"`` policy."""
+
+    skipped: int = 0
+    errors: list[ParseError] = field(default_factory=list)
+
+    def record(self, err: ParseError) -> None:
+        self.skipped += 1
+        self.errors.append(err)
+        warnings.warn(f"skipping malformed record: {err}", stacklevel=4)
+
+
+def _check_on_error(on_error: str) -> None:
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f'on_error must be "raise" or "skip", got {on_error!r}')
 
 
 def _open_text(path: str | os.PathLike, mode: str) -> IO[str]:
@@ -26,16 +51,28 @@ def _open_text(path: str | os.PathLike, mode: str) -> IO[str]:
     return open(path, mode + "t", encoding="ascii")
 
 
-def iter_fasta(path: str | os.PathLike) -> Iterator[SeqRecord]:
+def iter_fasta(
+    path: str | os.PathLike,
+    *,
+    on_error: str = "raise",
+    report: ParseReport | None = None,
+) -> Iterator[SeqRecord]:
     """Yield :class:`SeqRecord` objects from a FASTA file, streaming.
 
     The record name is the header token up to the first whitespace; the rest
     of the header line is stored in ``meta['description']`` when present.
+
+    ``on_error="skip"`` drops malformed records (empty headers, orphan
+    sequence data) with a counted warning instead of raising; pass a
+    :class:`ParseReport` to collect the tally.
     """
+    _check_on_error(on_error)
+    report = report if report is not None else ParseReport()
     path = os.fspath(path)
     name: str | None = None
     description = ""
     parts: list[str] = []
+    skipping = False  # inside a malformed record whose lines we drop
     lineno = 0
     with _open_text(path, "r") as handle:
         for lineno, line in enumerate(handle, start=1):
@@ -45,18 +82,33 @@ def iter_fasta(path: str | os.PathLike) -> Iterator[SeqRecord]:
             if line.startswith(">"):
                 if name is not None:
                     yield _make_record(name, description, parts)
+                    name = None
                 header = line[1:].strip()
                 if not header:
-                    raise ParseError("empty FASTA header", path=path, line=lineno)
+                    err = ParseError("empty FASTA header", path=path, line=lineno)
+                    if on_error == "raise":
+                        raise err
+                    report.record(err)
+                    skipping = True
+                    parts = []
+                    continue
                 name, _, description = header.partition(" ")
                 parts = []
+                skipping = False
             else:
                 if name is None:
-                    raise ParseError(
+                    if skipping:
+                        continue
+                    err = ParseError(
                         f"sequence data before any '>' header: {line[:30]!r}",
                         path=path,
                         line=lineno,
                     )
+                    if on_error == "raise":
+                        raise err
+                    report.record(err)
+                    skipping = True
+                    continue
                 parts.append(line)
         if name is not None:
             yield _make_record(name, description, parts)
@@ -67,10 +119,15 @@ def _make_record(name: str, description: str, parts: list[str]) -> SeqRecord:
     return SeqRecord(name=name, codes=encode("".join(parts)), meta=meta)
 
 
-def read_fasta(path: str | os.PathLike) -> SequenceSet:
+def read_fasta(
+    path: str | os.PathLike,
+    *,
+    on_error: str = "raise",
+    report: ParseReport | None = None,
+) -> SequenceSet:
     """Read a whole FASTA file into a :class:`SequenceSet`."""
     builder = SequenceSetBuilder()
-    for rec in iter_fasta(path):
+    for rec in iter_fasta(path, on_error=on_error, report=report):
         builder.add(rec.name, rec.codes, rec.meta)
     return builder.build()
 

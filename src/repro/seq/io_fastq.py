@@ -9,7 +9,7 @@ import numpy as np
 
 from ..errors import ParseError
 from .encode import encode
-from .io_fasta import _open_text
+from .io_fasta import ParseReport, _check_on_error, _open_text
 from .records import SeqRecord, SequenceSet, SequenceSetBuilder
 
 __all__ = ["read_fastq", "iter_fastq", "write_fastq", "PHRED_OFFSET"]
@@ -18,8 +18,22 @@ __all__ = ["read_fastq", "iter_fastq", "write_fastq", "PHRED_OFFSET"]
 PHRED_OFFSET = 33
 
 
-def iter_fastq(path: str | os.PathLike) -> Iterator[SeqRecord]:
-    """Yield records from a FASTQ file, streaming, with quality arrays."""
+def iter_fastq(
+    path: str | os.PathLike,
+    *,
+    on_error: str = "raise",
+    report: ParseReport | None = None,
+) -> Iterator[SeqRecord]:
+    """Yield records from a FASTQ file, streaming, with quality arrays.
+
+    ``on_error="skip"`` drops malformed records (bad ``@`` header, missing
+    ``+`` separator, quality/sequence length mismatch, truncated final
+    record) with a counted warning and resynchronises on the next header
+    line instead of aborting the file; pass a :class:`ParseReport` to
+    collect the tally.
+    """
+    _check_on_error(on_error)
+    report = report if report is not None else ParseReport()
     path = os.fspath(path)
     with _open_text(path, "r") as handle:
         lineno = 0
@@ -32,25 +46,38 @@ def iter_fastq(path: str | os.PathLike) -> Iterator[SeqRecord]:
             if not header:
                 continue
             if not header.startswith("@"):
-                raise ParseError(
+                err = ParseError(
                     f"expected '@' header, got {header[:30]!r}", path=path, line=lineno
                 )
+                if on_error == "raise":
+                    raise err
+                # resynchronise by scanning line-by-line to the next header
+                report.record(err)
+                continue
             seq_line = handle.readline().rstrip("\n\r")
             plus_line = handle.readline().rstrip("\n\r")
             qual_line = handle.readline().rstrip("\n\r")
             lineno += 3
             if not plus_line.startswith("+"):
-                raise ParseError(
+                err = ParseError(
                     f"expected '+' separator, got {plus_line[:30]!r}",
                     path=path,
                     line=lineno - 1,
                 )
+                if on_error == "raise":
+                    raise err
+                report.record(err)
+                continue
             if len(qual_line) != len(seq_line):
-                raise ParseError(
+                err = ParseError(
                     f"quality length {len(qual_line)} != sequence length {len(seq_line)}",
                     path=path,
                     line=lineno,
                 )
+                if on_error == "raise":
+                    raise err
+                report.record(err)
+                continue
             name, _, description = header[1:].partition(" ")
             quality = (
                 np.frombuffer(qual_line.encode("ascii"), dtype=np.uint8) - PHRED_OFFSET
@@ -59,10 +86,15 @@ def iter_fastq(path: str | os.PathLike) -> Iterator[SeqRecord]:
             yield SeqRecord(name=name, codes=encode(seq_line), quality=quality, meta=meta)
 
 
-def read_fastq(path: str | os.PathLike) -> SequenceSet:
+def read_fastq(
+    path: str | os.PathLike,
+    *,
+    on_error: str = "raise",
+    report: ParseReport | None = None,
+) -> SequenceSet:
     """Read a whole FASTQ file into a :class:`SequenceSet` (qualities dropped)."""
     builder = SequenceSetBuilder()
-    for rec in iter_fastq(path):
+    for rec in iter_fastq(path, on_error=on_error, report=report):
         builder.add(rec.name, rec.codes, rec.meta)
     return builder.build()
 

@@ -39,6 +39,50 @@ def test_unindexed_mapper_rejected(tmp_path):
         save_index(JEMMapper(CFG), tmp_path / "idx")
 
 
+def test_truncated_index_is_clear_error(tmp_path, tiling_contigs):
+    mapper = JEMMapper(CFG)
+    mapper.index(tiling_contigs)
+    path = save_index(mapper, tmp_path / "idx")
+    raw = open(path, "rb").read()
+    with open(path, "wb") as fh:
+        fh.write(raw[: len(raw) // 2])
+    with pytest.raises(MappingError, match="corrupt|integrity") as excinfo:
+        load_index(path)
+    assert excinfo.value.__cause__ is not None  # root cause chained
+
+
+def test_garbage_file_is_clear_error(tmp_path):
+    path = tmp_path / "junk.npz"
+    path.write_bytes(b"this is not an npz bundle at all")
+    with pytest.raises(MappingError):
+        load_index(path)
+
+
+def test_bitflip_fails_checksum(tmp_path, tiling_contigs):
+    mapper = JEMMapper(CFG)
+    mapper.index(tiling_contigs)
+    path = save_index(mapper, tmp_path / "idx")
+    with np.load(path) as data:
+        payload = {key: data[key] for key in data.files}
+    corrupted = payload["trial_000"].copy()
+    corrupted[0] ^= 1
+    payload["trial_000"] = corrupted
+    np.savez_compressed(path, **payload)
+    with pytest.raises(MappingError, match="integrity"):
+        load_index(path)
+
+
+def test_missing_key_is_clear_error(tmp_path, tiling_contigs):
+    mapper = JEMMapper(CFG)
+    mapper.index(tiling_contigs)
+    path = save_index(mapper, tmp_path / "idx")
+    with np.load(path) as data:
+        payload = {key: data[key] for key in data.files if key != "trial_003"}
+    np.savez_compressed(path, **payload)
+    with pytest.raises(MappingError, match="corrupt"):
+        load_index(path)
+
+
 def test_version_check(tmp_path, tiling_contigs):
     mapper = JEMMapper(CFG)
     mapper.index(tiling_contigs)

@@ -1,0 +1,337 @@
+"""Fault matrix: crash / straggler / corrupt / drop / worker-death across
+the simulated SPMD driver, the ThreadComm world, and the multiprocessing
+backend.  The invariant under test: any *recoverable* fault plan yields a
+mapping bit-identical to the sequential JEMMapper's, and recovery cost is
+visible in the accounting."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import JEMConfig, JEMMapper
+from repro.errors import (
+    CommError,
+    FaultError,
+    PartialResultError,
+    RankTimeoutError,
+)
+from repro.parallel import (
+    FaultPlan,
+    FaultSpec,
+    RecoveryReport,
+    RetryPolicy,
+    map_reads_multiprocess,
+    run_parallel_jem,
+    run_parallel_jem_threaded,
+    spmd_run,
+)
+
+CFG = JEMConfig(k=12, w=20, ell=500, trials=6, seed=21)
+POLICY = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.005)
+
+
+@pytest.fixture(scope="module")
+def world():
+    from repro.seq import SequenceSet, SequenceSetBuilder, decode, random_codes
+
+    rng = np.random.default_rng(99)
+    genome = random_codes(15_000, rng)
+    contigs = []
+    pos = 0
+    i = 0
+    while pos < genome.size:
+        end = min(pos + 1_500, genome.size)
+        contigs.append((f"c{i}", decode(genome[pos:end])))
+        pos = end
+        i += 1
+    builder = SequenceSetBuilder()
+    for j in range(12):
+        start = int(rng.integers(0, genome.size - 4_000))
+        builder.add(f"r{j}", genome[start : start + 4_000])
+    return SequenceSet.from_strings(contigs), builder.build()
+
+
+@pytest.fixture(scope="module")
+def expected(world):
+    contigs, reads = world
+    mapper = JEMMapper(CFG)
+    mapper.index(contigs)
+    return mapper.map_reads(reads)
+
+
+def assert_identical(got, want):
+    assert np.array_equal(got.subject, want.subject)
+    assert np.array_equal(got.hit_count, want.hit_count)
+    assert got.segment_names == want.segment_names
+
+
+# -- simulated SPMD driver -----------------------------------------------------
+
+SIM_PLANS = {
+    "crash_sketch": [FaultSpec("crash", "sketch", 1, times=1)],
+    "crash_map": [FaultSpec("crash", "map", 2, times=2)],
+    "straggler": [FaultSpec("straggler", "map", 0, times=1, delay=0.02)],
+    "corrupt_gather": [FaultSpec("corrupt", "gather", 0, times=1)],
+    "drop_gather": [FaultSpec("drop", "gather", 3, times=1)],
+    "dead_rank_redispatch": [FaultSpec("worker_death", "map", 1, times=None)],
+    "mixed": [
+        FaultSpec("crash", "sketch", 0, times=1),
+        FaultSpec("straggler", "sketch", 2, times=1, delay=0.01),
+        FaultSpec("corrupt", "gather", 1, times=1),
+        FaultSpec("crash", "map", 3, times=None),  # permanent but rank-scoped
+    ],
+}
+
+
+@pytest.mark.parametrize("name", sorted(SIM_PLANS))
+def test_simulated_fault_matrix(world, expected, name):
+    contigs, reads = world
+    plan = FaultPlan(SIM_PLANS[name])
+    assert plan.recoverable
+    run = run_parallel_jem(contigs, reads, CFG, p=4, faults=plan, retry=POLICY)
+    assert_identical(run.mapping, expected)
+    assert run.complete
+    assert plan.total_fired > 0
+    assert run.recovery_time > 0  # acceptance: faults leave a timing trace
+    assert run.steps.total_time >= run.steps.compute_time + run.steps.gather_comm
+    assert "recovery" in run.steps.breakdown()
+
+
+def test_simulated_clean_run_has_no_recovery(world, expected):
+    contigs, reads = world
+    run = run_parallel_jem(contigs, reads, CFG, p=4)
+    assert_identical(run.mapping, expected)
+    assert run.recovery_time == 0.0
+    assert "recovery" not in run.steps.breakdown()
+
+
+def test_simulated_gather_retries_counted(world):
+    contigs, reads = world
+    plan = FaultPlan([FaultSpec("corrupt", "gather", 2, times=2)])
+    run = run_parallel_jem(contigs, reads, CFG, p=4, faults=plan, retry=POLICY)
+    assert run.steps.gather_retries == 2
+    assert run.steps.regather_comm > 0
+
+
+def test_simulated_permanent_gather_corruption_fatal(world):
+    contigs, reads = world
+    plan = FaultPlan([FaultSpec("corrupt", "gather", 0, times=None)])
+    with pytest.raises(CommError):
+        run_parallel_jem(contigs, reads, CFG, p=4, faults=plan, retry=POLICY)
+
+
+def test_simulated_unrecoverable_strict_raises(world):
+    contigs, reads = world
+    plan = FaultPlan([FaultSpec("crash", "map", 1, times=None, unit_scoped=True)])
+    assert not plan.recoverable
+    with pytest.raises(PartialResultError) as excinfo:
+        run_parallel_jem(contigs, reads, CFG, p=4, faults=plan, retry=POLICY)
+    assert len(excinfo.value.failed_reads) > 0
+
+
+def test_simulated_unrecoverable_degrades_gracefully(world, expected):
+    from repro.parallel.partition import partition_set
+
+    contigs, reads = world
+    plan = FaultPlan([FaultSpec("crash", "map", 1, times=None, unit_scoped=True)])
+    run = run_parallel_jem(
+        contigs, reads, CFG, p=4, faults=plan, retry=POLICY, strict=False
+    )
+    lost = tuple(partition_set(reads, 4)[1].names)
+    assert not run.complete
+    assert run.partial.failed_blocks == (1,)
+    assert run.partial.failed_reads == lost  # exactly the affected reads
+    # surviving blocks still match the sequential mapping for their reads
+    lost_set = set(lost)
+    kept = [
+        i for i, name in enumerate(expected.segment_names)
+        if name.rsplit("/", 1)[0] not in lost_set
+    ]
+    assert kept and len(kept) == len(expected) - 2 * len(lost)
+    assert run.mapping.segment_names == [expected.segment_names[i] for i in kept]
+    assert np.array_equal(run.mapping.subject, expected.subject[kept])
+    assert np.array_equal(run.mapping.hit_count, expected.hit_count[kept])
+
+
+def test_simulated_sketch_block_lost_everywhere_is_fatal(world):
+    contigs, reads = world
+    plan = FaultPlan([FaultSpec("crash", "sketch", 0, times=None, unit_scoped=True)])
+    with pytest.raises(FaultError):
+        run_parallel_jem(
+            contigs, reads, CFG, p=4, faults=plan, retry=POLICY, strict=False
+        )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_property_seeded_recoverable_plans(world, expected, seed):
+    """Any seeded recoverable FaultPlan yields output identical to sequential."""
+    contigs, reads = world
+    plan = FaultPlan.seeded(seed, 5, delay=0.005)
+    assert plan.recoverable
+    run = run_parallel_jem(contigs, reads, CFG, p=5, faults=plan, retry=POLICY)
+    assert_identical(run.mapping, expected)
+    assert run.recovery_time > 0
+
+
+def test_seeded_unrecoverable_plan_degrades(world):
+    contigs, reads = world
+    plan = FaultPlan.seeded(11, 4, recoverable=False)
+    assert not plan.recoverable
+    run = run_parallel_jem(
+        contigs, reads, CFG, p=4, faults=plan, retry=POLICY, strict=False
+    )
+    assert run.partial is not None
+    assert run.partial.n_failed > 0
+
+
+# -- ThreadComm world ----------------------------------------------------------
+
+THREADED_PLANS = {
+    "crash_sketch": [FaultSpec("crash", "sketch", 0, times=1)],
+    "crash_map": [FaultSpec("crash", "map", 2, times=1)],
+    "straggler": [FaultSpec("straggler", "sketch", 1, times=1, delay=0.01)],
+    "corrupt_gather": [FaultSpec("corrupt", "gather", 1, times=1)],
+    "drop_gather": [FaultSpec("drop", "gather", 2, times=1)],
+}
+
+
+@pytest.mark.parametrize("name", sorted(THREADED_PLANS))
+def test_threaded_fault_matrix(world, expected, name):
+    contigs, reads = world
+    plan = FaultPlan(THREADED_PLANS[name])
+    mapping = run_parallel_jem_threaded(
+        contigs, reads, CFG, p=4, faults=plan, retry=POLICY
+    )
+    assert_identical(mapping, expected)
+    assert plan.total_fired > 0
+
+
+def test_spmd_straggler_timeout_names_stuck_ranks():
+    def program(comm):
+        if comm.rank == 1:
+            time.sleep(3.0)
+        comm.barrier()
+        return comm.rank
+
+    with pytest.raises(RankTimeoutError) as excinfo:
+        spmd_run(program, 2, timeout=0.2)
+    assert 1 in excinfo.value.ranks
+    assert isinstance(excinfo.value, CommError)  # subclass contract
+
+
+# -- multiprocessing backend ---------------------------------------------------
+
+MP_PLANS = {
+    "crash_sketch": [FaultSpec("crash", "sketch", 0, times=1)],
+    "crash_map": [FaultSpec("crash", "map", 1, times=2)],
+    "straggler": [FaultSpec("straggler", "map", 0, times=1, delay=0.05)],
+}
+
+
+@pytest.mark.parametrize("name", sorted(MP_PLANS))
+def test_mp_fault_matrix(world, expected, name):
+    contigs, reads = world
+    plan = FaultPlan(MP_PLANS[name])
+    report = RecoveryReport()
+    got = map_reads_multiprocess(
+        contigs, reads, CFG, processes=2, mp_context="fork",
+        faults=plan, retry=POLICY, timeout=30.0, report=report,
+    )
+    assert_identical(got, expected)
+    assert report.partial is None
+    assert plan.total_fired > 0
+
+
+def test_mp_worker_death_redispatch(world, expected):
+    """A worker that dies hard (os._exit) is noticed via the unit timeout
+    and its block re-dispatched; output stays bit-identical."""
+    contigs, reads = world
+    plan = FaultPlan([FaultSpec("worker_death", "sketch", 0, times=1)])
+    report = RecoveryReport()
+    got = map_reads_multiprocess(
+        contigs, reads, CFG, processes=2, mp_context="fork",
+        faults=plan, retry=POLICY, timeout=2.0, report=report,
+    )
+    assert_identical(got, expected)
+    assert report.redispatches >= 1
+    assert report.recovery_seconds > 0
+
+
+def test_mp_unrecoverable_strict_raises(world):
+    contigs, reads = world
+    plan = FaultPlan([FaultSpec("crash", "map", 1, times=None, unit_scoped=True)])
+    with pytest.raises(PartialResultError) as excinfo:
+        map_reads_multiprocess(
+            contigs, reads, CFG, processes=2, mp_context="fork",
+            faults=plan, retry=POLICY, timeout=30.0,
+        )
+    assert len(excinfo.value.failed_reads) > 0
+
+
+def test_mp_unrecoverable_degrades_gracefully(world, expected):
+    from repro.parallel.partition import partition_set
+
+    contigs, reads = world
+    plan = FaultPlan([FaultSpec("crash", "map", 1, times=None, unit_scoped=True)])
+    report = RecoveryReport()
+    got = map_reads_multiprocess(
+        contigs, reads, CFG, processes=2, mp_context="fork",
+        faults=plan, retry=POLICY, timeout=30.0, strict=False, report=report,
+    )
+    lost = tuple(partition_set(reads, 2)[1].names)
+    assert report.partial is not None
+    assert report.partial.failed_reads == lost
+    assert len(got) == len(expected) - 2 * len(lost)
+
+
+# -- retry policy --------------------------------------------------------------
+
+def test_retry_schedule_deterministic():
+    policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.5, seed=7)
+    assert list(policy.delays(stream=3)) == list(policy.delays(stream=3))
+    assert list(policy.delays(stream=3)) != list(policy.delays(stream=4))
+
+
+def test_retry_backoff_grows_and_caps():
+    policy = RetryPolicy(max_attempts=5, base_delay=0.1, backoff=2.0,
+                         max_delay=0.25, jitter=0.0)
+    assert list(policy.delays()) == [0.1, 0.2, 0.25, 0.25]
+
+
+def test_retry_call_recovers_and_chains_cause():
+    from repro.parallel import retry_call
+
+    calls = []
+
+    def flaky(attempt):
+        calls.append(attempt)
+        if attempt < 2:
+            raise FaultError("boom")
+        return "ok"
+
+    policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+    result, attempts, recovery = retry_call(flaky, policy=policy)
+    assert result == "ok" and attempts == 3 and calls == [0, 1, 2]
+
+    def hopeless(attempt):
+        raise FaultError("always")
+
+    with pytest.raises(FaultError) as excinfo:
+        retry_call(hopeless, policy=policy)
+    assert isinstance(excinfo.value.__cause__, FaultError)  # root cause kept
+
+
+def test_fault_plan_consume_is_scoped():
+    plan = FaultPlan([
+        FaultSpec("crash", "map", 1, times=1),                    # rank-scoped
+        FaultSpec("crash", "map", 2, times=None, unit_scoped=True),
+    ])
+    # rank-scoped: fires on the executing rank, not on re-dispatch (-1)
+    assert plan.consume("map", block=1, exec_rank=1)
+    assert not plan.consume("map", block=1, exec_rank=1)  # budget spent
+    # unit-scoped: follows block 2 to any executor
+    assert plan.consume("map", block=2, exec_rank=0)
+    assert plan.consume("map", block=2, exec_rank=-1)
+    # other phases untouched
+    assert not plan.consume("sketch", block=2, exec_rank=2)

@@ -1,0 +1,83 @@
+"""The ``on_error="skip"`` parser policy: malformed records become counted
+warnings instead of aborting the whole file."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.seq import ParseReport, iter_fasta, iter_fastq, read_fasta, read_fastq
+
+
+def test_on_error_validated(tmp_path):
+    path = tmp_path / "x.fasta"
+    path.write_text(">a\nacgt\n")
+    with pytest.raises(ValueError):
+        list(iter_fasta(path, on_error="ignore"))
+
+
+def test_fasta_skip_empty_header(tmp_path):
+    path = tmp_path / "bad.fasta"
+    path.write_text(">a\nacgt\n>\ntttt\ngggg\n>b\ncc\n")
+    report = ParseReport()
+    with pytest.warns(UserWarning, match="skipping"):
+        records = list(iter_fasta(path, on_error="skip", report=report))
+    assert [r.name for r in records] == ["a", "b"]
+    assert records[0].sequence == "acgt" and records[1].sequence == "cc"
+    assert report.skipped == 1
+    assert report.errors[0].line == 3  # ParseError keeps path/line context
+    assert str(path) in str(report.errors[0])
+
+
+def test_fasta_skip_orphan_sequence_data(tmp_path):
+    path = tmp_path / "orphan.fasta"
+    path.write_text("acgtacgt\nmore\n>a\ngg\n")
+    report = ParseReport()
+    with pytest.warns(UserWarning):
+        loaded = read_fasta(path, on_error="skip", report=report)
+    assert list(loaded.names) == ["a"]
+    assert report.skipped == 1  # one incident, follow-up lines dropped silently
+
+
+def test_fasta_raise_is_default(tmp_path):
+    path = tmp_path / "bad.fasta"
+    path.write_text(">\nacgt\n")
+    with pytest.raises(ParseError):
+        list(iter_fasta(path))
+
+
+def test_fastq_skip_length_mismatch(tmp_path):
+    path = tmp_path / "bad.fastq"
+    path.write_text("@r1\nacgt\n+\nIIII\n@r2\nacgt\n+\nII\n@r3\ntt\n+\nII\n")
+    report = ParseReport()
+    with pytest.warns(UserWarning):
+        records = list(iter_fastq(path, on_error="skip", report=report))
+    assert [r.name for r in records] == ["r1", "r3"]
+    assert report.skipped == 1
+    assert "quality length" in str(report.errors[0])
+
+
+def test_fastq_skip_truncated_final_record(tmp_path):
+    path = tmp_path / "trunc.fastq"
+    path.write_text("@r1\nacgt\n+\nIIII\n@r2\nacgt\n")
+    report = ParseReport()
+    with pytest.warns(UserWarning):
+        loaded = read_fastq(path, on_error="skip", report=report)
+    assert list(loaded.names) == ["r1"]
+    assert report.skipped == 1
+
+
+def test_fastq_skip_resyncs_on_next_header(tmp_path):
+    # junk between records: the parser scans to the next '@' header
+    path = tmp_path / "junk.fastq"
+    path.write_text("junk line\n@r1\nacgt\n+\nIIII\n")
+    report = ParseReport()
+    with pytest.warns(UserWarning):
+        records = list(iter_fastq(path, on_error="skip", report=report))
+    assert [r.name for r in records] == ["r1"]
+    assert report.skipped == 1
+
+
+def test_fastq_raise_is_default(tmp_path):
+    path = tmp_path / "bad.fastq"
+    path.write_text("@r1\nacgt\n+\nII\n")
+    with pytest.raises(ParseError):
+        list(iter_fastq(path))
