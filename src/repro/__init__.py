@@ -21,6 +21,7 @@ from .core import (
 from .errors import ReproError
 from .scaffold import Scaffolder
 from .seq import SeqRecord, SequenceSet, read_fasta, read_fastq, write_fasta, write_fastq
+from .service import MappingService, ServiceConfig
 from .sketch import HashFamily, MinimizerList, minimizers
 
 __version__ = "1.0.0"
@@ -39,6 +40,8 @@ __all__ = [
     "read_fastq",
     "write_fasta",
     "write_fastq",
+    "MappingService",
+    "ServiceConfig",
     "HashFamily",
     "MinimizerList",
     "minimizers",

@@ -6,6 +6,10 @@ Subcommands:
 * ``map``      — map long reads (FASTA/FASTQ) to contigs (FASTA) and write
   a TSV of ⟨segment, contig, hits⟩ (mapper: jem / mashmap / minhash;
   ``-p`` > 1 runs the simulated-SPMD parallel driver);
+* ``serve``    — long-lived mapping service over stdin/stdout NDJSON
+  (index resident, micro-batched, cached; see ``docs/service.md``);
+* ``client``   — drive a ``serve`` process from a FASTA/FASTQ file and
+  write the same TSV as ``map``;
 * ``eval``     — end-to-end quality evaluation on a generated dataset;
 * ``bench``    — regenerate one (or all) of the paper's tables/figures;
 * ``datasets`` — list the dataset registry.
@@ -48,6 +52,55 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
 
 def _config_from(args: argparse.Namespace) -> JEMConfig:
     return JEMConfig(k=args.k, w=args.w, ell=args.ell, trials=args.trials, seed=args.seed)
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    """Scheduling/admission/caching knobs shared by ``serve`` and ``client``."""
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="most reads coalesced into one micro-batch (default 64)")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="longest a non-full batch waits for more reads (default 2)")
+    parser.add_argument("--queue-capacity", type=int, default=1024,
+                        help="admission queue bound; beyond it requests are "
+                             "rejected with a retry-after hint (default 1024)")
+    parser.add_argument("--cache-capacity", type=int, default=4096,
+                        help="query-sketch LRU result cache entries; 0 disables "
+                             "(default 4096)")
+    parser.add_argument("-p", "--processes", type=int, default=1,
+                        help="simulated ranks for the fault-tolerant batch "
+                             "dispatch (1 = inline fast path)")
+    parser.add_argument("--strict", action=argparse.BooleanOptionalAction, default=True,
+                        help="fail a whole batch on unrecoverable faults "
+                             "(--no-strict fails only the lost reads)")
+    parser.add_argument("--inject-faults", type=int, default=None, metavar="SEED",
+                        help="inject a seeded recoverable fault plan (testing/demo)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the final metrics snapshot as JSON")
+
+
+def _service_config_from(args: argparse.Namespace):
+    from .service import ServiceConfig
+
+    return ServiceConfig(
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_capacity=args.queue_capacity,
+        cache_capacity=args.cache_capacity,
+        processes=args.processes,
+        strict=args.strict,
+    )
+
+
+def _jem_mapper_from(args: argparse.Namespace, config: JEMConfig) -> JEMMapper:
+    """Resident JEM mapper from ``--index`` or ``-s`` (shared by map/serve)."""
+    if getattr(args, "index", None):
+        from .core.persist import load_index
+
+        return load_index(args.index)
+    subjects = read_fasta(args.subjects, on_error=getattr(args, "on_error", "raise"))
+    mapper = JEMMapper(config)
+    mapper.index(subjects)
+    return mapper
 
 
 def _read_sequences(path: str, *, on_error: str = "raise") -> SequenceSet:
@@ -115,6 +168,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "(testing/demo; recovery shows up in the timing line)")
     _add_config_args(p_map)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived mapping service: NDJSON requests on stdin, "
+             "responses on stdout (see docs/service.md)",
+    )
+    p_serve.add_argument("-s", "--subjects", help="contigs FASTA (indexed at startup)")
+    p_serve.add_argument("--index", help="saved JEM index (alternative to -s)")
+    p_serve.add_argument("--on-error", choices=("raise", "skip"), default="raise",
+                         help="contig parser policy")
+    _add_config_args(p_serve)
+    _add_service_args(p_serve)
+
+    p_client = sub.add_parser(
+        "client",
+        help="stream a FASTA/FASTQ file through a `jem serve` process and "
+             "write the same TSV as `map`",
+    )
+    p_client.add_argument("-q", "--queries", required=True, help="long reads FASTA/FASTQ")
+    p_client.add_argument("-s", "--subjects", help="contigs FASTA")
+    p_client.add_argument("--index", help="saved JEM index (alternative to -s)")
+    p_client.add_argument("-o", "--output", default="-", help="output TSV ('-' = stdout)")
+    p_client.add_argument("--on-error", choices=("raise", "skip"), default="raise",
+                          help="input parser policy")
+    p_client.add_argument("--server-cmd", default=None,
+                          help="shell command for the server (default: spawn "
+                               "`%(prog)s serve` with the matching flags)")
+    _add_config_args(p_client)
+    _add_service_args(p_client)
+
     p_scaf = sub.add_parser("scaffold", help="hybrid scaffolding from reads + contigs")
     p_scaf.add_argument("-q", "--queries", required=True, help="long reads FASTA/FASTQ")
     p_scaf.add_argument("-s", "--subjects", required=True, help="contigs FASTA")
@@ -140,6 +222,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--datasets", default=None, help="comma list to restrict inputs")
     p_bench.add_argument("--cache-dir", default=".dataset_cache")
     p_bench.add_argument("--results-dir", default="results")
+    p_bench.add_argument("--bench-json-dir", default=".",
+                         help="where BENCH_<name>.json trajectory files land "
+                              "(default: current directory, i.e. the repo root)")
 
     sub.add_parser("datasets", help="list the dataset registry")
     return parser
@@ -190,8 +275,7 @@ def _report_partial(partial) -> None:
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
-    if (args.subjects is None) == (args.index is None):
-        print("error: provide exactly one of -s/--subjects or --index", file=sys.stderr)
+    if not _require_one_source(args):
         return 2
     config = _config_from(args)
     queries = _read_sequences(args.queries, on_error=args.on_error)
@@ -202,9 +286,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
         faults = FaultPlan.seeded(args.inject_faults, max(args.processes, 1))
     t0 = time.perf_counter()
     if args.index is not None:
-        from .core.persist import load_index
-
-        mapper = load_index(args.index)
+        mapper = _jem_mapper_from(args, config)
         result = mapper.map_reads(queries)
         subject_names = mapper.subject_names
         timing = f"# jem (saved index): {time.perf_counter() - t0:.3f}s wall"
@@ -280,6 +362,124 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_one_source(args: argparse.Namespace) -> bool:
+    if (args.subjects is None) == (args.index is None):
+        print("error: provide exactly one of -s/--subjects or --index", file=sys.stderr)
+        return False
+    return True
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import MappingService, serve_loop
+
+    if not _require_one_source(args):
+        return 2
+    config = _config_from(args)
+    faults = None
+    if args.inject_faults is not None:
+        from .parallel.faults import FaultPlan
+
+        faults = FaultPlan.seeded(args.inject_faults, max(args.processes, 1))
+    t0 = time.perf_counter()
+    mapper = _jem_mapper_from(args, config)
+    service = MappingService(mapper, _service_config_from(args), faults=faults)
+    print(
+        f"# serving {len(mapper.subject_names)} contigs "
+        f"({mapper.table.total_entries:,} sketch entries, "
+        f"ready in {time.perf_counter() - t0:.2f}s); NDJSON on stdin",
+        file=sys.stderr,
+    )
+    stats = serve_loop(service, sys.stdin, sys.stdout)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(service.metrics.snapshot(), fh, indent=2)
+    print(
+        f"# drained: {stats.mapped} mapped, {stats.errors} errors, "
+        f"{stats.rejected} rejected",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+    import shlex
+    import subprocess
+
+    from .service import stream_reads
+
+    if args.server_cmd is None and not _require_one_source(args):
+        return 2
+    queries = _read_sequences(args.queries, on_error=args.on_error)
+    if args.server_cmd is not None:
+        command = shlex.split(args.server_cmd)
+    else:
+        command = [sys.executable, "-m", "repro.cli", "serve"]
+        command += ["--index", args.index] if args.index else ["-s", args.subjects]
+        command += [
+            "--k", str(args.k), "--w", str(args.w), "--ell", str(args.ell),
+            "--trials", str(args.trials), "--seed", str(args.seed),
+            "--max-batch", str(args.max_batch),
+            "--max-wait-ms", str(args.max_wait_ms),
+            "--queue-capacity", str(args.queue_capacity),
+            "--cache-capacity", str(args.cache_capacity),
+            "--processes", str(args.processes),
+            "--strict" if args.strict else "--no-strict",
+        ]
+        if args.inject_faults is not None:
+            command += ["--inject-faults", str(args.inject_faults)]
+    t0 = time.perf_counter()
+    proc = subprocess.Popen(
+        command, stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True
+    )
+    try:
+        stats = stream_reads(queries, proc)
+    finally:
+        if proc.poll() is None:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    elapsed = time.perf_counter() - t0
+    out = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
+    mapped_segments = 0
+    total_segments = 0
+    try:
+        out.write(f"# jem-mapper {__version__} # serve client: {elapsed:.3f}s wall\n")
+        out.write("segment\tcontig\thits\n")
+        for response in stats.responses:
+            if "error" in response:
+                print(f"warning: read {response.get('name', response.get('id'))!r} "
+                      f"failed: {response['error']}", file=sys.stderr)
+                continue
+            for row in response["results"]:
+                total_segments += 1
+                contig = row["contig"] if row["contig"] is not None else "*"
+                if row["contig"] is not None:
+                    mapped_segments += 1
+                out.write(f"{row['segment']}\t{contig}\t{row['hits']}\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    if args.metrics_out and stats.drained_reply is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(stats.drained_reply["metrics"], fh, indent=2)
+    drained = stats.drained_reply is not None
+    print(
+        f"mapped {mapped_segments}/{total_segments} segments from "
+        f"{len(queries)} reads in {elapsed:.2f}s "
+        f"({len(queries) / elapsed:,.0f} reads/s); "
+        f"{stats.retries} backpressure retries; "
+        f"drain {'clean' if drained else 'MISSING'}",
+        file=sys.stderr,
+    )
+    if not drained or stats.errors:
+        return 1
+    return 0
+
+
 def _cmd_scaffold(args: argparse.Namespace) -> int:
     from .scaffold import Scaffolder
 
@@ -335,9 +535,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     for name in names:
         t0 = time.perf_counter()
         output = EXPERIMENTS[name](ctx)
+        output.elapsed_seconds = time.perf_counter() - t0
+        json_path = output.save_bench_json(args.bench_json_dir)
         print(output.text)
-        print(f"[{name}: {time.perf_counter() - t0:.1f}s; saved to "
-              f"{os.path.join(ctx.results_dir, name + '.txt')}]\n")
+        print(f"[{name}: {output.elapsed_seconds:.1f}s; saved to "
+              f"{os.path.join(ctx.results_dir, name + '.txt')} + {json_path}]\n")
     return 0
 
 
@@ -360,6 +562,8 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "index": _cmd_index,
         "map": _cmd_map,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
         "scaffold": _cmd_scaffold,
         "eval": _cmd_eval,
         "bench": _cmd_bench,

@@ -18,6 +18,9 @@ __all__ = [
     "FaultError",
     "RankTimeoutError",
     "PartialResultError",
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceOverloadError",
     "AssemblyError",
     "DatasetError",
 ]
@@ -95,6 +98,26 @@ class PartialResultError(ReproError):
     def __init__(self, message: str, *, failed_reads: tuple[str, ...] = ()):
         super().__init__(message)
         self.failed_reads = tuple(failed_reads)
+
+
+class ServiceError(ReproError):
+    """Failure inside the long-lived mapping service."""
+
+
+class ServiceClosedError(ServiceError):
+    """A request arrived after the service began draining or shut down."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission control rejected a request because the queue is full.
+
+    ``retry_after`` is the service's estimate (seconds) of when capacity
+    will free up, suitable for a Retry-After style client backoff.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
 
 
 class AssemblyError(ReproError):

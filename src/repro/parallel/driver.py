@@ -56,7 +56,14 @@ from .faults import FaultPlan, PartialResult, inject_compute_faults
 from .partition import partition_bounds, partition_set
 from .retry import RetryPolicy, retry_call
 
-__all__ = ["ParallelRunResult", "run_parallel_jem", "run_parallel_jem_threaded"]
+__all__ = [
+    "ParallelRunResult",
+    "QueryMapOutcome",
+    "map_partitioned_queries",
+    "resolve_partial",
+    "run_parallel_jem",
+    "run_parallel_jem_threaded",
+]
 
 
 @dataclass
@@ -159,6 +166,142 @@ def _simulate_unit(
             retries += 1
     recovery += policy.total_backoff(retries, stream=stream)
     return None, measured, recovery, cause
+
+
+@dataclass
+class QueryMapOutcome:
+    """Result of the fault-tolerant S4 stage over partitioned queries.
+
+    ``rank_results[b]`` is block b's mapping (``None`` when the block was
+    lost on every rank); recovery seconds and re-dispatch counts are
+    accounted per executing rank exactly as :func:`run_parallel_jem` does.
+    """
+
+    rank_results: list[MappingResult | None]
+    map_times: np.ndarray
+    recovery: np.ndarray
+    redispatches: int
+    failed_blocks: dict[int, str]
+
+
+def map_partitioned_queries(
+    table: SketchTable,
+    read_parts: list[SequenceSet],
+    config: JEMConfig,
+    family=None,
+    *,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    first_stream_base: int | None = None,
+    redispatch_stream_base: int | None = None,
+) -> QueryMapOutcome:
+    """Map per-rank query blocks against a resident sketch table (step S4).
+
+    This is the query half of :func:`run_parallel_jem`, factored out so a
+    long-lived service with a resident index reuses the exact same
+    fault-tolerant dispatch: every block runs under the
+    :class:`~repro.parallel.faults.FaultPlan` / retry policy, and a block
+    whose own rank is beyond saving is re-dispatched to the surviving
+    ranks.  Blocks that fail everywhere land in ``failed_blocks``;
+    :func:`resolve_partial` turns them into the strict/no-strict contract.
+    """
+    p = len(read_parts)
+    policy = retry if retry is not None else RetryPolicy()
+    if family is None:
+        family = config.hash_family()
+    if first_stream_base is None:
+        first_stream_base = 2 * p
+    if redispatch_stream_base is None:
+        redispatch_stream_base = 3 * p
+
+    def map_block(b: int):
+        def _run() -> MappingResult:
+            if len(read_parts[b]) == 0:
+                return MappingResult(
+                    [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), []
+                )
+            segments, infos = extract_end_segments(read_parts[b], config.ell)
+            sketches = query_sketch_values(segments, config.k, config.w, family)
+            hits = count_hits_vectorised(
+                table, sketches.values, min_hits=config.min_hits,
+                query_mask=sketches.has,
+            )
+            return MappingResult.from_best_hits(segments.names, hits, infos)
+
+        return _run
+
+    map_times = np.zeros(p)
+    recovery = np.zeros(p)
+    redispatches = 0
+    rank_results: list[MappingResult | None] = [None] * p
+    map_failures: list[tuple[int, str]] = []
+    for r in range(p):
+        result, dt, rec, cause = _simulate_unit(
+            faults, policy, "map", block=r, exec_rank=r,
+            stream=first_stream_base + r, fn=map_block(r),
+        )
+        map_times[r] = dt
+        recovery[r] += rec
+        if result is None:
+            map_failures.append((r, cause or "unknown fault"))
+        else:
+            rank_results[r] = result
+    failed_blocks: dict[int, str] = {}
+    for b, cause in map_failures:
+        recovered = False
+        for donor in range(p):
+            if donor == b:
+                continue
+            result, dt, rec, cause2 = _simulate_unit(
+                faults, policy, "map",
+                block=b, exec_rank=donor,
+                stream=redispatch_stream_base + b, fn=map_block(b),
+            )
+            map_times[donor] += dt
+            recovery[donor] += rec
+            redispatches += 1
+            if result is not None:
+                rank_results[b] = result
+                recovered = True
+                break
+            cause = cause2 or cause
+        if not recovered:
+            failed_blocks[b] = cause
+    return QueryMapOutcome(
+        rank_results=rank_results, map_times=map_times, recovery=recovery,
+        redispatches=redispatches, failed_blocks=failed_blocks,
+    )
+
+
+def resolve_partial(
+    failed_blocks: dict[int, str],
+    read_parts: list[SequenceSet],
+    *,
+    strict: bool,
+) -> PartialResult | None:
+    """Apply the strict/no-strict contract to unmappable query blocks.
+
+    Strict mode raises :class:`~repro.errors.PartialResultError` naming
+    every lost read; otherwise the same information is returned as a
+    :class:`~repro.parallel.faults.PartialResult` (``None`` on a clean run).
+    """
+    if not failed_blocks:
+        return None
+    failed_reads = tuple(
+        name for b in sorted(failed_blocks) for name in read_parts[b].names
+    )
+    if strict:
+        raise PartialResultError(
+            f"query block(s) {sorted(failed_blocks)} unmappable on every "
+            f"rank ({len(failed_reads)} reads); rerun with strict=False "
+            "to accept a partial mapping",
+            failed_reads=failed_reads,
+        )
+    return PartialResult(
+        failed_reads=failed_reads,
+        failed_blocks=tuple(sorted(failed_blocks)),
+        causes=dict(failed_blocks),
+    )
 
 
 def run_parallel_jem(
@@ -282,74 +425,15 @@ def run_parallel_jem(
             )
 
     # -- S4: map local queries (measured per rank, retried / re-dispatched) ---
-    def map_block(b: int):
-        def _run() -> MappingResult:
-            if len(read_parts[b]) == 0:
-                return MappingResult(
-                    [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), []
-                )
-            segments, infos = extract_end_segments(read_parts[b], config.ell)
-            sketches = query_sketch_values(segments, config.k, config.w, family)
-            hits = count_hits_vectorised(
-                table, sketches.values, min_hits=config.min_hits,
-                query_mask=sketches.has,
-            )
-            return MappingResult.from_best_hits(segments.names, hits, infos)
-
-        return _run
-
-    map_times = np.zeros(p)
-    rank_results: list[MappingResult | None] = [None] * p
-    map_failures: list[tuple[int, str]] = []
-    for r in range(p):
-        result, dt, rec, cause = _simulate_unit(
-            faults, policy, "map", block=r, exec_rank=r, stream=2 * p + r,
-            fn=map_block(r),
-        )
-        map_times[r] = dt
-        recovery[r] += rec
-        if result is None:
-            map_failures.append((r, cause or "unknown fault"))
-        else:
-            rank_results[r] = result
-    failed_blocks: dict[int, str] = {}
-    for b, cause in map_failures:
-        recovered = False
-        for donor in range(p):
-            if donor == b:
-                continue
-            result, dt, rec, cause2 = _simulate_unit(
-                faults, policy, "map",
-                block=b, exec_rank=donor, stream=3 * p + b, fn=map_block(b),
-            )
-            map_times[donor] += dt
-            recovery[donor] += rec
-            redispatches += 1
-            if result is not None:
-                rank_results[b] = result
-                recovered = True
-                break
-            cause = cause2 or cause
-        if not recovered:
-            failed_blocks[b] = cause
-
-    partial: PartialResult | None = None
-    if failed_blocks:
-        failed_reads = tuple(
-            name for b in sorted(failed_blocks) for name in read_parts[b].names
-        )
-        if strict:
-            raise PartialResultError(
-                f"query block(s) {sorted(failed_blocks)} unmappable on every "
-                f"rank ({len(failed_reads)} reads); rerun with strict=False "
-                "to accept a partial mapping",
-                failed_reads=failed_reads,
-            )
-        partial = PartialResult(
-            failed_reads=failed_reads,
-            failed_blocks=tuple(sorted(failed_blocks)),
-            causes=dict(failed_blocks),
-        )
+    outcome = map_partitioned_queries(
+        table, read_parts, config, family, faults=faults, retry=policy,
+        first_stream_base=2 * p, redispatch_stream_base=3 * p,
+    )
+    map_times = outcome.map_times
+    recovery += outcome.recovery
+    redispatches += outcome.redispatches
+    rank_results = outcome.rank_results
+    partial = resolve_partial(outcome.failed_blocks, read_parts, strict=strict)
 
     surviving = [r for r in range(p) if rank_results[r] is not None]
     mapping = _merge_rank_results(

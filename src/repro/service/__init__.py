@@ -1,0 +1,36 @@
+"""repro.service — batched, cached, long-lived mapping service.
+
+Turns the one-shot JEM-mapper pipeline into a resident server: index
+loaded once, bounded admission queue with backpressure, dynamic
+micro-batching through the fault-tolerant parallel dispatch, an LRU
+result cache keyed by query-sketch content, and live metrics.  See
+``docs/service.md`` for the architecture and contracts.
+"""
+
+from .cache import SketchCacheEntry, SketchLRUCache, read_content_key
+from .config import ServiceConfig
+from .metrics import Counter, Gauge, LatencyHistogram, ServiceMetrics
+from .protocol import ClientStats, ServeStats, serve_loop, stream_reads
+from .queue import AdmissionQueue, MapFuture
+from .scheduler import MicroBatchScheduler
+from .service import MappingService, ReadMapping
+
+__all__ = [
+    "MappingService",
+    "ReadMapping",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "SketchLRUCache",
+    "SketchCacheEntry",
+    "read_content_key",
+    "AdmissionQueue",
+    "MapFuture",
+    "MicroBatchScheduler",
+    "serve_loop",
+    "stream_reads",
+    "ServeStats",
+    "ClientStats",
+]

@@ -1,0 +1,126 @@
+"""LRU result cache keyed by canonical query-sketch content.
+
+The JEM mapping of a read depends only on (a) the resident index and (b)
+the bytes of the read's two end segments — the exact input of the query
+sketching stage.  Inside one service (one index, one config) a read is
+therefore fully determined by the content hash of its end segments, so
+repeated or duplicate reads — resubmissions, PCR/optical duplicates,
+overlapping client retries — skip sketching *and* table lookup entirely.
+Read names are deliberately not part of the key: two differently named
+reads with identical sequence share one entry (the cached value stores
+per-segment subject/hit pairs; names are re-attached on the way out).
+
+Results are identical with or without the cache by construction: the
+cached value *is* the mapping the compute path produced for the same
+segment bytes, and segments are mapped independently of their batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from hashlib import blake2b
+
+import numpy as np
+
+__all__ = ["SketchCacheEntry", "SketchLRUCache", "read_content_key"]
+
+
+def read_content_key(prefix_codes: np.ndarray, suffix_codes: np.ndarray) -> bytes:
+    """Canonical content hash of a read's two end segments.
+
+    The digest covers exactly the bytes the sketching stage would consume
+    (prefix, separator, suffix — the separator keeps ``("ab", "c")`` and
+    ``("a", "bc")`` distinct).
+    """
+    h = blake2b(digest_size=16)
+    h.update(np.ascontiguousarray(prefix_codes, dtype=np.uint8).tobytes())
+    h.update(b"\x00|\x00")
+    h.update(np.ascontiguousarray(suffix_codes, dtype=np.uint8).tobytes())
+    return h.digest()
+
+
+class SketchCacheEntry:
+    """Cached mapping of one read's (prefix, suffix) segment pair."""
+
+    __slots__ = ("prefix_subject", "prefix_hits", "suffix_subject", "suffix_hits")
+
+    def __init__(
+        self,
+        prefix_subject: int,
+        prefix_hits: int,
+        suffix_subject: int,
+        suffix_hits: int,
+    ) -> None:
+        self.prefix_subject = int(prefix_subject)
+        self.prefix_hits = int(prefix_hits)
+        self.suffix_subject = int(suffix_subject)
+        self.suffix_hits = int(suffix_hits)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SketchCacheEntry) and (
+            self.prefix_subject, self.prefix_hits,
+            self.suffix_subject, self.suffix_hits,
+        ) == (
+            other.prefix_subject, other.prefix_hits,
+            other.suffix_subject, other.suffix_hits,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SketchCacheEntry(prefix=({self.prefix_subject}, {self.prefix_hits}), "
+            f"suffix=({self.suffix_subject}, {self.suffix_hits}))"
+        )
+
+
+class SketchLRUCache:
+    """Bounded least-recently-used map from content key to cached mapping.
+
+    ``capacity=0`` disables the cache (every ``get`` misses, ``put`` is a
+    no-op) so the service code path stays branch-free.  Thread-safe; hit
+    and miss counts are kept here and mirrored into the service metrics.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[bytes, SketchCacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: bytes) -> SketchCacheEntry | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: bytes, entry: SketchCacheEntry) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,74 @@
+"""Tunables of the long-lived mapping service.
+
+:class:`ServiceConfig` controls *scheduling* — how requests queue, batch,
+and cache.  It is deliberately separate from
+:class:`~repro.core.config.JEMConfig`, which controls *what* is computed:
+no ServiceConfig setting may change mapping output, only when and how
+fast it is produced (the determinism tests pin this down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Scheduling, admission, and caching knobs.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Most reads coalesced into one dispatched batch.
+    max_wait_ms:
+        Longest the scheduler holds a non-full batch open waiting for more
+        arrivals before dispatching it (the latency half of the
+        batching trade-off).
+    queue_capacity:
+        Bound on queued-but-unscheduled requests; a submit beyond it is
+        rejected with :class:`~repro.errors.ServiceOverloadError` and a
+        ``retry_after`` hint (admission control / backpressure).
+    cache_capacity:
+        Entries in the query-sketch LRU result cache; 0 disables caching.
+    processes:
+        Simulated ranks for the fault-tolerant parallel dispatch path.
+        1 = map batches inline (fastest on one core); > 1 partitions each
+        batch across ranks through the S4 driver, which is also the path
+        that supports fault injection and re-dispatch recovery.
+    strict:
+        Strict-mode contract for unrecoverable faults: ``True`` fails the
+        whole batch, ``False`` degrades gracefully — only the lost reads'
+        requests error, naming the cause.
+    metrics_window:
+        Reservoir size of each latency histogram.
+    """
+
+    max_batch_size: int = 64
+    max_wait_ms: float = 2.0
+    queue_capacity: int = 1024
+    cache_capacity: int = 4096
+    processes: int = 1
+    strict: bool = True
+    metrics_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_wait_ms < 0:
+            raise ConfigError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.queue_capacity < 1:
+            raise ConfigError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.cache_capacity < 0:
+            raise ConfigError(f"cache_capacity must be >= 0, got {self.cache_capacity}")
+        if self.processes < 1:
+            raise ConfigError(f"processes must be >= 1, got {self.processes}")
+        if self.metrics_window < 1:
+            raise ConfigError(f"metrics_window must be >= 1, got {self.metrics_window}")
+
+    @property
+    def max_wait_seconds(self) -> float:
+        return self.max_wait_ms / 1000.0

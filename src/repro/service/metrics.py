@@ -1,0 +1,191 @@
+"""Live metrics for the mapping service.
+
+A tiny, dependency-free instrumentation layer in the Prometheus idiom:
+monotonically increasing :class:`Counter`\\ s, point-in-time
+:class:`Gauge`\\ s, and reservoir-backed :class:`LatencyHistogram`\\ s that
+report p50/p95/p99 quantiles.  Everything is thread-safe (the service's
+submitters, the scheduler thread, and metrics readers run concurrently)
+and :meth:`ServiceMetrics.snapshot` renders the whole registry as one
+plain-``dict`` tree that ``json.dumps`` accepts verbatim — the service's
+observability contract (see ``docs/service.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "LatencyHistogram", "ServiceMetrics"]
+
+#: Quantiles every histogram reports, in snapshot key order.
+QUANTILES = ((50, "p50"), (95, "p95"), (99, "p99"))
+
+
+class Counter:
+    """A monotonically increasing count (requests served, cache hits, ...)."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up, got inc({n})")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time level (queue depth, in-flight requests, ...)."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class LatencyHistogram:
+    """Quantile summary over a bounded reservoir of observations.
+
+    Keeps the most recent ``window`` observations (count/sum/min/max are
+    exact over the full stream) and computes p50/p95/p99 from the
+    reservoir at snapshot time — accurate for the service's steady-state
+    distributions without unbounded memory.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._recent: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._recent.append(value)
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            count = self._count
+            total = self._sum
+            lo, hi = self._min, self._max
+            recent = list(self._recent)
+        if count == 0:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    **{key: 0.0 for _, key in QUANTILES}}
+        values = np.sort(np.asarray(recent, dtype=np.float64))
+        quantiles = {
+            key: float(np.percentile(values, q)) for q, key in QUANTILES
+        }
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count,
+            "min": lo,
+            "max": hi,
+            **quantiles,
+        }
+
+
+class ServiceMetrics:
+    """The mapping service's metric registry.
+
+    Counters
+        ``requests_total``, ``responses_total``, ``rejected_total``
+        (admission-control rejections), ``errors_total`` (requests failed
+        by faults), ``cache_hits_total``, ``cache_misses_total``,
+        ``batches_total``, ``reads_mapped_total``.
+    Gauges
+        ``queue_depth``, ``inflight``, ``cache_size``.
+    Histograms (seconds unless noted)
+        ``queue_wait`` (submit → batch pickup), ``map_latency`` (batch
+        compute), ``request_latency`` (submit → response), ``batch_size``
+        (reads per dispatched batch).
+    """
+
+    def __init__(self, *, window: int = 4096) -> None:
+        self.requests_total = Counter()
+        self.responses_total = Counter()
+        self.rejected_total = Counter()
+        self.errors_total = Counter()
+        self.cache_hits_total = Counter()
+        self.cache_misses_total = Counter()
+        self.batches_total = Counter()
+        self.reads_mapped_total = Counter()
+        self.queue_depth = Gauge()
+        self.inflight = Gauge()
+        self.cache_size = Gauge()
+        self.queue_wait = LatencyHistogram(window)
+        self.map_latency = LatencyHistogram(window)
+        self.request_latency = LatencyHistogram(window)
+        self.batch_size = LatencyHistogram(window)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        hits = self.cache_hits_total.value
+        misses = self.cache_misses_total.value
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """The whole registry as one JSON-serialisable dict."""
+        return {
+            "counters": {
+                "requests_total": self.requests_total.value,
+                "responses_total": self.responses_total.value,
+                "rejected_total": self.rejected_total.value,
+                "errors_total": self.errors_total.value,
+                "cache_hits_total": self.cache_hits_total.value,
+                "cache_misses_total": self.cache_misses_total.value,
+                "batches_total": self.batches_total.value,
+                "reads_mapped_total": self.reads_mapped_total.value,
+            },
+            "gauges": {
+                "queue_depth": self.queue_depth.value,
+                "inflight": self.inflight.value,
+                "cache_size": self.cache_size.value,
+            },
+            "cache_hit_ratio": self.cache_hit_ratio,
+            "histograms": {
+                "queue_wait_seconds": self.queue_wait.snapshot(),
+                "map_latency_seconds": self.map_latency.snapshot(),
+                "request_latency_seconds": self.request_latency.snapshot(),
+                "batch_size_reads": self.batch_size.snapshot(),
+            },
+        }
+
+    def to_json(self, **dumps_kwargs) -> str:
+        return json.dumps(self.snapshot(), **dumps_kwargs)

@@ -1,0 +1,244 @@
+"""Newline-delimited JSON protocol for ``jem serve`` / ``jem client``.
+
+One JSON object per line, in both directions.  Requests:
+
+* ``{"op": "map", "id": <any>, "name": "<read>", "seq": "ACGT..."}`` —
+  map one read; the response echoes ``id`` and ``name`` and carries one
+  result per end segment.
+* ``{"op": "ping"}`` → ``{"op": "pong"}`` (liveness).
+* ``{"op": "metrics"}`` → the full metrics snapshot (pending maps are
+  flushed first so the snapshot reflects them).
+* ``{"op": "drain"}`` — stop admission, finish everything, answer
+  ``{"op": "drained", ...}`` with a final snapshot, and end the session.
+  EOF on the input stream is an implicit drain.
+
+Backpressure surfaces in-band: an admission rejection produces
+``{"id": ..., "error": "overloaded", "retry_after": <seconds>}`` and the
+client resubmits after the hinted delay.  Responses to ``map`` requests
+are written in request order (deterministic transcripts), so a client
+may pipeline as many requests as it likes, but must read concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ReproError, ServiceOverloadError
+from ..seq.records import SequenceSet
+from .service import MappingService
+
+__all__ = ["serve_loop", "ServeStats", "stream_reads", "ClientStats"]
+
+#: Map requests kept in flight before the serve loop flushes responses.
+#: Bounds server memory while still letting batches fill.
+MAX_PENDING = 512
+
+
+@dataclass
+class ServeStats:
+    """What one serve session did (returned by :func:`serve_loop`)."""
+
+    mapped: int = 0
+    errors: int = 0
+    rejected: int = 0
+    drained: bool = False
+
+
+def _response_for(entry) -> dict:
+    """Render one pending (header, future) pair as a response object."""
+    header, future = entry
+    try:
+        mapping = future.result()
+    except ReproError as exc:
+        return {**header, "error": str(exc)}
+    return {
+        **header,
+        "results": [
+            {"segment": seg, "contig": mapping.subject_names[i],
+             "hits": mapping.hit_count[i]}
+            for i, seg in enumerate(mapping.segment_names)
+        ],
+        "cached": mapping.cached,
+    }
+
+
+def serve_loop(service: MappingService, in_stream, out_stream) -> ServeStats:
+    """Run one NDJSON session over ``service`` until drain/EOF.
+
+    The service is always drained on the way out, even on a protocol
+    error — accepted requests are never abandoned.
+    """
+    stats = ServeStats()
+    pending: list[tuple[dict, object]] = []
+
+    def emit(obj: dict) -> None:
+        out_stream.write(json.dumps(obj) + "\n")
+        out_stream.flush()
+
+    def flush_pending(*, only_done: bool = False) -> None:
+        while pending:
+            header, future = pending[0]
+            if only_done and not (future is None or future.done()):
+                return
+            pending.pop(0)
+            if future is None:  # pre-resolved (admission rejection)
+                emit(header)
+                stats.rejected += 1
+                continue
+            response = _response_for((header, future))
+            if "error" in response:
+                stats.errors += 1
+            else:
+                stats.mapped += 1
+            emit(response)
+
+    try:
+        for line in in_stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                message = json.loads(line)
+                op = message.get("op", "map")
+            except (json.JSONDecodeError, AttributeError) as exc:
+                emit({"error": f"bad request line: {exc}"})
+                continue
+            if op == "map":
+                header = {"id": message.get("id"), "name": message.get("name", "")}
+                seq = message.get("seq", "")
+                try:
+                    future = service.submit(header["name"] or "read", seq)
+                    pending.append((header, future))
+                except ServiceOverloadError as exc:
+                    pending.append((
+                        {**header, "error": "overloaded",
+                         "retry_after": exc.retry_after},
+                        None,
+                    ))
+                except ReproError as exc:
+                    pending.append(({**header, "error": str(exc)}, None))
+                if len(pending) >= MAX_PENDING:
+                    flush_pending()
+                else:
+                    flush_pending(only_done=True)
+            elif op == "ping":
+                flush_pending()
+                emit({"op": "pong"})
+            elif op == "metrics":
+                flush_pending()
+                emit({"op": "metrics", "metrics": service.metrics.snapshot()})
+            elif op == "drain":
+                break
+            else:
+                emit({"error": f"unknown op {op!r}"})
+        flush_pending()
+        service.drain()
+        stats.drained = True
+        emit({
+            "op": "drained",
+            "mapped": stats.mapped,
+            "errors": stats.errors,
+            "rejected": stats.rejected,
+            "metrics": service.metrics.snapshot(),
+        })
+    finally:
+        if not service.drained:
+            service.drain()
+    return stats
+
+
+@dataclass
+class ClientStats:
+    """Outcome of one client run against a serve session."""
+
+    responses: list[dict] = field(default_factory=list)
+    retries: int = 0
+    drained_reply: dict | None = None
+
+    @property
+    def mapped(self) -> int:
+        return sum(1 for r in self.responses if "results" in r)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for r in self.responses if "error" in r)
+
+
+def stream_reads(
+    reads: SequenceSet,
+    proc: subprocess.Popen,
+    *,
+    max_retries: int = 64,
+    poll_s: float = 0.02,
+    timeout: float = 600.0,
+) -> ClientStats:
+    """Drive a ``jem serve`` subprocess: pipeline reads, honour backpressure.
+
+    A reader thread collects responses concurrently (the server writes in
+    request order; without it both sides could block on full pipe
+    buffers).  ``overloaded`` rejections are resubmitted after sleeping
+    out the server's ``retry_after`` hint; periodic ``ping``\\ s force the
+    server to flush whatever batches have completed.  Ends with a
+    ``drain`` and returns every map response in read order plus the
+    drained summary.
+    """
+    stats = ClientStats()
+    results: dict[int, dict] = {}
+    lock = threading.Lock()
+    session_done = threading.Event()
+
+    def reader() -> None:
+        for line in proc.stdout:
+            try:
+                message = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if message.get("op") == "drained":
+                stats.drained_reply = message
+                break
+            if message.get("id") is not None:
+                with lock:
+                    results[message["id"]] = message
+        session_done.set()
+
+    threading.Thread(target=reader, daemon=True).start()
+
+    def send(obj: dict) -> None:
+        proc.stdin.write(json.dumps(obj) + "\n")
+        proc.stdin.flush()
+
+    def send_read(i: int) -> None:
+        send({"op": "map", "id": i, "name": reads.names[i],
+              "seq": reads[i].sequence})
+
+    for i in range(len(reads)):
+        send_read(i)
+    pending = set(range(len(reads)))
+    retries_left = max_retries
+    deadline = time.monotonic() + timeout
+    while pending and time.monotonic() < deadline:
+        send({"op": "ping"})  # forces the server to flush completed batches
+        time.sleep(poll_s)
+        with lock:
+            arrived = {i: results[i] for i in pending if i in results}
+        for i, message in arrived.items():
+            if message.get("error") == "overloaded" and retries_left > 0:
+                retries_left -= 1
+                stats.retries += 1
+                time.sleep(float(message.get("retry_after", poll_s)))
+                with lock:
+                    results.pop(i, None)
+                send_read(i)
+            else:
+                pending.discard(i)
+    send({"op": "drain"})
+    proc.stdin.close()
+    session_done.wait(timeout=timeout)
+    stats.responses = [results.get(i, {"id": i, "error": "no response"})
+                       for i in range(len(reads))]
+    return stats

@@ -1,0 +1,131 @@
+"""Bounded admission queue and per-request futures.
+
+The queue is the service's backpressure point: a submit beyond
+``capacity`` is rejected *immediately* with
+:class:`~repro.errors.ServiceOverloadError` carrying a ``retry_after``
+estimate, instead of letting latency grow without bound (the
+reject-with-retry-after contract, cf. HTTP 429/503).  Closing the queue
+stops admission but lets the scheduler drain what was already accepted —
+accepted work is never dropped on shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Callable
+from typing import Generic, TypeVar
+
+from ..errors import ServiceClosedError, ServiceOverloadError
+
+__all__ = ["MapFuture", "AdmissionQueue"]
+
+T = TypeVar("T")
+
+
+class MapFuture:
+    """Completion handle for one submitted read (threading-based)."""
+
+    __slots__ = ("_event", "_result", "_exception")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result = None
+        self._exception: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def set_result(self, result) -> None:
+        self._result = result
+        self._event.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._event.set()
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._event.wait(timeout):
+            raise TimeoutError("result not ready")
+        return self._exception
+
+    def result(self, timeout: float | None = None):
+        if not self._event.wait(timeout):
+            raise TimeoutError("result not ready")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+
+class AdmissionQueue(Generic[T]):
+    """Thread-safe bounded FIFO with reject-on-full and drain-on-close.
+
+    ``retry_after`` passed to :meth:`put` rides on the rejection error so
+    the caller (the service, which knows its recent per-read service
+    time) controls the hint without the queue knowing about timing.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._items: deque[T] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def put(self, item: T, *, retry_after: float = 0.0) -> int:
+        """Admit ``item`` or reject; returns the queue depth after admission."""
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is draining; no new requests accepted")
+            if len(self._items) >= self.capacity:
+                raise ServiceOverloadError(
+                    f"admission queue full ({self.capacity} requests); "
+                    f"retry in ~{retry_after:.3f}s",
+                    retry_after=retry_after,
+                )
+            self._items.append(item)
+            self._not_empty.notify()
+            return len(self._items)
+
+    def take_batch(self, max_size: int, max_wait_s: float) -> list[T]:
+        """Next micro-batch: up to ``max_size`` items, coalesced for up to
+        ``max_wait_s`` after the first item is available.
+
+        Blocks while the queue is empty and open.  Returns an empty list
+        only when the queue is closed and fully drained — the scheduler's
+        exit signal.
+        """
+        with self._lock:
+            while not self._items and not self._closed:
+                self._not_empty.wait()
+            if not self._items:
+                return []  # closed and drained
+            batch: list[T] = [self._items.popleft()]
+            deadline = time.perf_counter() + max_wait_s
+            while len(batch) < max_size:
+                while not self._items:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0 or self._closed:
+                        return batch
+                    self._not_empty.wait(remaining)
+                batch.append(self._items.popleft())
+            return batch
+
+    def close(self) -> None:
+        """Stop admission; already-queued items remain to be drained."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()

@@ -1,0 +1,73 @@
+"""Dynamic micro-batch scheduler.
+
+One daemon thread pulls requests off the admission queue and coalesces
+them into batches (the queue's ``take_batch`` implements the max-size /
+max-wait policy), then hands each batch to the dispatch callable the
+service provides.  Batching changes *when* work happens, never *what* is
+computed: every read's mapping is independent of its batch mates, so any
+grouping yields bit-identical results — the property the determinism
+tests assert.
+
+A dispatch failure fails that batch's requests (their futures carry the
+exception) but never kills the scheduler: the service keeps serving
+subsequent batches, mirroring the parallel driver's graceful-degradation
+contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Sequence
+
+from .queue import AdmissionQueue
+
+__all__ = ["MicroBatchScheduler"]
+
+
+class MicroBatchScheduler:
+    """Drains an :class:`AdmissionQueue` into dispatched micro-batches."""
+
+    def __init__(
+        self,
+        queue: AdmissionQueue,
+        dispatch: Callable[[Sequence], None],
+        *,
+        max_batch_size: int,
+        max_wait_s: float,
+        on_batch_error: Callable[[Sequence, BaseException], None] | None = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self._queue = queue
+        self._dispatch = dispatch
+        self._max_batch_size = int(max_batch_size)
+        self._max_wait_s = float(max_wait_s)
+        self._on_batch_error = on_batch_error
+        self._thread = threading.Thread(
+            target=self._run, name="jem-service-scheduler", daemon=True
+        )
+        self.batches_dispatched = 0
+
+    def start(self) -> None:
+        self._thread.start()
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for the scheduler to finish draining (queue must be closed)."""
+        self._thread.join(timeout)
+
+    def _run(self) -> None:
+        while True:
+            batch = self._queue.take_batch(self._max_batch_size, self._max_wait_s)
+            if not batch:
+                return  # queue closed and drained
+            try:
+                self._dispatch(batch)
+            except BaseException as exc:  # noqa: BLE001 - must not kill the loop
+                if self._on_batch_error is not None:
+                    self._on_batch_error(batch, exc)
+            else:
+                self.batches_dispatched += 1

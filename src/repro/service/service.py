@@ -1,0 +1,391 @@
+"""The long-lived mapping service.
+
+A :class:`MappingService` turns the one-shot JEM mapping pipeline into a
+resident server: the contig index is loaded (or built) **once**, the
+per-trial sketch tables stay in memory, and query reads stream through a
+bounded admission queue into dynamically coalesced micro-batches that are
+dispatched through the same fault-tolerant S4 path as the parallel
+driver.  An LRU cache keyed by the content of a read's end segments lets
+duplicate reads bypass sketching and table lookup entirely.
+
+Scheduling is invisible in the output: for any submission order, batch
+shape, cache state, or recoverable fault plan, the per-read results are
+bit-identical to a sequential :meth:`~repro.core.mapper.JEMMapper.map_reads`
+over the same reads — the service changes *when* work happens, never
+*what* is computed.
+
+Public usage::
+
+    from repro.service import MappingService, ServiceConfig
+
+    with MappingService.from_index("contigs.idx.npz") as svc:
+        fut = svc.submit("read_1", "ACGT...")
+        print(fut.result().best())          # (contig name, hits)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import JEMConfig
+from ..core.hitcounter import count_hits_vectorised
+from ..core.mapper import JEMMapper, MappingResult
+from ..core.segments import PREFIX, SUFFIX, SegmentInfo, extract_end_segments
+from ..errors import SequenceError, ServiceError, ServiceOverloadError
+from ..parallel.driver import map_partitioned_queries, resolve_partial
+from ..parallel.faults import FaultPlan
+from ..parallel.partition import partition_bounds, partition_set
+from ..parallel.retry import RetryPolicy
+from ..seq.encode import encode
+from ..seq.records import SequenceSet, SequenceSetBuilder
+from ..sketch.jem import query_sketch_values
+from .cache import SketchCacheEntry, SketchLRUCache, read_content_key
+from .config import ServiceConfig
+from .metrics import ServiceMetrics
+from .queue import AdmissionQueue, MapFuture
+from .scheduler import MicroBatchScheduler
+
+__all__ = ["MappingService", "ReadMapping"]
+
+#: Seed for the per-read service-time estimate before any batch completes.
+_INITIAL_READ_SECONDS = 2e-3
+
+
+@dataclass(frozen=True)
+class ReadMapping:
+    """Service response for one read: its two end-segment mappings."""
+
+    name: str
+    subject: tuple[int, int]  # (prefix, suffix) contig ids; -1 = unmapped
+    hit_count: tuple[int, int]
+    subject_names: tuple[str | None, str | None]
+    cached: bool = False
+
+    @property
+    def segment_names(self) -> tuple[str, str]:
+        return (f"{self.name}/{PREFIX}", f"{self.name}/{SUFFIX}")
+
+    def best(self) -> tuple[str | None, int]:
+        """(contig name, hits) of the stronger end segment (None = unmapped)."""
+        side = 0 if self.hit_count[0] >= self.hit_count[1] else 1
+        return self.subject_names[side], self.hit_count[side]
+
+
+class _MapRequest:
+    """One queued read and its completion future."""
+
+    __slots__ = ("name", "codes", "key", "future", "t_submit")
+
+    def __init__(self, name: str, codes: np.ndarray, key: bytes) -> None:
+        self.name = name
+        self.codes = codes
+        self.key = key
+        self.future: MapFuture = MapFuture()
+        self.t_submit = time.perf_counter()
+
+
+class MappingService:
+    """Batched, cached, admission-controlled mapping over a resident index."""
+
+    def __init__(
+        self,
+        mapper: JEMMapper,
+        service_config: ServiceConfig | None = None,
+        *,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        auto_start: bool = True,
+    ) -> None:
+        self._table = mapper.table  # raises MappingError when not indexed
+        self._mapper = mapper
+        self.jem_config: JEMConfig = mapper.config
+        self.config = service_config if service_config is not None else ServiceConfig()
+        self._family = mapper.config.hash_family()
+        self._faults = faults
+        self._retry = retry
+        self.metrics = ServiceMetrics(window=self.config.metrics_window)
+        self.cache = SketchLRUCache(self.config.cache_capacity)
+        self._queue: AdmissionQueue[_MapRequest] = AdmissionQueue(
+            self.config.queue_capacity
+        )
+        self._scheduler = MicroBatchScheduler(
+            self._queue,
+            self._process_batch,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_s=self.config.max_wait_seconds,
+            on_batch_error=self._fail_batch,
+        )
+        self._ewma_read_seconds = _INITIAL_READ_SECONDS
+        self._drained = False
+        if auto_start:
+            self.start()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_index(
+        cls, path, service_config: ServiceConfig | None = None, **kwargs
+    ) -> "MappingService":
+        """Service over a saved (checksummed) index bundle — loaded once."""
+        from ..core.persist import load_index
+
+        return cls(load_index(path), service_config, **kwargs)
+
+    @classmethod
+    def from_contigs(
+        cls,
+        contigs: SequenceSet,
+        jem_config: JEMConfig | None = None,
+        service_config: ServiceConfig | None = None,
+        **kwargs,
+    ) -> "MappingService":
+        """Service that indexes ``contigs`` at startup and keeps it resident."""
+        mapper = JEMMapper(jem_config)
+        mapper.index(contigs)
+        return cls(mapper, service_config, **kwargs)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        self._scheduler.start()
+
+    @property
+    def draining(self) -> bool:
+        return self._queue.closed
+
+    @property
+    def drained(self) -> bool:
+        return self._drained
+
+    @property
+    def subject_names(self) -> list[str]:
+        return self._mapper.subject_names
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Stop admission, finish every accepted request, stop the scheduler.
+
+        Idempotent.  Raises :class:`~repro.errors.ServiceError` if the
+        scheduler fails to drain within ``timeout`` seconds.
+        """
+        self._queue.close()
+        self._scheduler.join(timeout)
+        if self._scheduler.alive:
+            raise ServiceError(
+                f"service failed to drain within {timeout}s "
+                f"({self._queue.depth} requests still queued)"
+            )
+        self._drained = True
+        self.metrics.queue_depth.set(0)
+
+    close = drain
+
+    def __enter__(self) -> "MappingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.drain()
+
+    # -- request path --------------------------------------------------------
+
+    def _retry_after(self) -> float:
+        return max((self._queue.depth + 1) * self._ewma_read_seconds, 1e-3)
+
+    def submit(self, name: str, sequence: str | np.ndarray) -> MapFuture:
+        """Admit one read; returns a future resolving to a :class:`ReadMapping`.
+
+        Raises :class:`~repro.errors.ServiceOverloadError` (with a
+        ``retry_after`` hint) when the admission queue is full and
+        :class:`~repro.errors.ServiceClosedError` once draining started.
+        """
+        codes = (
+            encode(sequence)
+            if isinstance(sequence, str)
+            else np.ascontiguousarray(sequence, dtype=np.uint8)
+        )
+        if codes.size == 0:
+            raise SequenceError(f"read {name!r} is empty")
+        ell = self.jem_config.ell
+        n = codes.size
+        key = read_content_key(codes[: min(ell, n)], codes[max(0, n - ell):])
+        request = _MapRequest(name, codes, key)
+        try:
+            depth = self._queue.put(request, retry_after=self._retry_after())
+        except ServiceOverloadError:
+            self.metrics.rejected_total.inc()
+            raise
+        self.metrics.requests_total.inc()
+        self.metrics.inflight.add(1)
+        self.metrics.queue_depth.set(depth)
+        return request.future
+
+    def map_reads(
+        self, reads: SequenceSet, *, timeout: float | None = None
+    ) -> MappingResult:
+        """Blocking convenience: stream a whole set through the service.
+
+        Backpressure is honoured by sleeping out ``retry_after`` and
+        resubmitting.  The returned :class:`MappingResult` has exactly the
+        layout of :meth:`JEMMapper.map_reads` (prefix then suffix per
+        read, reads in order) so callers can compare bit for bit.
+        """
+        futures: list[MapFuture] = []
+        for i in range(len(reads)):
+            while True:
+                try:
+                    futures.append(self.submit(reads.names[i], reads.codes_of(i)))
+                    break
+                except ServiceOverloadError as exc:
+                    time.sleep(exc.retry_after)
+        names: list[str] = []
+        infos: list[SegmentInfo] = []
+        subjects = np.empty(2 * len(reads), dtype=np.int64)
+        hit_counts = np.empty(2 * len(reads), dtype=np.int64)
+        for i, future in enumerate(futures):
+            mapping = future.result(timeout)
+            names.extend(mapping.segment_names)
+            infos.append(SegmentInfo(read_index=i, kind=PREFIX))
+            infos.append(SegmentInfo(read_index=i, kind=SUFFIX))
+            subjects[2 * i], subjects[2 * i + 1] = mapping.subject
+            hit_counts[2 * i], hit_counts[2 * i + 1] = mapping.hit_count
+        return MappingResult(
+            segment_names=names, subject=subjects, hit_count=hit_counts, infos=infos
+        )
+
+    # -- batch execution (scheduler thread) ----------------------------------
+
+    def _subject_label(self, subject: int) -> str | None:
+        return self._mapper.subject_names[subject] if subject >= 0 else None
+
+    def _resolve(self, request: _MapRequest, entry: SketchCacheEntry, *, cached: bool) -> None:
+        mapping = ReadMapping(
+            name=request.name,
+            subject=(entry.prefix_subject, entry.suffix_subject),
+            hit_count=(entry.prefix_hits, entry.suffix_hits),
+            subject_names=(
+                self._subject_label(entry.prefix_subject),
+                self._subject_label(entry.suffix_subject),
+            ),
+            cached=cached,
+        )
+        request.future.set_result(mapping)
+        now = time.perf_counter()
+        self.metrics.responses_total.inc()
+        self.metrics.reads_mapped_total.inc()
+        self.metrics.request_latency.observe(now - request.t_submit)
+        self.metrics.inflight.add(-1)
+
+    def _fail(self, request: _MapRequest, exc: BaseException) -> None:
+        request.future.set_exception(exc)
+        self.metrics.errors_total.inc()
+        self.metrics.inflight.add(-1)
+
+    def _fail_batch(self, batch, exc: BaseException) -> None:
+        """Scheduler error hook: fail whatever the batch left unresolved."""
+        for request in batch:
+            if not request.future.done():
+                self._fail(request, exc)
+
+    def _entries_from_result(
+        self, result: MappingResult, count: int, base: int = 0
+    ) -> list[SketchCacheEntry]:
+        """Per-read cache entries from a 2-segments-per-read mapping block."""
+        return [
+            SketchCacheEntry(
+                prefix_subject=int(result.subject[2 * j]),
+                prefix_hits=int(result.hit_count[2 * j]),
+                suffix_subject=int(result.subject[2 * j + 1]),
+                suffix_hits=int(result.hit_count[2 * j + 1]),
+            )
+            for j in range(base, base + count)
+        ]
+
+    def _map_misses(
+        self, requests: list[_MapRequest]
+    ) -> list[tuple[SketchCacheEntry | None, str | None]]:
+        """Map uncached reads; one (entry, failure-cause) pair per request.
+
+        With ``processes == 1`` and no fault plan the batch is mapped
+        inline (exactly :meth:`JEMMapper.map_segments`); otherwise it is
+        partitioned and dispatched through the parallel driver's
+        fault-tolerant S4 stage, inheriting retry, re-dispatch, and the
+        strict/no-strict degradation contract.
+        """
+        builder = SequenceSetBuilder()
+        for request in requests:
+            builder.add(request.name, request.codes)
+        reads = builder.build()
+        cfg = self.jem_config
+        if self.config.processes == 1 and self._faults is None:
+            segments, _ = extract_end_segments(reads, cfg.ell)
+            sketches = query_sketch_values(segments, cfg.k, cfg.w, self._family)
+            hits = count_hits_vectorised(
+                self._table, sketches.values, min_hits=cfg.min_hits,
+                query_mask=sketches.has,
+            )
+            result = MappingResult.from_best_hits(segments.names, hits)
+            return [(e, None) for e in self._entries_from_result(result, len(requests))]
+        p = max(1, min(self.config.processes, len(reads)))
+        read_parts = partition_set(reads, p)
+        bounds = partition_bounds(reads.offsets, p)
+        outcome = map_partitioned_queries(
+            self._table, read_parts, cfg, self._family,
+            faults=self._faults, retry=self._retry,
+        )
+        # strict mode raises here -> the scheduler's error hook fails the batch
+        resolve_partial(outcome.failed_blocks, read_parts, strict=self.config.strict)
+        out: list[tuple[SketchCacheEntry | None, str | None]] = []
+        for b in range(p):
+            start, stop = int(bounds[b]), int(bounds[b + 1])
+            block = outcome.rank_results[b]
+            if block is None:
+                cause = outcome.failed_blocks.get(b, "unknown fault")
+                out.extend((None, cause) for _ in range(stop - start))
+            else:
+                out.extend(
+                    (e, None)
+                    for e in self._entries_from_result(block, stop - start)
+                )
+        return out
+
+    def _process_batch(self, batch: list[_MapRequest]) -> None:
+        t0 = time.perf_counter()
+        self.metrics.batch_size.observe(len(batch))
+        self.metrics.queue_depth.set(self._queue.depth)
+        for request in batch:
+            self.metrics.queue_wait.observe(t0 - request.t_submit)
+        hits: list[tuple[_MapRequest, SketchCacheEntry]] = []
+        misses: list[_MapRequest] = []
+        for request in batch:
+            entry = self.cache.get(request.key)
+            if entry is not None:
+                self.metrics.cache_hits_total.inc()
+                hits.append((request, entry))
+            else:
+                self.metrics.cache_misses_total.inc()
+                misses.append(request)
+        mapped: list[tuple[SketchCacheEntry | None, str | None]] = []
+        if misses:
+            mapped = self._map_misses(misses)
+            for request, (entry, _cause) in zip(misses, mapped):
+                if entry is not None:
+                    self.cache.put(request.key, entry)
+        self.metrics.map_latency.observe(time.perf_counter() - t0)
+        for request, entry in hits:
+            self._resolve(request, entry, cached=True)
+        for request, (entry, cause) in zip(misses, mapped):
+            if entry is None:
+                self._fail(
+                    request,
+                    ServiceError(f"read {request.name!r} lost to faults: {cause}"),
+                )
+            else:
+                self._resolve(request, entry, cached=False)
+        self.metrics.batches_total.inc()
+        self.metrics.cache_size.set(len(self.cache))
+        elapsed = time.perf_counter() - t0
+        alpha = 0.3
+        per_read = elapsed / len(batch)
+        self._ewma_read_seconds += alpha * (per_read - self._ewma_read_seconds)

@@ -96,9 +96,19 @@ def test_bench_command(tmp_path, capsys):
         "bench", "table1", "--scale", "0.0002", "--datasets", "e_coli",
         "--cache-dir", str(tmp_path / "cache"),
         "--results-dir", str(tmp_path / "results"),
+        "--bench-json-dir", str(tmp_path),
     ]) == 0
     assert (tmp_path / "results" / "table1.txt").exists()
     assert "Table I" in capsys.readouterr().out
+
+    import json
+
+    snapshot = json.loads((tmp_path / "BENCH_table1.json").read_text())
+    assert snapshot["name"] == "table1"
+    assert snapshot["config"]["scale"] == 0.0002
+    assert snapshot["config"]["jem_config"]["trials"] == 30
+    assert snapshot["elapsed_seconds"] > 0
+    assert "data" in snapshot
 
 
 def test_map_paf_output(tmp_path):

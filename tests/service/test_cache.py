@@ -1,0 +1,84 @@
+"""Unit tests for the query-sketch LRU result cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service import SketchCacheEntry, SketchLRUCache, read_content_key
+
+
+def entry(n: int) -> SketchCacheEntry:
+    return SketchCacheEntry(n, n + 1, n + 2, n + 3)
+
+
+class TestContentKey:
+    def test_same_segments_same_key(self):
+        a = np.array([0, 1, 2, 3], dtype=np.uint8)
+        b = np.array([3, 2, 1], dtype=np.uint8)
+        assert read_content_key(a, b) == read_content_key(a.copy(), b.copy())
+
+    def test_key_ignores_read_name_by_construction(self):
+        # keys are pure content: two differently named duplicate reads collide
+        a = np.array([0, 1, 2], dtype=np.uint8)
+        assert read_content_key(a, a) == read_content_key(a, a)
+
+    def test_boundary_is_not_ambiguous(self):
+        # ("ab", "c") must not equal ("a", "bc")
+        ab = np.array([0, 1], dtype=np.uint8)
+        a = np.array([0], dtype=np.uint8)
+        b = np.array([1], dtype=np.uint8)
+        c = np.array([2], dtype=np.uint8)
+        bc = np.array([1, 2], dtype=np.uint8)
+        assert read_content_key(ab, c) != read_content_key(a, bc)
+
+
+class TestSketchLRUCache:
+    def test_put_get_roundtrip(self):
+        cache = SketchLRUCache(4)
+        cache.put(b"k1", entry(1))
+        assert cache.get(b"k1") == entry(1)
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_counts(self):
+        cache = SketchLRUCache(4)
+        assert cache.get(b"nope") is None
+        assert cache.misses == 1
+        assert cache.hit_ratio == 0.0
+
+    def test_lru_eviction_order(self):
+        cache = SketchLRUCache(2)
+        cache.put(b"a", entry(1))
+        cache.put(b"b", entry(2))
+        assert cache.get(b"a") is not None  # refresh a; b is now LRU
+        cache.put(b"c", entry(3))
+        assert cache.get(b"b") is None  # evicted
+        assert cache.get(b"a") is not None
+        assert cache.get(b"c") is not None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_update_moves_to_front(self):
+        cache = SketchLRUCache(2)
+        cache.put(b"a", entry(1))
+        cache.put(b"b", entry(2))
+        cache.put(b"a", entry(9))  # update refreshes recency
+        cache.put(b"c", entry(3))
+        assert cache.get(b"b") is None
+        assert cache.get(b"a") == entry(9)
+
+    def test_capacity_zero_disables(self):
+        cache = SketchLRUCache(0)
+        cache.put(b"a", entry(1))
+        assert cache.get(b"a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SketchLRUCache(-1)
+
+    def test_clear(self):
+        cache = SketchLRUCache(4)
+        cache.put(b"a", entry(1))
+        cache.clear()
+        assert cache.get(b"a") is None

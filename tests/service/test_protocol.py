@@ -1,0 +1,139 @@
+"""NDJSON protocol tests: in-process serve_loop and the CLI client path."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro import JEMConfig, JEMMapper
+from repro.cli import main
+from repro.service import MappingService, ServiceConfig, serve_loop
+
+CONFIG = JEMConfig(k=12, w=20, ell=500, trials=6, seed=99)
+
+
+def run_session(service, requests: list[dict]) -> list[dict]:
+    """Feed request objects through one serve_loop session; return replies."""
+    in_stream = io.StringIO("".join(json.dumps(r) + "\n" for r in requests))
+    out_stream = io.StringIO()
+    serve_loop(service, in_stream, out_stream)
+    return [json.loads(line) for line in out_stream.getvalue().splitlines()]
+
+
+class TestServeLoop:
+    def make_service(self, tiling_contigs, **overrides):
+        config = ServiceConfig(max_batch_size=8, max_wait_ms=1.0, **overrides)
+        return MappingService.from_contigs(tiling_contigs, CONFIG, config)
+
+    def test_map_responses_match_sequential_mapper(
+        self, tiling_contigs, clean_reads
+    ):
+        mapper = JEMMapper(CONFIG)
+        mapper.index(tiling_contigs)
+        expected = mapper.map_reads(clean_reads)
+
+        requests = [
+            {"op": "map", "id": i, "name": clean_reads.names[i],
+             "seq": clean_reads[i].sequence}
+            for i in range(len(clean_reads))
+        ]
+        replies = run_session(self.make_service(tiling_contigs), requests)
+
+        drained = replies[-1]
+        assert drained["op"] == "drained"
+        assert drained["mapped"] == len(clean_reads)
+        assert drained["errors"] == 0
+
+        maps = [r for r in replies if "results" in r]
+        assert [r["id"] for r in maps] == list(range(len(clean_reads)))
+        for i, reply in enumerate(maps):
+            for j, result in enumerate(reply["results"]):
+                row = 2 * i + j
+                assert result["segment"] == expected.segment_names[row]
+                assert result["hits"] == int(expected.hit_count[row])
+
+    def test_ping_metrics_and_unknown_op(self, tiling_contigs, clean_reads):
+        replies = run_session(self.make_service(tiling_contigs), [
+            {"op": "ping"},
+            {"op": "map", "id": 7, "name": clean_reads.names[0],
+             "seq": clean_reads[0].sequence},
+            {"op": "metrics"},
+            {"op": "teleport"},
+            {"op": "drain"},
+        ])
+        assert replies[0] == {"op": "pong"}
+        # the metrics op flushes the pending map first
+        assert replies[1]["id"] == 7 and "results" in replies[1]
+        assert replies[2]["op"] == "metrics"
+        assert replies[2]["metrics"]["counters"]["requests_total"] == 1
+        assert "unknown op" in replies[3]["error"]
+        assert replies[-1]["op"] == "drained"
+
+    def test_bad_json_line_reports_error_and_continues(
+        self, tiling_contigs, clean_reads
+    ):
+        service = self.make_service(tiling_contigs)
+        in_stream = io.StringIO(
+            "this is not json\n"
+            + json.dumps({"op": "map", "id": 0,
+                          "name": clean_reads.names[0],
+                          "seq": clean_reads[0].sequence}) + "\n"
+        )
+        out_stream = io.StringIO()
+        stats = serve_loop(service, in_stream, out_stream)
+        replies = [json.loads(l) for l in out_stream.getvalue().splitlines()]
+        assert "bad request line" in replies[0]["error"]
+        assert stats.mapped == 1 and stats.drained
+
+    def test_empty_sequence_is_an_in_band_error(self, tiling_contigs):
+        replies = run_session(self.make_service(tiling_contigs), [
+            {"op": "map", "id": 0, "name": "empty", "seq": ""},
+        ])
+        errored = [r for r in replies if r.get("id") == 0]
+        assert len(errored) == 1 and "error" in errored[0]
+        assert replies[-1]["op"] == "drained"
+        assert replies[-1]["errors"] in (0, 1)  # submit-time reject, not a map error
+
+    def test_eof_is_an_implicit_drain(self, tiling_contigs, clean_reads):
+        service = self.make_service(tiling_contigs)
+        replies = run_session(service, [
+            {"op": "map", "id": 0, "name": clean_reads.names[0],
+             "seq": clean_reads[0].sequence},
+        ])  # no explicit drain op
+        assert service.drained
+        assert replies[-1]["op"] == "drained"
+        assert replies[-1]["mapped"] == 1
+
+
+class TestClientCLI:
+    def simulate(self, tmp_path):
+        data = tmp_path / "data"
+        assert main([
+            "simulate", "e_coli", "--scale", "0.0002", "--seed", "3",
+            "--out", str(data),
+        ]) == 0
+        return data
+
+    def strip(self, path):
+        return [l for l in path.read_text().splitlines() if not l.startswith("#")]
+
+    def test_client_tsv_matches_one_shot_map(self, tmp_path):
+        data = self.simulate(tmp_path)
+        args = ["-q", str(data / "e_coli_reads.fastq"),
+                "-s", str(data / "e_coli_contigs.fasta"), "--trials", "8"]
+        one_shot = tmp_path / "map.tsv"
+        served = tmp_path / "client.tsv"
+        metrics = tmp_path / "metrics.json"
+        assert main(["map", *args, "-o", str(one_shot)]) == 0
+        assert main([
+            "client", *args, "-o", str(served),
+            "--max-batch", "16", "--max-wait-ms", "1",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        assert self.strip(one_shot) == self.strip(served)
+
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["requests_total"] > 0
+        assert snapshot["counters"]["responses_total"] == \
+            snapshot["counters"]["requests_total"]
+        assert "histograms" in snapshot and "gauges" in snapshot

@@ -1,0 +1,139 @@
+"""Admission queue and micro-batch scheduler behaviour."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceClosedError, ServiceOverloadError
+from repro.service import AdmissionQueue, MicroBatchScheduler
+
+
+class TestAdmissionQueue:
+    def test_fifo_and_depth(self):
+        q = AdmissionQueue(8)
+        assert q.put("a") == 1
+        assert q.put("b") == 2
+        assert q.depth == 2
+        assert q.take_batch(8, 0.0) == ["a", "b"]
+        assert q.depth == 0
+
+    def test_take_batch_respects_max_size(self):
+        q = AdmissionQueue(16)
+        for i in range(10):
+            q.put(i)
+        assert q.take_batch(4, 0.0) == [0, 1, 2, 3]
+        assert q.take_batch(4, 0.0) == [4, 5, 6, 7]
+        assert q.take_batch(4, 0.0) == [8, 9]
+
+    def test_backpressure_rejection_carries_retry_after(self):
+        q = AdmissionQueue(2)
+        q.put("a")
+        q.put("b")
+        with pytest.raises(ServiceOverloadError) as exc_info:
+            q.put("c", retry_after=0.25)
+        assert exc_info.value.retry_after == pytest.approx(0.25)
+        assert q.depth == 2  # rejected item was not admitted
+
+    def test_closed_queue_rejects_new_but_drains_old(self):
+        q = AdmissionQueue(4)
+        q.put("a")
+        q.close()
+        with pytest.raises(ServiceClosedError):
+            q.put("b")
+        assert q.take_batch(4, 0.0) == ["a"]
+        assert q.take_batch(4, 0.0) == []  # drained: the scheduler exit signal
+
+    def test_max_wait_coalesces_late_arrivals(self):
+        q = AdmissionQueue(8)
+        q.put("a")
+
+        def late_put():
+            time.sleep(0.03)
+            q.put("b")
+
+        thread = threading.Thread(target=late_put)
+        thread.start()
+        batch = q.take_batch(8, 0.5)
+        thread.join()
+        assert batch == ["a", "b"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+
+class TestMicroBatchScheduler:
+    def drain_through(self, queue, **kwargs):
+        """Run a scheduler until the queue drains; returns dispatched batches."""
+        batches: list[list] = []
+        scheduler = MicroBatchScheduler(
+            queue, lambda b: batches.append(list(b)), **kwargs
+        )
+        scheduler.start()
+        queue.close()
+        scheduler.join(timeout=5.0)
+        assert not scheduler.alive
+        return batches, scheduler
+
+    def test_coalesces_up_to_max_batch_size(self):
+        q = AdmissionQueue(64)
+        for i in range(10):
+            q.put(i)
+        batches, scheduler = self.drain_through(
+            q, max_batch_size=4, max_wait_s=0.0
+        )
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert sorted(x for b in batches for x in b) == list(range(10))
+        assert scheduler.batches_dispatched == 3
+
+    def test_max_wait_flushes_partial_batches(self):
+        q = AdmissionQueue(64)
+        dispatched = []
+        first_batch = threading.Event()
+
+        def dispatch(batch):
+            dispatched.append(list(batch))
+            first_batch.set()
+
+        scheduler = MicroBatchScheduler(
+            q, dispatch, max_batch_size=100, max_wait_s=0.01
+        )
+        scheduler.start()
+        q.put("only")
+        assert first_batch.wait(timeout=5.0)  # flushed well before 100 arrivals
+        assert dispatched == [["only"]]
+        q.close()
+        scheduler.join(timeout=5.0)
+
+    def test_dispatch_error_does_not_kill_the_loop(self):
+        q = AdmissionQueue(64)
+        seen, failed = [], []
+
+        def dispatch(batch):
+            if batch[0] == "bad":
+                raise RuntimeError("boom")
+            seen.append(list(batch))
+
+        scheduler = MicroBatchScheduler(
+            q, dispatch, max_batch_size=1, max_wait_s=0.0,
+            on_batch_error=lambda batch, exc: failed.append((list(batch), exc)),
+        )
+        for item in ("bad", "good"):
+            q.put(item)
+        scheduler.start()
+        q.close()
+        scheduler.join(timeout=5.0)
+        assert seen == [["good"]]
+        assert len(failed) == 1 and failed[0][0] == ["bad"]
+        assert isinstance(failed[0][1], RuntimeError)
+        assert scheduler.batches_dispatched == 1  # the failed batch doesn't count
+
+    def test_graceful_drain_processes_everything_queued(self):
+        q = AdmissionQueue(64)
+        for i in range(7):
+            q.put(i)
+        batches, _ = self.drain_through(q, max_batch_size=3, max_wait_s=0.0)
+        assert sorted(x for b in batches for x in b) == list(range(7))

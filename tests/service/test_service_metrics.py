@@ -1,0 +1,83 @@
+"""Unit tests for the service metrics registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import Counter, Gauge, LatencyHistogram, ServiceMetrics
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge()
+        g.set(3.0)
+        g.add(-1.5)
+        assert g.value == 1.5
+
+
+class TestLatencyHistogram:
+    def test_empty_snapshot_is_all_zero(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] == snap["p95"] == snap["p99"] == 0.0
+
+    def test_quantiles_on_known_values(self):
+        h = LatencyHistogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 100
+        assert snap["min"] == 1.0 and snap["max"] == 100.0
+        assert snap["sum"] == pytest.approx(5050.0)
+        assert snap["mean"] == pytest.approx(50.5)
+        assert 50.0 <= snap["p50"] <= 51.0
+        assert 94.0 <= snap["p95"] <= 96.0
+        assert 98.0 <= snap["p99"] <= 100.0
+
+    def test_window_bounds_reservoir_but_not_totals(self):
+        h = LatencyHistogram(window=10)
+        for v in range(1000):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 1000  # exact over the full stream
+        assert snap["max"] == 999.0
+        # quantiles come from the last 10 observations only
+        assert snap["p50"] >= 990.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(window=0)
+
+
+class TestServiceMetrics:
+    def test_snapshot_is_json_serialisable(self):
+        m = ServiceMetrics()
+        m.requests_total.inc(3)
+        m.queue_depth.set(2)
+        m.queue_wait.observe(0.01)
+        snap = json.loads(m.to_json())
+        assert snap["counters"]["requests_total"] == 3
+        assert snap["gauges"]["queue_depth"] == 2
+        assert snap["histograms"]["queue_wait_seconds"]["count"] == 1
+
+    def test_cache_hit_ratio(self):
+        m = ServiceMetrics()
+        assert m.cache_hit_ratio == 0.0
+        m.cache_hits_total.inc(3)
+        m.cache_misses_total.inc(1)
+        assert m.cache_hit_ratio == pytest.approx(0.75)
