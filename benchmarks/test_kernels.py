@@ -16,7 +16,9 @@ from repro.sketch import (
     canonical_kmer_ranks,
     minimizers,
     query_sketch_values,
+    query_sketch_values_reference,
     subject_sketch_pairs,
+    subject_sketch_pairs_reference,
 )
 
 CFG = JEMConfig(k=16, w=100, ell=1000, trials=30, seed=5)
@@ -80,7 +82,36 @@ def test_bench_subject_sketching(benchmark, contigs, family):
     assert len(keys) == CFG.trials
 
 
+def test_bench_subject_sketching_reference(benchmark, contigs, family):
+    """Pre-PR per-trial S2 path; compare against test_bench_subject_sketching."""
+    keys = benchmark.pedantic(
+        subject_sketch_pairs_reference, args=(contigs, CFG.k, CFG.w, CFG.ell, family),
+        rounds=2, iterations=1,
+    )
+    assert len(keys) == CFG.trials
+
+
 def test_bench_query_sketching(benchmark, reads, family):
+    segments, _ = extract_end_segments(reads, CFG.ell)
+    sketches = benchmark.pedantic(
+        query_sketch_values, args=(segments, CFG.k, CFG.w, family), rounds=3, iterations=1
+    )
+    assert sketches.values.shape[0] == CFG.trials
+
+
+def test_bench_query_sketching_reference(benchmark, reads, family):
+    """Pre-PR per-trial S4 path; compare against test_bench_query_sketching."""
+    segments, _ = extract_end_segments(reads, CFG.ell)
+    sketches = benchmark.pedantic(
+        query_sketch_values_reference, args=(segments, CFG.k, CFG.w, family),
+        rounds=3, iterations=1,
+    )
+    assert sketches.values.shape[0] == CFG.trials
+
+
+def test_bench_query_kernel_numpy_fallback(benchmark, reads, family, monkeypatch):
+    """The batched numpy path (compiled fast path disabled via kill switch)."""
+    monkeypatch.setenv("REPRO_NO_NATIVE", "1")
     segments, _ = extract_end_segments(reads, CFG.ell)
     sketches = benchmark.pedantic(
         query_sketch_values, args=(segments, CFG.k, CFG.w, family), rounds=3, iterations=1

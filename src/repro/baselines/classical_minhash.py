@@ -19,7 +19,7 @@ from ..core.segments import extract_end_segments
 from ..core.sketch_table import SketchTable
 from ..errors import MappingError
 from ..seq.records import SequenceSet
-from ..sketch.jem import pack_key
+from ..sketch.kernels import key_scratch, pack_keys_batched, sorted_unique_rows
 from ..sketch.minhash import minhash_sketch_set
 
 __all__ = ["ClassicalMinHashMapper"]
@@ -64,11 +64,15 @@ class ClassicalMinHashMapper:
         sketches, has = minhash_sketch_set(
             contigs, self.config.k, self._family, minimizer_w=self._minimizer_w
         )
-        subject_ids = np.arange(len(contigs), dtype=np.uint64)
-        keys = []
-        for t in range(self.config.trials):
-            keys.append(np.unique(pack_key(sketches[t, has], subject_ids[has])))
-        self._table = SketchTable(keys, n_subjects=len(contigs))
+        subject_ids = np.arange(len(contigs), dtype=np.uint64)[has]
+        # Same batched key kernel as the JEM subject path: one hoisted
+        # validation + shift-or over the (T, n) matrix, one row-wise dedupe
+        # instead of T pack_key + np.unique rounds.
+        packed = pack_keys_batched(
+            sketches[:, has], subject_ids,
+            out=key_scratch(self.config.trials, int(subject_ids.size)),
+        )
+        self._table = SketchTable(sorted_unique_rows(packed), n_subjects=len(contigs))
         self._subject_names = list(contigs.names)
         return self._table
 

@@ -18,6 +18,7 @@ from .experiments import (
     exp_fig7,
     exp_fig8,
     exp_fig9,
+    exp_kernels,
     exp_serve,
     exp_table1,
     exp_table2,
@@ -40,6 +41,7 @@ __all__ = [
     "exp_fig7",
     "exp_fig8",
     "exp_fig9",
+    "exp_kernels",
     "exp_faults",
     "exp_serve",
     "ablation_topx",

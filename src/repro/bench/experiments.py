@@ -40,6 +40,7 @@ __all__ = [
     "exp_fig7",
     "exp_fig8",
     "exp_fig9",
+    "exp_kernels",
     "exp_serve",
     "EXPERIMENTS",
 ]
@@ -449,6 +450,127 @@ def exp_fig9(ctx: BenchContext, *, max_pairs: int = 400) -> ExperimentOutput:
     return _finish(ctx, ExperimentOutput("fig9", text, data))
 
 
+# -- Kernel batching -----------------------------------------------------------
+
+
+def exp_kernels(ctx: BenchContext, *, repeats: int = 5) -> ExperimentOutput:
+    """Batched multi-trial kernels vs the retained per-trial reference.
+
+    Times the S2 kernel (``subject_kernel``) and the S4 kernel
+    (``query_kernel``) against their per-trial ``*_reference``
+    implementations on one dataset's pre-extracted minimizer intervals —
+    minimizer extraction is identical on both sides, so it is hoisted out
+    of the timed region to keep the comparison about the kernels.  Each
+    side is min-over-``repeats``.  Bit-identity is asserted end to end on
+    the public entry points (extraction included) and the parity bits land
+    in the JSON so CI can gate on them.  The speedup is the whole point of
+    the batched kernels, so regressions show up as a falling ``speedup``
+    field in ``BENCH_kernels.json`` across commits.  The JSON also records
+    which backend the batched side ran on (``native`` when the compiled
+    fast path is available, else ``numpy``) since the two have different
+    expected speedup floors.
+    """
+    from ..sketch.jem import (
+        _concat_minimizer_lists,
+        _query_minimizer_concat,
+        query_kernel,
+        query_kernel_reference,
+        query_sketch_values,
+        query_sketch_values_reference,
+        subject_kernel,
+        subject_kernel_reference,
+        subject_sketch_pairs,
+        subject_sketch_pairs_reference,
+    )
+    from ..sketch import _native
+    from ..sketch.minimizers import minimizers_set
+
+    name = ctx.pick(("e_coli",))[0]
+    ds = ctx.dataset(name)
+    cfg = ctx.config
+    family = cfg.hash_family()
+    backend = "native" if _native.load() is not None else "numpy"
+    segments, _ = extract_end_segments(ds.reads, cfg.ell)
+
+    def _timed(fn) -> float:
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+
+    def best(fn) -> float:
+        return min(_timed(fn) for _ in range(repeats))
+
+    # end-to-end parity on the public entry points (extraction included)
+    subj_batched = subject_sketch_pairs(ds.contigs, cfg.k, cfg.w, cfg.ell, family)
+    subj_reference = subject_sketch_pairs_reference(
+        ds.contigs, cfg.k, cfg.w, cfg.ell, family
+    )
+    subject_parity = all(
+        np.array_equal(a, b) for a, b in zip(subj_batched, subj_reference)
+    )
+    q_batched = query_sketch_values(segments, cfg.k, cfg.w, family)
+    q_reference = query_sketch_values_reference(segments, cfg.k, cfg.w, family)
+    query_parity = bool(
+        np.array_equal(q_batched.has, q_reference.has)
+        and np.array_equal(
+            q_batched.values[:, q_batched.has],
+            q_reference.values[:, q_reference.has],
+        )
+    )
+
+    # timed region: the kernels only, over shared pre-extracted intervals
+    s_values, s_positions, s_owner, _ = _concat_minimizer_lists(
+        minimizers_set(ds.contigs, cfg.k, cfg.w), cfg.ell
+    )
+    s_ends = np.searchsorted(s_positions, s_positions + cfg.ell, side="right")
+    s_ids = s_owner.astype(np.uint64)
+    t_subj_batched = best(lambda: subject_kernel(s_values, s_ends, s_ids, family))
+    t_subj_reference = best(
+        lambda: subject_kernel_reference(s_values, s_ends, s_ids, family)
+    )
+
+    _, _, q_values, q_starts = _query_minimizer_concat(segments, cfg.k, cfg.w)
+    t_query_batched = best(lambda: query_kernel(q_values, q_starts, family))
+    t_query_reference = best(
+        lambda: query_kernel_reference(q_values, q_starts, family)
+    )
+
+    subject_speedup = t_subj_reference / t_subj_batched if t_subj_batched > 0 else float("inf")
+    query_speedup = t_query_reference / t_query_batched if t_query_batched > 0 else float("inf")
+    rows = [
+        ["subject sketch (S2)", f"{t_subj_reference:.4f}", f"{t_subj_batched:.4f}",
+         f"{subject_speedup:.2f}x", "yes" if subject_parity else "NO"],
+        ["query sketch (S4)", f"{t_query_reference:.4f}", f"{t_query_batched:.4f}",
+         f"{query_speedup:.2f}x", "yes" if query_parity else "NO"],
+    ]
+    text = render_table(
+        f"Kernel batching — {DATASETS[name].organism}, T={cfg.trials} "
+        f"(scale={ctx.scale:g}, {backend} backend, min of {repeats} runs)",
+        ["kernel", "per-trial (s)", "batched (s)", "speedup", "bit-identical"],
+        rows,
+    )
+    data = {
+        "dataset": name,
+        "backend": backend,
+        "trials": cfg.trials,
+        "n_contigs": len(ds.contigs),
+        "n_segments": len(segments),
+        "subject": {
+            "reference_seconds": t_subj_reference,
+            "batched_seconds": t_subj_batched,
+            "speedup": subject_speedup,
+            "parity": subject_parity,
+        },
+        "query": {
+            "reference_seconds": t_query_reference,
+            "batched_seconds": t_query_batched,
+            "speedup": query_speedup,
+            "parity": query_parity,
+        },
+    }
+    return _finish(ctx, ExperimentOutput("kernels", text, data))
+
+
 # -- Fault-injection smoke -----------------------------------------------------
 
 
@@ -609,6 +731,7 @@ EXPERIMENTS = {
     "fig7": exp_fig7,
     "fig8": exp_fig8,
     "fig9": exp_fig9,
+    "kernels": exp_kernels,
     "faults": exp_faults,
     "serve": exp_serve,
 }

@@ -160,6 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--timeout", type=float, default=60.0,
                        help="per-work-unit timeout in seconds for the process "
                             "backend (dead/hung worker detection; default 60)")
+    p_map.add_argument("--transport", choices=("shm", "pickle"), default="shm",
+                       help="process-backend transport for read-only blocks: "
+                            "publish once in shared memory (default) or pickle "
+                            "a copy into every work unit")
     p_map.add_argument("--on-error", choices=("raise", "skip"), default="raise",
                        help="input parser policy: abort on malformed records "
                             "or skip them with a counted warning")
@@ -299,9 +303,11 @@ def _cmd_map(args: argparse.Namespace) -> int:
         result = map_reads_multiprocess(
             subjects, queries, config, processes=args.processes,
             faults=faults, strict=args.strict, timeout=args.timeout, report=report,
+            transport=args.transport,
         )
         subject_names = list(subjects.names)
-        timing = f"# process backend p={args.processes}: {time.perf_counter() - t0:.3f}s wall"
+        timing = (f"# process backend p={args.processes} "
+                  f"({args.transport}): {time.perf_counter() - t0:.3f}s wall")
         if report.faults_encountered:
             timing += (f", recovery {report.recovery_seconds:.3f}s "
                        f"({report.redispatches} re-dispatches)")

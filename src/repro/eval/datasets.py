@@ -14,6 +14,7 @@ Generated datasets are cached as ``.npz`` bundles keyed by
 from __future__ import annotations
 
 import os
+import zipfile
 import zlib
 from dataclasses import dataclass, field
 
@@ -259,21 +260,27 @@ def load_or_generate(
     tag = f"{name}_s{scale:.6f}_r{seed}".replace(".", "p")
     path = os.path.join(os.fspath(cache_dir), f"{tag}.npz")
     if os.path.exists(path):
-        with np.load(path, allow_pickle=False) as data:
-            if "genome_packed" in data:
-                genome = unpack_codes(
-                    data["genome_packed"], int(data["genome_len"]), data["genome_invalid"]
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                if "genome_packed" in data:
+                    genome = unpack_codes(
+                        data["genome_packed"], int(data["genome_len"]), data["genome_invalid"]
+                    )
+                else:  # pre-packing cache format
+                    genome = data["genome"]
+                return Dataset(
+                    spec=DATASETS[name],
+                    scale=scale,
+                    seed=seed,
+                    genome=genome,
+                    contigs=_load_set(data, "contigs", with_truth=False),
+                    reads=_load_set(data, "reads", with_truth=True),
                 )
-            else:  # pre-packing cache format
-                genome = data["genome"]
-            return Dataset(
-                spec=DATASETS[name],
-                scale=scale,
-                seed=seed,
-                genome=genome,
-                contigs=_load_set(data, "contigs", with_truth=False),
-                reads=_load_set(data, "reads", with_truth=True),
-            )
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            # A truncated or otherwise unreadable cache file (interrupted
+            # write, checkout mangling a binary) is a cache miss, not an
+            # error: fall through and regenerate deterministically.
+            pass
     dataset = generate_dataset(name, scale=scale, seed=seed)
     g_packed, g_invalid = pack_codes(dataset.genome)
     payload: dict = {

@@ -12,9 +12,20 @@ from .faults import (
     PartialResult,
     RecoveryReport,
 )
-from .mp_backend import map_reads_multiprocess
+from .mp_backend import TRANSPORTS, map_reads_multiprocess
 from .partition import partition_bounds, partition_imbalance, partition_set
 from .retry import RetryPolicy, retry_call
+from .shm import (
+    SharedSeqBlock,
+    SharedTable,
+    ShmArrayRef,
+    attach_arrays,
+    release,
+    release_all,
+    share_arrays,
+    share_sequence_set,
+    share_table_keys,
+)
 
 __all__ = [
     "Communicator",
@@ -28,6 +39,16 @@ __all__ = [
     "run_parallel_jem",
     "run_parallel_jem_threaded",
     "map_reads_multiprocess",
+    "TRANSPORTS",
+    "ShmArrayRef",
+    "SharedSeqBlock",
+    "SharedTable",
+    "share_arrays",
+    "attach_arrays",
+    "share_sequence_set",
+    "share_table_keys",
+    "release",
+    "release_all",
     "partition_bounds",
     "partition_imbalance",
     "partition_set",

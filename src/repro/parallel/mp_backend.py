@@ -20,11 +20,18 @@ index corrupts every result), and for S4 either raises
 into a :class:`~repro.parallel.faults.PartialResult` naming exactly the
 lost reads (``strict=False``).
 
-Workers receive their sequence block by pickling a zero-copy slice of the
-columnar :class:`SequenceSet` (the buffer slice is contiguous, so pickling
-copies exactly the bytes that an MPI scatter would send).  Output equals
-the sequential mapper's bit for bit — the test suite asserts it, including
-under any recoverable :class:`~repro.parallel.faults.FaultPlan`.
+Work units travel over one of two transports.  The default, ``"shm"``,
+publishes the contig set, the read set and the merged sketch table once
+each in POSIX shared memory (:mod:`~repro.parallel.shm`); payloads shrink
+to small descriptors and workers build numpy views directly on the
+mapping — no per-rank copy of the table, no base buffers in the pickle
+stream, and a rebuilt pool re-attaches to the same segments by name.
+``"pickle"`` is the original transport (each payload pickles a zero-copy
+slice of the columnar :class:`SequenceSet`, copying exactly the bytes an
+MPI scatter would send) and is kept as the fallback and as the parity
+reference.  Output equals the sequential mapper's bit for bit on either
+transport — the test suite asserts it, including under any recoverable
+:class:`~repro.parallel.faults.FaultPlan`.
 """
 
 from __future__ import annotations
@@ -47,8 +54,18 @@ from .driver import _merge_rank_results
 from .faults import FaultPlan, PartialResult, RecoveryReport
 from .partition import partition_bounds, partition_set
 from .retry import RetryPolicy
+from .shm import (
+    SharedSeqBlock,
+    SharedTable,
+    release,
+    share_sequence_set,
+    share_table_keys,
+)
 
-__all__ = ["map_reads_multiprocess"]
+__all__ = ["map_reads_multiprocess", "TRANSPORTS"]
+
+#: Accepted values for ``map_reads_multiprocess(transport=...)``.
+TRANSPORTS = ("shm", "pickle")
 
 #: Default per-work-unit deadline; how long a dead worker goes unnoticed.
 DEFAULT_UNIT_TIMEOUT = 60.0
@@ -69,6 +86,8 @@ def _sketch_worker(payload: tuple) -> list[np.ndarray]:
     """S2 on one subject block (executed in a worker process)."""
     subjects, config, offset, actions = payload
     _apply_worker_faults(actions)
+    if isinstance(subjects, SharedSeqBlock):
+        subjects = subjects.materialise()
     family = config.hash_family()
     return subject_sketch_pairs(
         subjects, config.k, config.w, config.ell, family, subject_id_offset=offset
@@ -77,13 +96,18 @@ def _sketch_worker(payload: tuple) -> list[np.ndarray]:
 
 def _map_worker(payload: tuple) -> MappingResult:
     """S4 on one read block against the gathered table."""
-    reads, config, table_keys, n_subjects, actions = payload
+    reads, config, table, n_subjects, actions = payload
     _apply_worker_faults(actions)
+    if isinstance(reads, SharedSeqBlock):
+        reads = reads.materialise()
     if len(reads) == 0:
         return MappingResult(
             [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), []
         )
-    table = SketchTable(table_keys, n_subjects=n_subjects)
+    if isinstance(table, SharedTable):
+        table = table.materialise()
+    else:
+        table = SketchTable(table, n_subjects=n_subjects)
     family = config.hash_family()
     segments, infos = extract_end_segments(reads, config.ell)
     sketches = query_sketch_values(segments, config.k, config.w, family)
@@ -204,13 +228,17 @@ def map_reads_multiprocess(
     strict: bool = True,
     timeout: float | None = DEFAULT_UNIT_TIMEOUT,
     report: RecoveryReport | None = None,
+    transport: str = "shm",
 ) -> MappingResult:
     """Full pipeline with worker-process parallelism; returns the mapping.
 
     ``processes`` is the worker count for both phases; the input is
     block-partitioned by base count exactly like the distributed driver.
-    Pass a :class:`~repro.parallel.faults.RecoveryReport` to observe what
-    the recovery machinery did (attempts, re-dispatches, recovery seconds,
+    ``transport`` selects how read-only blocks reach the workers:
+    ``"shm"`` (default) publishes them once in shared memory,
+    ``"pickle"`` ships a copy inside each work unit.  Pass a
+    :class:`~repro.parallel.faults.RecoveryReport` to observe what the
+    recovery machinery did (attempts, re-dispatches, recovery seconds,
     and — with ``strict=False`` — any :class:`PartialResult`).
     """
     config = config if config is not None else JEMConfig()
@@ -218,10 +246,14 @@ def map_reads_multiprocess(
     report = report if report is not None else RecoveryReport()
     if processes < 1:
         raise CommError(f"processes must be >= 1, got {processes}")
+    if transport not in TRANSPORTS:
+        raise CommError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
     subject_parts = partition_set(contigs, processes)
-    subject_offsets = partition_bounds(contigs.offsets, processes)[:-1]
+    subject_index_bounds = partition_bounds(contigs.offsets, processes)
+    subject_offsets = subject_index_bounds[:-1]
     read_parts = partition_set(reads, processes)
-    read_offsets = partition_bounds(reads.offsets, processes)[:-1]
+    read_index_bounds = partition_bounds(reads.offsets, processes)
+    read_offsets = read_index_bounds[:-1]
 
     if processes == 1 and faults is None:
         local = _sketch_worker((subject_parts[0], config, 0, ()))
@@ -230,34 +262,71 @@ def map_reads_multiprocess(
         return _merge_rank_results([result], [0])
 
     ctx = mp.get_context(mp_context)
-    # S2: sketch subject blocks in parallel (with retry / re-dispatch)
-    sketch_jobs = [
-        (subject_parts[r], config, int(subject_offsets[r]))
-        for r in range(processes)
-    ]
-    per_rank_keys, sketch_failures = _run_phase(
-        ctx, processes, _sketch_worker, sketch_jobs,
-        plan=faults, phase="sketch", policy=policy, timeout=timeout, report=report,
-    )
-    if sketch_failures:
-        blocks = sorted(sketch_failures)
-        raise FaultError(
-            f"subject block(s) {blocks} unsketchable after "
-            f"{policy.max_attempts} attempts: {sketch_failures[blocks[0]]}"
+    shared_refs: list[str] = []
+    try:
+        # S2: sketch subject blocks in parallel (with retry / re-dispatch)
+        if transport == "shm":
+            subject_blocks = share_sequence_set(
+                contigs, "subjects",
+                [
+                    (int(subject_index_bounds[r]), int(subject_index_bounds[r + 1]))
+                    for r in range(processes)
+                ],
+            )
+            shared_refs.append(subject_blocks[0].ref.name)
+            sketch_jobs = [
+                (subject_blocks[r], config, int(subject_offsets[r]))
+                for r in range(processes)
+            ]
+        else:
+            sketch_jobs = [
+                (subject_parts[r], config, int(subject_offsets[r]))
+                for r in range(processes)
+            ]
+        per_rank_keys, sketch_failures = _run_phase(
+            ctx, processes, _sketch_worker, sketch_jobs,
+            plan=faults, phase="sketch", policy=policy, timeout=timeout,
+            report=report,
         )
-    # S3: union in the parent (the Allgatherv root role)
-    merged = [
-        np.unique(np.concatenate([per_rank_keys[r][t] for r in range(processes)]))
-        for t in range(config.trials)
-    ]
-    # S4: map read blocks in parallel against the gathered table
-    map_jobs = [
-        (read_parts[r], config, merged, len(contigs)) for r in range(processes)
-    ]
-    rank_results, map_failures = _run_phase(
-        ctx, processes, _map_worker, map_jobs,
-        plan=faults, phase="map", policy=policy, timeout=timeout, report=report,
-    )
+        if sketch_failures:
+            blocks = sorted(sketch_failures)
+            raise FaultError(
+                f"subject block(s) {blocks} unsketchable after "
+                f"{policy.max_attempts} attempts: {sketch_failures[blocks[0]]}"
+            )
+        # S3: union in the parent (the Allgatherv root role)
+        merged = [
+            np.unique(np.concatenate([per_rank_keys[r][t] for r in range(processes)]))
+            for t in range(config.trials)
+        ]
+        # S4: map read blocks in parallel against the gathered table
+        if transport == "shm":
+            table = share_table_keys(merged, len(contigs))
+            shared_refs.append(table.ref.name)
+            read_blocks = share_sequence_set(
+                reads, "reads",
+                [
+                    (int(read_index_bounds[r]), int(read_index_bounds[r + 1]))
+                    for r in range(processes)
+                ],
+            )
+            shared_refs.append(read_blocks[0].ref.name)
+            map_jobs = [
+                (read_blocks[r], config, table, len(contigs))
+                for r in range(processes)
+            ]
+        else:
+            map_jobs = [
+                (read_parts[r], config, merged, len(contigs))
+                for r in range(processes)
+            ]
+        rank_results, map_failures = _run_phase(
+            ctx, processes, _map_worker, map_jobs,
+            plan=faults, phase="map", policy=policy, timeout=timeout, report=report,
+        )
+    finally:
+        for name in shared_refs:
+            release(name)
     if map_failures:
         failed_reads = tuple(
             name for b in sorted(map_failures) for name in read_parts[b].names

@@ -6,9 +6,22 @@ from .jem import (
     QuerySketches,
     jem_sketch_single,
     pack_key,
+    query_kernel,
+    query_kernel_reference,
     query_sketch_values,
+    query_sketch_values_reference,
+    subject_kernel,
+    subject_kernel_reference,
     subject_sketch_pairs,
+    subject_sketch_pairs_reference,
     unpack_keys,
+)
+from .kernels import (
+    MAX_BATCH_ELEMS,
+    key_scratch,
+    pack_keys_batched,
+    sorted_unique_rows,
+    trial_chunks,
 )
 from .kmers import (
     MAX_K,
@@ -21,7 +34,7 @@ from .kmers import (
 )
 from .minhash import jaccard, minhash_jaccard_estimate, minhash_sketch, minhash_sketch_set
 from .minimizers import MinimizerList, minimizer_density, minimizers, minimizers_set
-from .rmq import SparseTableRMQ, range_argmin, range_min
+from .rmq import SparseTableRMQ, SparseTableRMQ2D, range_argmin, range_min
 from .windowmin import sliding_window_argmin, sliding_window_min
 
 __all__ = [
@@ -34,8 +47,19 @@ __all__ = [
     "jem_sketch_single",
     "pack_key",
     "unpack_keys",
+    "query_kernel",
+    "query_kernel_reference",
     "query_sketch_values",
+    "query_sketch_values_reference",
+    "subject_kernel",
+    "subject_kernel_reference",
     "subject_sketch_pairs",
+    "subject_sketch_pairs_reference",
+    "MAX_BATCH_ELEMS",
+    "key_scratch",
+    "pack_keys_batched",
+    "sorted_unique_rows",
+    "trial_chunks",
     "MAX_K",
     "kmer_ranks",
     "canonical_kmer_ranks",
@@ -52,6 +76,7 @@ __all__ = [
     "minimizers_set",
     "minimizer_density",
     "SparseTableRMQ",
+    "SparseTableRMQ2D",
     "range_min",
     "range_argmin",
     "sliding_window_min",

@@ -1,0 +1,257 @@
+"""Optional compiled fast path for the batched sketch kernels.
+
+The numpy kernels in :mod:`repro.sketch.jem` are dispatch-efficient but
+bound by 64-bit hardware division: every trial pays two ``uint64`` modulos
+per minimizer, and numpy cannot fuse the hash, the packed-key min and the
+interval reduction into one pass.  This module compiles (with the system C
+compiler, once per machine, cached by source hash) two tiny kernels that
+do exactly that:
+
+* ``jem_query_kernel`` — per trial, one sequential sweep hashing each
+  minimizer with a Barrett-reduced LCG and tracking the packed
+  ``(hash << 32) | index`` minimum per segment;
+* ``jem_subject_kernel`` — per trial, the same Barrett hash plus an O(n)
+  monotone-deque sliding-window minimum over the ℓ-interval ends
+  (replacing the O(n log n) sparse table), emitting the packed
+  ``(value << 32) | subject`` key row ready for the batched dedupe.
+
+Both are **bit-identical** to the numpy kernels and the per-trial
+reference paths: Barrett reduction computes the exact ``x mod p`` (one
+conditional subtract corrects the floor estimate), and tie-breaking uses
+the same packed keys.  The test suite asserts the equivalence.
+
+Availability is strictly optional: if no compiler is present, compilation
+fails, or ``REPRO_NO_NATIVE`` is set in the environment, :func:`load`
+returns ``None`` and callers stay on the numpy path.  The compiled library
+is cached under ``<repo>/.native_cache`` (override with
+``REPRO_NATIVE_CACHE``; falls back to a temp dir when unwritable).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["load", "NativeKernels"]
+
+_SOURCE = r"""
+#include <stdint.h>
+
+typedef unsigned __int128 u128;
+
+/* Exact x mod p for p in [2, 2^63) via Barrett reduction: with
+   m = floor(2^64 / p) the estimate q = (x * m) >> 64 is either the true
+   quotient or one less, so a single conditional subtract corrects r. */
+static inline uint64_t barrett_mod(uint64_t x, uint64_t p, uint64_t m) {
+    uint64_t q = (uint64_t)(((u128)x * m) >> 64);
+    uint64_t r = x - q * p;
+    if (r >= p) r -= p;
+    return r;
+}
+
+/* h_t(x) = (a * (x mod p) + b) mod p — the product stays below 2^62
+   because a < p < 2^31 and (x mod p) < p < 2^31. */
+static inline uint64_t lcg_hash(uint64_t x, uint64_t a, uint64_t b,
+                                uint64_t p, uint64_t m) {
+    return barrett_mod(a * barrett_mod(x, p, m) + b, p, m);
+}
+
+/* S4: per trial and per segment [starts[j], starts[j+1]), the minimizer
+   value minimising (hash << 32) | index.  out is (trials, nseg). */
+void jem_query_kernel(const uint64_t *values, int64_t n,
+                      const int64_t *starts, int64_t nseg,
+                      const uint64_t *a, const uint64_t *b,
+                      const uint64_t *p, int64_t trials,
+                      uint64_t *out) {
+    for (int64_t t = 0; t < trials; t++) {
+        const uint64_t at = a[t], bt = b[t], pt = p[t];
+        const uint64_t mt = (uint64_t)((((u128)1) << 64) / pt);
+        uint64_t *row = out + t * nseg;
+        for (int64_t j = 0; j < nseg; j++) {
+            const int64_t lo = starts[j];
+            const int64_t hi = (j + 1 < nseg) ? starts[j + 1] : n;
+            uint64_t best = UINT64_MAX;
+            for (int64_t i = lo; i < hi; i++) {
+                uint64_t key = (lcg_hash(values[i], at, bt, pt, mt) << 32)
+                               | (uint64_t)i;
+                if (key < best) best = key;
+            }
+            row[j] = values[best & 0xffffffffu];
+        }
+    }
+}
+
+/* S2: per trial, a monotone-deque sliding minimum of the packed keys
+   (hash << 32) | index over the half-open index intervals [i, ends[i])
+   (ends is non-decreasing and ends[i] > i).  Hashing is fused into the
+   deque push — every element is pushed exactly once — and the deque
+   stores the packed keys themselves, so the hot compare loop has no
+   indirection.  Emits the packed sketch key
+   (values[argmin] << 32) | subject_ids[i] into out (trials, n) — one row
+   per trial, ready for the batched row dedupe.  deque_scratch must hold
+   n entries. */
+void jem_subject_kernel(const uint64_t *values, const int64_t *ends,
+                        int64_t n, const uint64_t *subject_ids,
+                        const uint64_t *a, const uint64_t *b,
+                        const uint64_t *p, int64_t trials,
+                        uint64_t *deque_scratch, uint64_t *out) {
+    for (int64_t t = 0; t < trials; t++) {
+        const uint64_t at = a[t], bt = b[t], pt = p[t];
+        const uint64_t mt = (uint64_t)((((u128)1) << 64) / pt);
+        uint64_t *row = out + t * n;
+        int64_t head = 0, tail = 0, r = 0;
+        for (int64_t i = 0; i < n; i++) {
+            while (r < ends[i]) {
+                const uint64_t k = (lcg_hash(values[r], at, bt, pt, mt) << 32)
+                                   | (uint64_t)r;
+                while (tail > head && deque_scratch[tail - 1] > k)
+                    tail--;
+                deque_scratch[tail++] = k;
+                r++;
+            }
+            while ((int64_t)(deque_scratch[head] & 0xffffffffu) < i)
+                head++;
+            const uint64_t win = deque_scratch[head];
+            row[i] = (values[win & 0xffffffffu] << 32) | subject_ids[i];
+        }
+    }
+}
+"""
+
+_lock = threading.Lock()
+_lib: "NativeKernels | None" = None
+_tried = False
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        path = Path(override)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    repo_root = Path(__file__).resolve().parents[3]
+    candidate = repo_root / ".native_cache"
+    try:
+        candidate.mkdir(exist_ok=True)
+        probe = candidate / f".probe-{os.getpid()}"
+        probe.touch()
+        probe.unlink()
+        return candidate
+    except OSError:
+        fallback = Path(tempfile.gettempdir()) / "repro-native-cache"
+        fallback.mkdir(parents=True, exist_ok=True)
+        return fallback
+
+
+def _compile() -> Path:
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = cache / f"jem_kernels_{digest}.so"
+    if so_path.exists():
+        return so_path
+    c_path = cache / f"jem_kernels_{digest}.c"
+    c_path.write_text(_SOURCE)
+    tmp = cache / f".jem_kernels_{digest}.{os.getpid()}.so"
+    compiler = os.environ.get("CC", "cc")
+    subprocess.run(
+        [compiler, "-O3", "-shared", "-fPIC", "-o", os.fspath(tmp), os.fspath(c_path)],
+        check=True,
+        capture_output=True,
+        timeout=120,
+    )
+    os.replace(tmp, so_path)  # atomic: concurrent builders race benignly
+    return so_path
+
+
+class NativeKernels:
+    """ctypes bindings over the compiled kernels (GIL released during calls)."""
+
+    def __init__(self, dll: ctypes.CDLL) -> None:
+        self._dll = dll
+        u64p = ctypes.POINTER(ctypes.c_uint64)
+        i64p = ctypes.POINTER(ctypes.c_int64)
+        i64 = ctypes.c_int64
+        dll.jem_query_kernel.argtypes = [u64p, i64, i64p, i64, u64p, u64p, u64p, i64, u64p]
+        dll.jem_query_kernel.restype = None
+        dll.jem_subject_kernel.argtypes = [
+            u64p, i64p, i64, u64p, u64p, u64p, u64p, i64, u64p, u64p,
+        ]
+        dll.jem_subject_kernel.restype = None
+
+    @staticmethod
+    def _ptr(arr: np.ndarray, dtype, ctype):
+        if arr.dtype != dtype or not arr.flags.c_contiguous:
+            raise ValueError("native kernel inputs must be contiguous and typed")
+        return arr.ctypes.data_as(ctypes.POINTER(ctype))
+
+    def query_values(
+        self, values: np.ndarray, starts: np.ndarray, family, out: np.ndarray
+    ) -> np.ndarray:
+        """Fill ``out[(T, nseg)]`` with per-segment sketch values (S4)."""
+        u64, i64 = np.uint64, np.int64
+        self._dll.jem_query_kernel(
+            self._ptr(values, u64, ctypes.c_uint64),
+            ctypes.c_int64(values.size),
+            self._ptr(starts, i64, ctypes.c_int64),
+            ctypes.c_int64(starts.size),
+            self._ptr(family.a, u64, ctypes.c_uint64),
+            self._ptr(family.b, u64, ctypes.c_uint64),
+            self._ptr(family.p, u64, ctypes.c_uint64),
+            ctypes.c_int64(family.size),
+            self._ptr(out, u64, ctypes.c_uint64),
+        )
+        return out
+
+    def subject_keys(
+        self,
+        values: np.ndarray,
+        ends: np.ndarray,
+        subject_ids: np.ndarray,
+        family,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Fill ``out[(T, n)]`` with packed subject sketch key rows (S2)."""
+        u64, i64 = np.uint64, np.int64
+        deque_scratch = np.empty(values.size, dtype=u64)
+        self._dll.jem_subject_kernel(
+            self._ptr(values, u64, ctypes.c_uint64),
+            self._ptr(ends, i64, ctypes.c_int64),
+            ctypes.c_int64(values.size),
+            self._ptr(subject_ids, u64, ctypes.c_uint64),
+            self._ptr(family.a, u64, ctypes.c_uint64),
+            self._ptr(family.b, u64, ctypes.c_uint64),
+            self._ptr(family.p, u64, ctypes.c_uint64),
+            ctypes.c_int64(family.size),
+            self._ptr(deque_scratch, u64, ctypes.c_uint64),
+            self._ptr(out, u64, ctypes.c_uint64),
+        )
+        return out
+
+
+def load() -> NativeKernels | None:
+    """The compiled kernels, or ``None`` when unavailable or disabled.
+
+    ``REPRO_NO_NATIVE`` (any non-empty value) is honoured per call so tests
+    can force the numpy path without reloading modules.  Compilation is
+    attempted once per process; failures are remembered as "unavailable".
+    """
+    global _lib, _tried
+    if os.environ.get("REPRO_NO_NATIVE"):
+        return None
+    if _tried:
+        return _lib
+    with _lock:
+        if not _tried:
+            try:
+                _lib = NativeKernels(ctypes.CDLL(os.fspath(_compile())))
+            except Exception:
+                _lib = None
+            _tried = True
+    return _lib

@@ -10,11 +10,15 @@ Queries (read end segments): the segment is exactly ℓ long, so its whole
 minimizer list is a single interval and each trial contributes one sketch
 k-mer ("we then pick T JEM sketches in a similar fashion", Fig. 3).
 
-Everything is batched across sequences: minimizer lists are concatenated
-with per-sequence base offsets spaced far enough apart that a positional
-interval can never cross a sequence boundary, which lets one global
-``searchsorted`` find every interval and one sparse-table RMQ per trial
-answer every interval minimum.
+Everything is batched across sequences *and across trials*: minimizer lists
+are concatenated with per-sequence base offsets spaced far enough apart
+that a positional interval can never cross a sequence boundary, one global
+``searchsorted`` finds every interval, and the multi-trial kernels
+(:mod:`repro.sketch.kernels`) answer all T trials per numpy dispatch — one
+broadcasted hash pass, one 2-d sparse table whose interval bucketing is
+shared by every trial, one row-wise dedupe.  The per-trial implementations
+are retained as ``*_reference`` functions: they are the equivalence oracle
+for the test suite and the baseline for ``bench kernels``.
 """
 
 from __future__ import annotations
@@ -25,20 +29,27 @@ import numpy as np
 
 from ..errors import SketchError
 from ..seq.records import SequenceSet
+from . import _native
 from .hashing import HashFamily
+from .kernels import LOW32 as _LOW32
+from .kernels import key_scratch, sorted_unique_rows, trial_chunks
 from .minimizers import MinimizerList, minimizers_set
-from .rmq import SparseTableRMQ
+from .rmq import SparseTableRMQ, SparseTableRMQ2D
 
 __all__ = [
     "pack_key",
     "unpack_keys",
     "jem_sketch_single",
     "subject_sketch_pairs",
+    "subject_sketch_pairs_reference",
+    "subject_kernel",
+    "subject_kernel_reference",
     "query_sketch_values",
+    "query_sketch_values_reference",
+    "query_kernel",
+    "query_kernel_reference",
     "QuerySketches",
 ]
-
-_LOW32 = np.uint64(0xFFFFFFFF)
 
 
 def pack_key(values: np.ndarray, subjects: np.ndarray) -> np.ndarray:
@@ -115,12 +126,22 @@ def subject_sketch_pairs(
     *,
     subject_id_offset: int = 0,
 ) -> list[np.ndarray]:
-    """Algorithm 1 over a whole contig set, batched.
+    """Algorithm 1 over a whole contig set, batched across trials (S2 kernel).
 
     For every contig, every sliding interval of length ℓ over its minimizer
     list and every trial t, the minimizer minimising h_t contributes a
     ``(k-mer value, global subject id)`` pair.  Duplicated pairs from
     overlapping intervals are removed.
+
+    All trials run per numpy dispatch: one broadcasted
+    :meth:`~repro.sketch.hashing.HashFamily.apply_all` pass, one
+    :class:`~repro.sketch.rmq.SparseTableRMQ2D` whose ``np.minimum`` levels
+    and interval-level bucketing are shared across trials, and one row-wise
+    dedupe over the packed-key matrix.  The 32-bit range checks formerly
+    paid per trial (``pack_key``, the 1-d RMQ's packability scan) are
+    hoisted to a single validation, and the key matrix lives in reusable
+    thread-local scratch.  Output is bit-identical to
+    :func:`subject_sketch_pairs_reference` — asserted by the test suite.
 
     Returns one **sorted unique** packed-key array per trial — exactly the
     per-trial lists S[t] of Fig. 2, ready for the sketch table (and for the
@@ -136,11 +157,105 @@ def subject_sketch_pairs(
         return [np.empty(0, dtype=np.uint64) for _ in range(family.size)]
     if total >> 32:
         raise SketchError("minimizer count exceeds packed-key capacity")  # pragma: no cover
+    # Hoisted validation: one pass over the minimizer values and subject ids
+    # instead of one per trial inside pack_key / the argmin RMQ.
+    if int(values.max()) >> 32:
+        raise SketchError("sketch values must fit in 32 bits (k <= 16)")
+    subject_ids = (owner + subject_id_offset).astype(np.uint64)
+    if int(subject_ids[-1]) >> 32:
+        raise SketchError("subject ids must fit in 32 bits")
     # Interval i spans minimizers with position in [p_i, p_i + ell]; offsets
     # guarantee the range stays inside sequence i's owner.
     ends = np.searchsorted(positions, positions + ell, side="right")
+    return subject_kernel(values, ends, subject_ids, family)
+
+
+def subject_kernel(
+    values: np.ndarray,
+    ends: np.ndarray,
+    subject_ids: np.ndarray,
+    family: HashFamily,
+) -> list[np.ndarray]:
+    """The batched S2 kernel given pre-extracted minimizer intervals.
+
+    Interval i is ``values[i : ends[i]]``; inputs must already satisfy the
+    32-bit packing constraints (validated once by the caller).  Exposed
+    separately so the ``bench kernels`` experiment can time the kernel
+    stage against :func:`subject_kernel_reference` without the shared
+    minimizer-extraction cost drowning the comparison.
+
+    When the compiled fast path (:mod:`repro.sketch._native`) is
+    available, the hash + interval-minimum stage runs as one fused C
+    sweep per trial (Barrett-reduced LCG feeding a monotone-deque sliding
+    minimum) directly into the scratch key matrix; otherwise the numpy
+    path below runs.  Both produce bit-identical rows — the dedupe and
+    all downstream consumers cannot tell them apart.
+    """
+    total = values.size
+    native = _native.load()
+    out: list[np.ndarray] = [np.empty(0, dtype=np.uint64)] * family.size
+    if native is not None:
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        ends = np.ascontiguousarray(ends, dtype=np.int64)
+        subject_ids = np.ascontiguousarray(subject_ids, dtype=np.uint64)
+        for chunk in trial_chunks(family.size, total, with_levels=False):
+            sub = (
+                family
+                if len(chunk) == family.size
+                else family.trial_slice(chunk.start, chunk.stop)
+            )
+            keys = key_scratch(len(chunk), total)
+            native.subject_keys(values, ends, subject_ids, sub, out=keys)
+            for j, uniq in enumerate(sorted_unique_rows(keys)):
+                out[chunk.start + j] = uniq
+        return out
     starts_idx = np.arange(total, dtype=np.int64)
-    subject_ids = (owner + subject_id_offset).astype(np.uint64)
+    max_len = int((ends - starts_idx).max()) if total else 1
+    uniq_vals, inverse = np.unique(values, return_inverse=True)
+    # Hashing is division-bound, so when minimizers repeat (overlapping
+    # contigs, genomic repeats) it is cheaper to hash the distinct values
+    # and gather — identical values hash identically, so this is bit-exact.
+    dedupe = uniq_vals.size <= total - (total >> 2)
+    for chunk in trial_chunks(family.size, total):
+        sub = family if len(chunk) == family.size else family.trial_slice(chunk.start, chunk.stop)
+        # LCG outputs < 2^31, packable by construction.
+        hashed = key_scratch(len(chunk), total, slot="hash")
+        if dedupe:
+            uniq_hashed = sub.apply_all(
+                uniq_vals, out=key_scratch(len(chunk), uniq_vals.size, slot="uhash")
+            )
+            np.take(uniq_hashed, inverse, axis=1, out=hashed)
+        else:
+            sub.apply_all(values, out=hashed)
+        rmq = SparseTableRMQ2D(
+            hashed,
+            track_argmin=True,
+            values_packable=True,
+            max_interval=max_len,
+            workspace=True,
+        )
+        # The workspace build copied level 0 into its own scratch, so both
+        # the hashed matrix and the keys slot are free to recycle here.
+        packed = rmq.query_packed(starts_idx, ends, out=key_scratch(len(chunk), total))
+        np.bitwise_and(packed, _LOW32, out=packed)  # keep the argmin columns
+        keys = key_scratch(len(chunk), total, slot="hash")
+        np.take(values, packed, out=keys)
+        np.left_shift(keys, np.uint64(32), out=keys)
+        np.bitwise_or(keys, subject_ids[None, :], out=keys)
+        for j, uniq in enumerate(sorted_unique_rows(keys)):
+            out[chunk.start + j] = uniq
+    return out
+
+
+def subject_kernel_reference(
+    values: np.ndarray,
+    ends: np.ndarray,
+    subject_ids: np.ndarray,
+    family: HashFamily,
+) -> list[np.ndarray]:
+    """Per-trial (pre-PR) S2 kernel: T rounds of hash, 1-d RMQ, np.unique."""
+    total = values.size
+    starts_idx = np.arange(total, dtype=np.int64)
     out: list[np.ndarray] = []
     for t in range(family.size):
         hashed = family.apply(t, values)
@@ -149,6 +264,34 @@ def subject_sketch_pairs(
         keys = pack_key(values[idx], subject_ids)
         out.append(np.unique(keys))
     return out
+
+
+def subject_sketch_pairs_reference(
+    subjects: SequenceSet,
+    k: int,
+    w: int,
+    ell: int,
+    family: HashFamily,
+    *,
+    subject_id_offset: int = 0,
+) -> list[np.ndarray]:
+    """Per-trial reference for :func:`subject_sketch_pairs`.
+
+    The pre-kernel implementation: T rounds of hash-apply, a fresh 1-d
+    :class:`~repro.sketch.rmq.SparseTableRMQ` build and an ``np.unique``
+    sort.  Retained as the equivalence oracle for the property tests and
+    the baseline the ``bench kernels`` experiment measures speedup against.
+    """
+    lists = minimizers_set(subjects, k, w)
+    values, positions, owner, _ = _concat_minimizer_lists(lists, ell)
+    total = values.size
+    if total == 0:
+        return [np.empty(0, dtype=np.uint64) for _ in range(family.size)]
+    if total >> 32:
+        raise SketchError("minimizer count exceeds packed-key capacity")  # pragma: no cover
+    ends = np.searchsorted(positions, positions + ell, side="right")
+    subject_ids = (owner + subject_id_offset).astype(np.uint64)
+    return subject_kernel_reference(values, ends, subject_ids, family)
 
 
 @dataclass(frozen=True)
@@ -171,31 +314,123 @@ class QuerySketches:
         return int(self.values.shape[1])
 
 
-def query_sketch_values(
-    segments: SequenceSet, k: int, w: int, family: HashFamily
-) -> QuerySketches:
-    """T sketch k-mers for every query segment (single-interval mode).
+def _query_minimizer_concat(
+    segments: SequenceSet, k: int, w: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shared query-side setup: concatenated ranks + segment bookkeeping.
 
-    The ℓ-long end segment is one interval, so per trial the sketch is the
-    minimizer of the whole segment under h_t.  Batched across segments with
-    one segmented-minimum (``reduceat``) per trial.
+    Returns ``(has, nonempty, values, starts)`` where ``values`` is the
+    concatenation of every non-empty segment's minimizer ranks and
+    ``starts`` the segment boundaries for ``minimum.reduceat``.
     """
     n = len(segments)
     per_seg = [ml.ranks for ml in minimizers_set(segments, k, w)]
     has = np.fromiter((r.size > 0 for r in per_seg), dtype=bool, count=n)
-    values_out = np.zeros((family.size, n), dtype=np.uint64)
     nonempty = np.flatnonzero(has)
     if nonempty.size == 0:
-        return QuerySketches(values_out, has)
+        return has, nonempty, np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
     values = np.concatenate([per_seg[i] for i in nonempty])
     lengths = np.fromiter((per_seg[i].size for i in nonempty), dtype=np.int64)
     starts = np.zeros(nonempty.size, dtype=np.int64)
     np.cumsum(lengths[:-1], out=starts[1:])
     if values.size >> 32:
         raise SketchError("too many minimizers for packed-key argmin")  # pragma: no cover
+    return has, nonempty, values, starts
+
+
+def query_sketch_values(
+    segments: SequenceSet, k: int, w: int, family: HashFamily
+) -> QuerySketches:
+    """T sketch k-mers for every query segment, batched (S4 kernel).
+
+    The ℓ-long end segment is one interval, so per trial the sketch is the
+    minimizer of the whole segment under h_t.  One broadcasted ``(T, n)``
+    hash pass and one segmented-minimum (``minimum.reduceat`` along axis 1)
+    answer every trial at once; output is bit-identical to
+    :func:`query_sketch_values_reference`.
+    """
+    has, nonempty, values, starts = _query_minimizer_concat(segments, k, w)
+    values_out = np.zeros((family.size, len(segments)), dtype=np.uint64)
+    if nonempty.size == 0:
+        return QuerySketches(values_out, has)
+    values_out[:, nonempty] = query_kernel(values, starts, family)
+    return QuerySketches(values_out, has)
+
+
+def query_kernel(
+    values: np.ndarray, starts: np.ndarray, family: HashFamily
+) -> np.ndarray:
+    """The batched S4 kernel: per-segment hash minima for every trial.
+
+    ``values`` is the concatenation of the segments' minimizer ranks with
+    segment boundaries at ``starts``; returns the ``(T, n_segments)``
+    sketch value matrix.  Exposed separately for the same reason as
+    :func:`subject_kernel`.
+
+    When the compiled fast path (:mod:`repro.sketch._native`) is
+    available, each trial is one fused C sweep — Barrett-reduced LCG hash
+    and packed-key segment minimum in the same pass, no ``(T, n)``
+    intermediate at all; otherwise the numpy path below runs.  Outputs
+    are bit-identical either way.
+    """
+    total = values.size
+    native = _native.load()
+    out = np.empty((family.size, starts.size), dtype=np.uint64)
+    if native is not None:
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        starts = np.ascontiguousarray(starts, dtype=np.int64)
+        native.query_values(values, starts, family, out=out)
+        return out
+    index_col = np.arange(total, dtype=np.uint64)[:, None]
+    uniq_vals, inverse = np.unique(values, return_inverse=True)
+    # Read end-segments overlap on the genome, so query minimizers repeat
+    # heavily; hash each distinct value once and gather (bit-exact — equal
+    # values hash equally, and ties still break on the original index).
+    dedupe = uniq_vals.size <= total - (total >> 2)
+    for chunk in trial_chunks(family.size, total, with_levels=False):
+        sub = family if len(chunk) == family.size else family.trial_slice(chunk.start, chunk.stop)
+        # (n, T) layout: the row gather below is a contiguous memcpy per
+        # occurrence and the segmented min sweeps memory sequentially.
+        packed = key_scratch(total, len(chunk))
+        if dedupe:
+            hashed = sub.apply_all_transposed(
+                uniq_vals, out=key_scratch(uniq_vals.size, len(chunk), slot="uhash")
+            )
+            np.left_shift(hashed, np.uint64(32), out=hashed)
+            np.take(hashed, inverse, axis=0, out=packed)
+        else:
+            sub.apply_all_transposed(values, out=packed)
+            np.left_shift(packed, np.uint64(32), out=packed)
+        np.bitwise_or(packed, index_col, out=packed)
+        mins = np.minimum.reduceat(packed, starts, axis=0)  # (n_segments, c)
+        out[chunk.start : chunk.stop] = values[(mins & _LOW32).astype(np.int64)].T
+    return out
+
+
+def query_kernel_reference(
+    values: np.ndarray, starts: np.ndarray, family: HashFamily
+) -> np.ndarray:
+    """Per-trial (pre-PR) S4 kernel: T loop bodies of hash + pack + reduceat."""
     index = np.arange(values.size, dtype=np.uint64)
+    out = np.empty((family.size, starts.size), dtype=np.uint64)
     for t in range(family.size):
         packed = (family.apply(t, values) << np.uint64(32)) | index
         mins = np.minimum.reduceat(packed, starts)
-        values_out[t, nonempty] = values[(mins & _LOW32).astype(np.int64)]
+        out[t] = values[(mins & _LOW32).astype(np.int64)]
+    return out
+
+
+def query_sketch_values_reference(
+    segments: SequenceSet, k: int, w: int, family: HashFamily
+) -> QuerySketches:
+    """Per-trial reference for :func:`query_sketch_values`.
+
+    T loop bodies of hash + pack + ``reduceat``; retained as the test
+    oracle and the ``bench kernels`` baseline.
+    """
+    has, nonempty, values, starts = _query_minimizer_concat(segments, k, w)
+    values_out = np.zeros((family.size, len(segments)), dtype=np.uint64)
+    if nonempty.size == 0:
+        return QuerySketches(values_out, has)
+    values_out[:, nonempty] = query_kernel_reference(values, starts, family)
     return QuerySketches(values_out, has)

@@ -15,6 +15,7 @@ import numpy as np
 from ..errors import SketchError
 from ..seq.records import SequenceSet
 from .hashing import HashFamily
+from .kernels import trial_chunks
 from .kmers import canonical_kmer_ranks
 
 __all__ = ["minhash_sketch", "minhash_sketch_set", "jaccard", "minhash_jaccard_estimate"]
@@ -31,11 +32,9 @@ def minhash_sketch(codes: np.ndarray, k: int, family: HashFamily) -> np.ndarray:
     kmers = np.unique(canon[valid])
     if kmers.size == 0:
         raise SketchError("sequence has no valid k-mer to sketch")
-    out = np.empty(family.size, dtype=np.uint64)
-    for t in range(family.size):
-        hashed = family.apply(t, kmers)
-        out[t] = kmers[int(np.argmin(hashed))]
-    return out
+    # One broadcasted hash pass; row-wise argmin keeps the per-trial
+    # first-minimum tie-break (np.argmin is leftmost along the axis).
+    return kmers[np.argmin(family.apply_all(kmers), axis=1)]
 
 
 def minhash_sketch_set(
@@ -47,9 +46,10 @@ def minhash_sketch_set(
 ) -> tuple[np.ndarray, np.ndarray]:
     """MinHash sketches of every sequence in a set.
 
-    Per-sequence k-mer sets are concatenated and each trial is answered with
-    one segmented-minimum pass (``np.minimum.reduceat``), so the loop over
-    trials runs full-width numpy operations.
+    Per-sequence k-mer sets are concatenated and *all* trials are answered
+    at once: one broadcasted hash pass over the ``(T, n)`` matrix and one
+    segmented-minimum (``np.minimum.reduceat`` along axis 1) — the same
+    batched kernels as the JEM query path.
 
     ``minimizer_w`` switches the base set from *all* canonical k-mers to
     the (w, k)-minimizer set — the "minimizer MinHash" middle ground
@@ -86,10 +86,15 @@ def minhash_sketch_set(
     if values.size >> 32:
         raise SketchError("too many k-mers for packed-key argmin")  # pragma: no cover
     index = np.arange(values.size, dtype=np.uint64)
-    for t in range(trials):
-        packed = (family.apply(t, values) << np.uint64(32)) | index
-        mins = np.minimum.reduceat(packed, starts)
-        sketches[t, nonempty] = values[(mins & np.uint64(0xFFFFFFFF)).astype(np.int64)]
+    for chunk in trial_chunks(trials, values.size, with_levels=False):
+        sub = family if len(chunk) == trials else family.trial_slice(chunk.start, chunk.stop)
+        packed = sub.apply_all(values)
+        np.left_shift(packed, np.uint64(32), out=packed)
+        np.bitwise_or(packed, index[None, :], out=packed)
+        mins = np.minimum.reduceat(packed, starts, axis=1)
+        sketches[chunk.start : chunk.stop, nonempty] = values[
+            (mins & np.uint64(0xFFFFFFFF)).astype(np.int64)
+        ]
     return sketches, has
 
 

@@ -138,14 +138,15 @@ def minimizers_set(sequences, k: int, w: int) -> list[MinimizerList]:
     )
     group_start = 0
     while group_start < n:
-        group_end = group_start
         base_lo = int(offsets[group_start])
-        while (
-            group_end < n and int(offsets[group_end + 1]) - base_lo <= _CHUNK_BASES
-        ) or group_end == group_start:
-            group_end += 1
-            if group_end >= n:
-                break
+        # Largest group_end with offsets[group_end] <= base_lo + chunk, in
+        # one searchsorted over the (sorted) offsets — no per-sequence
+        # rescan, and a sequence longer than the chunk still forms its own
+        # group because the bound below is at least group_start + 1.
+        group_end = int(
+            np.searchsorted(offsets, base_lo + _CHUNK_BASES, side="right")
+        ) - 1
+        group_end = min(max(group_end, group_start + 1), n)
         base_hi = int(offsets[group_end])
         chunk = buffer[base_lo:base_hi]
         if chunk.size >= k:

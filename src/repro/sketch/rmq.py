@@ -13,8 +13,32 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import SketchError
+from .kernels import key_scratch
 
-__all__ = ["SparseTableRMQ", "range_min", "range_argmin"]
+__all__ = ["SparseTableRMQ", "SparseTableRMQ2D", "range_min", "range_argmin"]
+
+
+def _level_scratch(total: int) -> np.ndarray:
+    """Flat thread-local uint64 buffer backing a workspace table's levels."""
+    return key_scratch(1, total, slot="rmq").reshape(total)
+
+
+def _interval_levels(starts: np.ndarray, ends: np.ndarray, n: int) -> np.ndarray:
+    """Sparse-table level ``j = floor(log2(length))`` per half-open interval.
+
+    Shared by the 1-d and 2-d tables so the interval bucketing is computed
+    (and validated) exactly once per query batch.
+    """
+    lengths = ends - starts
+    if (lengths < 1).any():
+        raise SketchError("empty interval in RMQ query")
+    if (starts < 0).any() or (ends > n).any():
+        raise SketchError("RMQ interval out of bounds")
+    js = np.floor(np.log2(lengths)).astype(np.int64)
+    # Guard against float rounding at exact powers of two.
+    too_big = (np.int64(1) << js) > lengths
+    js[too_big] -= 1
+    return js
 
 
 class SparseTableRMQ:
@@ -55,16 +79,7 @@ class SparseTableRMQ:
         ends = np.asarray(ends, dtype=np.int64)
         if starts.shape != ends.shape:
             raise SketchError("starts/ends shape mismatch")
-        lengths = ends - starts
-        if (lengths < 1).any():
-            raise SketchError("empty interval in RMQ query")
-        if (starts < 0).any() or (ends > self._n).any():
-            raise SketchError("RMQ interval out of bounds")
-        # level j covers spans of 2^j; pick j = floor(log2(length))
-        js = np.floor(np.log2(lengths)).astype(np.int64)
-        # Guard against float rounding at exact powers of two.
-        too_big = (np.int64(1) << js) > lengths
-        js[too_big] -= 1
+        js = _interval_levels(starts, ends, self._n)
         out = np.empty(starts.shape, dtype=np.uint64)
         for j in np.unique(js):
             level = self._levels[int(j)]
@@ -88,6 +103,147 @@ class SparseTableRMQ:
             raise SketchError("build with track_argmin=True to query argmins")
         keys = self._query_keys(starts, ends)
         return (keys & np.uint64(0xFFFFFFFF)).astype(np.int64), keys >> np.uint64(32)
+
+
+class SparseTableRMQ2D:
+    """One sparse table over a ``(T, n)`` matrix, intervals shared by rows.
+
+    The batched JEM kernel asks the *same* position intervals of every
+    trial's hash row, so one table build answers all trials: every level is
+    a single 2-d ``np.minimum`` pass (``log n`` dispatches total instead of
+    ``T log n``), and at query time the interval-level bucketing is computed
+    once and each bucket gathers a ``(T, m_j)`` block.  Per row the answers
+    are bit-identical to a :class:`SparseTableRMQ` built on that row.
+
+    ``track_argmin`` packs ``(value << 32) | column`` rows; pass
+    ``values_packable=True`` when values are known ``< 2^32`` (e.g. LCG
+    hashes ``< 2^31``) to skip the O(T·n) range scan.
+
+    ``max_interval`` caps the table at the levels actually reachable by
+    queries of at most that length: sliding ℓ-intervals over a minimizer
+    list are far shorter than the list itself, so roughly half the
+    ``log n`` levels of a full table would never be read.  Queries longer
+    than the cap raise.  ``workspace=True`` additionally carves the level
+    storage (and the packed level 0) out of a thread-local scratch slot
+    instead of fresh allocations; building another ``workspace`` table on
+    the same thread reuses the slot, so only the most recent such table
+    may be queried.
+    """
+
+    __slots__ = ("_levels", "_n", "_rows", "_packed")
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        *,
+        track_argmin: bool = False,
+        values_packable: bool = False,
+        max_interval: int | None = None,
+        workspace: bool = False,
+    ) -> None:
+        values = np.asarray(values, dtype=np.uint64)
+        if values.ndim != 2:
+            raise SketchError("SparseTableRMQ2D needs a 2-d (T, n) matrix")
+        rows, n = values.shape
+        if rows == 0 or n == 0:
+            raise SketchError("cannot build RMQ over an empty matrix")
+        if n >> 32:
+            raise SketchError("RMQ2D supports at most 2^32 columns")  # pragma: no cover
+        if max_interval is not None and max_interval < 1:
+            raise SketchError("max_interval must be >= 1")
+        self._rows = rows
+        self._n = n
+        self._packed = bool(track_argmin)
+        if track_argmin and not values_packable and int(values.max()) >> 32:
+            raise SketchError("argmin tracking requires values < 2^32")
+        # Level j holds minima over spans of 2^j; a query of length L only
+        # ever touches level floor(log2(L)), so cap the build there.
+        widths = [n]
+        span = 1
+        while 2 * span <= n and (max_interval is None or 2 * span <= max_interval):
+            span *= 2
+            widths.append(n - span + 1)
+        if workspace:
+            flat = _level_scratch(rows * sum(widths))
+        pos = 0
+
+        def _carve(m: int) -> np.ndarray:
+            nonlocal pos
+            if not workspace:
+                return np.empty((rows, m), dtype=np.uint64)
+            view = flat[pos : pos + rows * m].reshape(rows, m)
+            pos += rows * m
+            return view
+
+        if track_argmin:
+            level0 = _carve(n)
+            np.left_shift(values, np.uint64(32), out=level0)
+            np.bitwise_or(level0, np.arange(n, dtype=np.uint64)[None, :], out=level0)
+        else:
+            level0 = values
+        levels = [level0]
+        span = 1
+        for m in widths[1:]:
+            prev = levels[-1]
+            nxt = _carve(m)
+            np.minimum(prev[:, :m], prev[:, span : span + m], out=nxt)
+            levels.append(nxt)
+            span *= 2
+        self._levels = levels
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._rows, self._n)
+
+    def _query_keys(
+        self, starts: np.ndarray, ends: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        if starts.shape != ends.shape or starts.ndim != 1:
+            raise SketchError("starts/ends must be equal-length 1-d arrays")
+        js = _interval_levels(starts, ends, self._n)
+        if js.size and int(js.max()) >= len(self._levels):
+            raise SketchError("RMQ interval longer than the max_interval cap")
+        shape = (self._rows, starts.size)
+        if out is None:
+            out = np.empty(shape, dtype=np.uint64)
+        elif out.shape != shape or out.dtype != np.uint64:
+            raise SketchError("RMQ out buffer must be (rows, m) uint64")
+        for j in np.unique(js):
+            level = self._levels[int(j)]
+            mask = js == j
+            span = np.int64(1) << j
+            out[:, mask] = np.minimum(level[:, starts[mask]], level[:, ends[mask] - span])
+        return out
+
+    def query(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        """``(T, m)`` minima — row t answers interval i over row t's values."""
+        keys = self._query_keys(starts, ends)
+        if self._packed:
+            return keys >> np.uint64(32)
+        return keys
+
+    def query_argmin(self, starts: np.ndarray, ends: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(T, m)`` (column indices, minima); leftmost column on value ties."""
+        if not self._packed:
+            raise SketchError("build with track_argmin=True to query argmins")
+        keys = self._query_keys(starts, ends)
+        return (keys & np.uint64(0xFFFFFFFF)).astype(np.int64), keys >> np.uint64(32)
+
+    def query_packed(
+        self, starts: np.ndarray, ends: np.ndarray, *, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``(T, m)`` raw ``(min << 32) | argmin-column`` keys per interval.
+
+        The key matrix underlying :meth:`query_argmin`, exposed so hot
+        callers can mask out the column (or minimum) half in place instead
+        of paying the two unpacking allocations; ``out`` (typically a
+        scratch view) makes the query itself allocation-free.
+        """
+        if not self._packed:
+            raise SketchError("build with track_argmin=True to query packed keys")
+        return self._query_keys(starts, ends, out)
 
 
 def range_min(values: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:

@@ -69,6 +69,17 @@ def test_cache_round_trip(tmp_path):
     assert a.reads.metas[0] == b.reads.metas[0]
 
 
+def test_corrupt_cache_is_regenerated(tmp_path):
+    """An unreadable .npz (truncated write, checkout mangling) is a cache
+    miss: the dataset regenerates deterministically instead of raising."""
+    a = load_or_generate("e_coli", scale=TINY, seed=1, cache_dir=tmp_path)
+    (path,) = tmp_path.glob("*.npz")
+    path.write_bytes(b"not a zip archive at all")
+    b = load_or_generate("e_coli", scale=TINY, seed=1, cache_dir=tmp_path)
+    assert np.array_equal(a.genome, b.genome)
+    assert np.array_equal(a.reads.buffer, b.reads.buffer)
+
+
 def test_real_like_flag():
     assert DATASETS["o_sativa_chr8"].is_real_like
     assert not DATASETS["e_coli"].is_real_like

@@ -1,0 +1,209 @@
+"""Shared-memory transport: round-trips, backend parity, fault survival,
+and — most importantly — segment lifecycle (nothing may outlive the call,
+even when workers die or the phase raises)."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.core import JEMConfig, JEMMapper
+from repro.errors import CommError, PartialResultError
+from repro.parallel import (
+    FaultPlan,
+    FaultSpec,
+    RecoveryReport,
+    RetryPolicy,
+    map_reads_multiprocess,
+)
+from repro.parallel import shm
+from repro.parallel.partition import partition_bounds
+
+CFG = JEMConfig(k=12, w=20, ell=500, trials=6, seed=21)
+POLICY = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.005)
+
+
+@pytest.fixture(scope="module")
+def world():
+    from repro.seq import SequenceSet, SequenceSetBuilder, decode, random_codes
+
+    rng = np.random.default_rng(123)
+    genome = random_codes(15_000, rng)
+    contigs = []
+    pos = 0
+    i = 0
+    while pos < genome.size:
+        end = min(pos + 1_500, genome.size)
+        contigs.append((f"c{i}", decode(genome[pos:end])))
+        pos = end
+        i += 1
+    builder = SequenceSetBuilder()
+    for j in range(10):
+        start = int(rng.integers(0, genome.size - 4_000))
+        builder.add(f"r{j}", genome[start : start + 4_000], meta={"gt": j})
+    return SequenceSet.from_strings(contigs), builder.build()
+
+
+def _no_leaks():
+    assert shm.created_segment_names() == []
+    assert glob.glob("/dev/shm/jem-*") == []
+
+
+# -- array round-trips ---------------------------------------------------------
+
+def test_share_attach_roundtrip():
+    arrays = [
+        np.arange(17, dtype=np.uint64),
+        np.arange(5, dtype=np.int64) - 2,
+        np.array([1, 2, 3], dtype=np.uint8),  # forces padding before next
+        np.empty(0, dtype=np.uint64),
+    ]
+    ref = shm.share_arrays(arrays, "test")
+    try:
+        views = shm.attach_arrays(ref)
+        for arr, view in zip(arrays, views):
+            assert view.dtype == arr.dtype
+            assert np.array_equal(view, arr)
+    finally:
+        shm.release(ref.name)
+    _no_leaks()
+
+
+def test_release_is_idempotent_and_atexit_safe():
+    ref = shm.share_arrays([np.ones(4, dtype=np.uint64)], "test")
+    shm.release(ref.name)
+    shm.release(ref.name)  # second call is a no-op
+    shm.release_all()
+    _no_leaks()
+
+
+def test_attach_vanished_segment_raises_comm_error():
+    ref = shm.share_arrays([np.ones(4, dtype=np.uint64)], "test")
+    shm.release(ref.name)
+    with pytest.raises(CommError):
+        shm.attach_arrays(ref)
+
+
+def test_segment_exists_reports_lifecycle():
+    ref = shm.share_arrays([np.ones(4, dtype=np.uint64)], "test")
+    assert shm.segment_exists(ref.name)
+    shm.release(ref.name)
+    assert not shm.segment_exists(ref.name)
+
+
+def test_shared_sequence_block_materialises_slices(world):
+    contigs, reads = world
+    bounds = partition_bounds(reads.offsets, 3)
+    blocks = shm.share_sequence_set(
+        reads, "test", [(int(bounds[r]), int(bounds[r + 1])) for r in range(3)]
+    )
+    try:
+        for r, block in enumerate(blocks):
+            part = reads.slice(int(bounds[r]), int(bounds[r + 1]))
+            rebuilt = block.materialise()
+            assert rebuilt.names == part.names
+            assert rebuilt.metas == part.metas  # ground truth rides along
+            assert np.array_equal(rebuilt.buffer, part.buffer)
+            assert np.array_equal(rebuilt.offsets, part.offsets)
+    finally:
+        shm.release(blocks[0].ref.name)
+    _no_leaks()
+
+
+def test_shared_table_materialises_sorted_keys():
+    keys = [
+        np.sort(np.random.default_rng(t).integers(0, 1 << 40, 30).astype(np.uint64))
+        for t in range(4)
+    ]
+    table = shm.share_table_keys(keys, n_subjects=9)
+    try:
+        rebuilt = table.materialise()
+        assert rebuilt.n_subjects == 9
+        for a, b in zip(rebuilt.keys, keys):
+            assert np.array_equal(a, b)
+    finally:
+        shm.release(table.ref.name)
+    _no_leaks()
+
+
+# -- backend parity and lifecycle ---------------------------------------------
+
+def test_bad_transport_rejected(world):
+    contigs, reads = world
+    with pytest.raises(CommError):
+        map_reads_multiprocess(contigs, reads, CFG, transport="tcp")
+
+
+@pytest.mark.parametrize("processes", [2, 3])
+def test_shm_transport_matches_pickle_and_sequential(world, processes):
+    contigs, reads = world
+    seq = JEMMapper(CFG)
+    seq.index(contigs)
+    expected = seq.map_reads(reads)
+    via_shm = map_reads_multiprocess(
+        contigs, reads, CFG, processes=processes, mp_context="fork",
+        transport="shm",
+    )
+    via_pickle = map_reads_multiprocess(
+        contigs, reads, CFG, processes=processes, mp_context="fork",
+        transport="pickle",
+    )
+    for got in (via_shm, via_pickle):
+        assert np.array_equal(got.subject, expected.subject)
+        assert np.array_equal(got.hit_count, expected.hit_count)
+        assert got.segment_names == expected.segment_names
+    _no_leaks()
+
+
+def test_shm_transport_under_seeded_faults_no_leaks(world):
+    contigs, reads = world
+    seq = JEMMapper(CFG)
+    seq.index(contigs)
+    expected = seq.map_reads(reads)
+    for seed in (1, 2, 3):
+        plan = FaultPlan.seeded(seed, 2, delay=0.005)
+        assert plan.recoverable
+        report = RecoveryReport()
+        got = map_reads_multiprocess(
+            contigs, reads, CFG, processes=2, mp_context="fork",
+            faults=plan, retry=POLICY, timeout=2.0, report=report,
+            transport="shm",
+        )
+        assert np.array_equal(got.subject, expected.subject)
+        _no_leaks()
+
+
+def test_shm_survives_worker_death_and_pool_rebuild(world):
+    """A dead worker triggers the timeout + pool-rebuild path; the fresh
+    pool re-attaches to the same segments and nothing leaks."""
+    contigs, reads = world
+    seq = JEMMapper(CFG)
+    seq.index(contigs)
+    expected = seq.map_reads(reads)
+    plan = FaultPlan(
+        [
+            FaultSpec("worker_death", "sketch", 0, times=1),
+            FaultSpec("worker_death", "map", 1, times=1),
+        ]
+    )
+    report = RecoveryReport()
+    got = map_reads_multiprocess(
+        contigs, reads, CFG, processes=2, mp_context="fork",
+        faults=plan, retry=POLICY, timeout=2.0, report=report,
+        transport="shm",
+    )
+    assert np.array_equal(got.subject, expected.subject)
+    assert report.redispatches >= 2
+    _no_leaks()
+
+
+def test_shm_released_on_strict_failure(world):
+    """Segments are unlinked even when the phase raises (strict S4 loss)."""
+    contigs, reads = world
+    plan = FaultPlan([FaultSpec("crash", "map", 1, times=None, unit_scoped=True)])
+    with pytest.raises(PartialResultError):
+        map_reads_multiprocess(
+            contigs, reads, CFG, processes=2, mp_context="fork",
+            faults=plan, retry=POLICY, timeout=30.0, transport="shm",
+        )
+    _no_leaks()

@@ -1,0 +1,457 @@
+"""Equivalence of the batched multi-trial kernels against the retained
+per-trial reference paths.
+
+The batched subject/query sketchers, the 2-d sparse table and the row-wise
+dedupe must be *bit-identical* to the per-trial code they replaced — the
+reference implementations are kept in the tree precisely so these tests
+(and the bench parity check) can keep asserting that, including when
+``MAX_BATCH_ELEMS`` forces multi-chunk execution.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SketchError
+from repro.seq import SequenceSet, random_codes
+from repro.sketch import (
+    HashFamily,
+    SparseTableRMQ,
+    SparseTableRMQ2D,
+    jem_sketch_single,
+    minimizers,
+    pack_key,
+    query_kernel,
+    query_kernel_reference,
+    query_sketch_values,
+    query_sketch_values_reference,
+    subject_kernel,
+    subject_kernel_reference,
+    subject_sketch_pairs,
+    subject_sketch_pairs_reference,
+)
+from repro.sketch import _native
+from repro.sketch import kernels as kernels_mod
+from repro.sketch.kernels import (
+    key_scratch,
+    pack_keys_batched,
+    sorted_unique_rows,
+    trial_chunks,
+)
+
+FAMILY = HashFamily.generate(7, seed=13)
+
+
+def _random_set(rng, n, max_len=3000, with_n_runs=True):
+    """A set with short/long/empty/all-N sequences mixed in."""
+    records = []
+    for i in range(n):
+        kind = rng.integers(0, 6)
+        if kind == 0:
+            codes = np.empty(0, dtype=np.uint8)  # empty sequence
+        elif kind == 1:
+            codes = np.full(int(rng.integers(5, 60)), 4, dtype=np.uint8)  # all N
+        elif kind == 2:
+            codes = random_codes(int(rng.integers(1, 20)), rng)  # < k / 1 window
+        else:
+            codes = random_codes(int(rng.integers(20, max_len)), rng)
+            if with_n_runs and codes.size > 50:
+                lo = int(rng.integers(0, codes.size - 10))
+                codes[lo : lo + 10] = 4  # interior invalid run
+        records.append((f"s{i}", codes))
+    from repro.seq import SequenceSetBuilder
+
+    builder = SequenceSetBuilder()
+    for name, codes in records:
+        builder.add(name, codes)
+    return builder.build()
+
+
+# -- hash family ---------------------------------------------------------------
+
+def test_apply_all_rows_match_apply_and_scalar():
+    x = np.random.default_rng(0).integers(0, 1 << 32, size=200, dtype=np.uint64)
+    matrix = FAMILY.apply_all(x)
+    assert matrix.shape == (FAMILY.size, x.size)
+    for t in range(FAMILY.size):
+        assert np.array_equal(matrix[t], FAMILY.apply(t, x))
+    for t in range(FAMILY.size):
+        for xi in x[:5]:
+            assert int(matrix[t, np.flatnonzero(x == xi)[0]]) == FAMILY.apply_scalar(
+                t, int(xi)
+            )
+
+
+def test_apply_all_empty_input():
+    out = FAMILY.apply_all(np.empty(0, dtype=np.uint64))
+    assert out.shape == (FAMILY.size, 0)
+
+
+def test_apply_all_out_buffer_reused_and_validated():
+    x = np.arange(64, dtype=np.uint64)
+    buf = np.empty((FAMILY.size, x.size), dtype=np.uint64)
+    out = FAMILY.apply_all(x, out=buf)
+    assert out is buf
+    assert np.array_equal(buf, FAMILY.apply_all(x))
+    with pytest.raises(SketchError):
+        FAMILY.apply_all(x, out=np.empty((FAMILY.size, x.size + 1), dtype=np.uint64))
+    with pytest.raises(SketchError):
+        FAMILY.apply_all(x, out=np.empty((FAMILY.size, x.size), dtype=np.int64))
+
+
+def test_apply_all_transposed_is_exact_transpose():
+    x = np.random.default_rng(2).integers(0, 1 << 32, size=300, dtype=np.uint64)
+    assert np.array_equal(FAMILY.apply_all_transposed(x), FAMILY.apply_all(x).T)
+    buf = np.empty((x.size, FAMILY.size), dtype=np.uint64)
+    assert FAMILY.apply_all_transposed(x, out=buf) is buf
+    with pytest.raises(SketchError):
+        FAMILY.apply_all_transposed(x, out=np.empty((FAMILY.size, x.size), dtype=np.uint64))
+
+
+def test_trial_slice_matches_rows():
+    x = np.arange(50, dtype=np.uint64)
+    sub = FAMILY.trial_slice(2, 5)
+    assert sub.size == 3
+    assert np.array_equal(sub.apply_all(x), FAMILY.apply_all(x)[2:5])
+
+
+def test_trial_slice_rejects_bad_bounds():
+    with pytest.raises(SketchError):
+        FAMILY.trial_slice(3, 3)
+    with pytest.raises(SketchError):
+        FAMILY.trial_slice(0, FAMILY.size + 1)
+
+
+# -- 2-d sparse table ----------------------------------------------------------
+
+@pytest.mark.parametrize("n", [1, 2, 3, 17, 100])
+def test_rmq2d_matches_per_trial_1d(n):
+    rng = np.random.default_rng(n)
+    values = rng.integers(0, 1 << 32, size=(5, n), dtype=np.uint64)
+    starts = rng.integers(0, n, size=20, dtype=np.int64)
+    ends = starts + rng.integers(1, n + 1 - starts, size=20, dtype=np.int64)
+    rmq2 = SparseTableRMQ2D(values, track_argmin=True)
+    mins2 = rmq2.query(starts, ends)
+    idx2, vals2 = rmq2.query_argmin(starts, ends)
+    for t in range(5):
+        rmq1 = SparseTableRMQ(values[t], track_argmin=True)
+        assert np.array_equal(mins2[t], rmq1.query(starts, ends))
+        idx1, vals1 = rmq1.query_argmin(starts, ends)
+        assert np.array_equal(idx2[t], idx1)
+        assert np.array_equal(vals2[t], vals1)
+
+
+def test_rmq2d_leftmost_tie_break():
+    values = np.zeros((3, 8), dtype=np.uint64)  # every entry ties
+    rmq = SparseTableRMQ2D(values, track_argmin=True)
+    idx, _ = rmq.query_argmin(np.array([0, 2]), np.array([8, 7]))
+    assert np.array_equal(idx, np.tile([0, 2], (3, 1)))
+
+
+def test_rmq2d_values_packable_skips_scan_but_matches():
+    values = np.arange(24, dtype=np.uint64).reshape(3, 8)
+    a = SparseTableRMQ2D(values, track_argmin=True)
+    b = SparseTableRMQ2D(values, track_argmin=True, values_packable=True)
+    starts = np.array([0, 3]), np.array([5, 8])
+    assert np.array_equal(a.query(*starts), b.query(*starts))
+
+
+def test_rmq2d_rejects_oversized_values_with_argmin():
+    values = np.full((2, 4), 1 << 32, dtype=np.uint64)
+    with pytest.raises(SketchError):
+        SparseTableRMQ2D(values, track_argmin=True)
+
+
+def test_rmq2d_max_interval_parity_and_cap_enforcement():
+    rng = np.random.default_rng(9)
+    values = rng.integers(0, 1 << 31, size=(4, 64), dtype=np.uint64)
+    starts = rng.integers(0, 60, size=30, dtype=np.int64)
+    ends = starts + rng.integers(1, np.minimum(7, 64 - starts) + 1, size=30)
+    full = SparseTableRMQ2D(values, track_argmin=True)
+    capped = SparseTableRMQ2D(values, track_argmin=True, max_interval=7)
+    assert len(capped._levels) < len(full._levels)
+    assert np.array_equal(capped.query(starts, ends), full.query(starts, ends))
+    with pytest.raises(SketchError):
+        capped.query(np.array([0]), np.array([64]))  # longer than the cap
+    with pytest.raises(SketchError):
+        SparseTableRMQ2D(values, max_interval=0)
+
+
+def test_rmq2d_workspace_build_is_bit_identical():
+    rng = np.random.default_rng(10)
+    values = rng.integers(0, 1 << 31, size=(3, 50), dtype=np.uint64)
+    starts = rng.integers(0, 45, size=20, dtype=np.int64)
+    ends = starts + rng.integers(1, np.minimum(6, 50 - starts) + 1, size=20)
+    plain = SparseTableRMQ2D(values, track_argmin=True, values_packable=True)
+    ws = SparseTableRMQ2D(
+        values, track_argmin=True, values_packable=True, max_interval=6, workspace=True
+    )
+    idx_p, min_p = plain.query_argmin(starts, ends)
+    idx_w, min_w = ws.query_argmin(starts, ends)
+    assert np.array_equal(idx_p, idx_w)
+    assert np.array_equal(min_p, min_w)
+
+
+def test_rmq2d_query_packed_matches_argmin_and_validates():
+    rng = np.random.default_rng(12)
+    values = rng.integers(0, 1 << 31, size=(3, 40), dtype=np.uint64)
+    starts = np.array([0, 5, 30], dtype=np.int64)
+    ends = np.array([8, 9, 40], dtype=np.int64)
+    rmq = SparseTableRMQ2D(values, track_argmin=True, values_packable=True)
+    packed = rmq.query_packed(starts, ends)
+    idx, mins = rmq.query_argmin(starts, ends)
+    assert np.array_equal(packed >> np.uint64(32), mins)
+    assert np.array_equal((packed & np.uint64(0xFFFFFFFF)).astype(np.int64), idx)
+    buf = np.empty((3, 3), dtype=np.uint64)
+    assert rmq.query_packed(starts, ends, out=buf) is buf
+    with pytest.raises(SketchError):
+        rmq.query_packed(starts, ends, out=np.empty((3, 4), dtype=np.uint64))
+    plain = SparseTableRMQ2D(values)
+    with pytest.raises(SketchError):
+        plain.query_packed(starts, ends)
+
+
+# -- packing / dedupe kernels --------------------------------------------------
+
+def test_pack_keys_batched_matches_pack_key():
+    rng = np.random.default_rng(3)
+    values = rng.integers(0, 1 << 32, size=(4, 50), dtype=np.uint64)
+    subjects = rng.integers(0, 1 << 31, size=50, dtype=np.uint64)
+    packed = pack_keys_batched(values, subjects)
+    for t in range(4):
+        assert np.array_equal(packed[t], pack_key(values[t], subjects))
+
+
+def test_pack_keys_batched_validates_once():
+    bad = np.full((2, 3), 1 << 32, dtype=np.uint64)
+    ok = np.zeros(3, dtype=np.uint64)
+    with pytest.raises(SketchError):
+        pack_keys_batched(bad, ok)
+    with pytest.raises(SketchError):
+        pack_keys_batched(np.zeros((2, 3), dtype=np.uint64), bad[0])
+
+
+def test_sorted_unique_rows_matches_np_unique():
+    rng = np.random.default_rng(4)
+    keys = rng.integers(0, 50, size=(6, 200), dtype=np.uint64)
+    expected = [np.unique(keys[t]) for t in range(6)]
+    got = sorted_unique_rows(keys.copy())
+    for exp, row in zip(expected, got):
+        assert np.array_equal(row, exp)
+
+
+def test_sorted_unique_rows_empty_columns():
+    rows = sorted_unique_rows(np.empty((3, 0), dtype=np.uint64))
+    assert len(rows) == 3
+    assert all(r.size == 0 for r in rows)
+
+
+def test_sorted_unique_rows_results_are_copies():
+    keys = key_scratch(2, 10)
+    keys[...] = np.arange(20, dtype=np.uint64).reshape(2, 10)
+    rows = sorted_unique_rows(keys)
+    keys[...] = 0  # clobber the scratch; results must not change
+    assert np.array_equal(rows[0], np.arange(10, dtype=np.uint64))
+
+
+def test_key_scratch_reuses_buffer_and_is_thread_local():
+    a = key_scratch(3, 5)
+    b = key_scratch(3, 5)
+    assert a.base is b.base  # same backing allocation on one thread
+    other: list = []
+    t = threading.Thread(target=lambda: other.append(key_scratch(3, 5)))
+    t.start()
+    t.join()
+    assert other[0].base is not a.base
+
+
+def test_key_scratch_slots_are_independent_buffers():
+    a = key_scratch(4, 8, slot="keys")
+    b = key_scratch(4, 8, slot="hash")
+    assert a.base is not b.base
+    a[...] = 1
+    b[...] = 2
+    assert (a == 1).all()  # writing one slot never clobbers another
+    assert key_scratch(4, 8, slot="hash").base is b.base
+
+
+def test_trial_chunks_cover_and_respect_budget():
+    chunks = trial_chunks(10, 1000, budget=5000)  # with levels: > 1000/trial
+    assert [c.start for c in chunks][0] == 0
+    flat = [t for c in chunks for t in c]
+    assert flat == list(range(10))
+    chunks = trial_chunks(10, 10**9, budget=1)  # degrade to per-trial, not fail
+    assert all(len(c) == 1 for c in chunks)
+
+
+# -- batched sketchers vs reference paths --------------------------------------
+
+CASES = [(16, 100, 1000), (12, 20, 500), (8, 1, 50), (5, 7, 10)]
+
+
+@pytest.mark.parametrize("k,w,ell", CASES)
+def test_subject_pairs_match_reference(k, w, ell):
+    seqs = _random_set(np.random.default_rng(k * 100 + w), 25)
+    got = subject_sketch_pairs(seqs, k, w, ell, FAMILY, subject_id_offset=7)
+    expected = subject_sketch_pairs_reference(
+        seqs, k, w, ell, FAMILY, subject_id_offset=7
+    )
+    assert len(got) == len(expected) == FAMILY.size
+    for g, e in zip(got, expected):
+        assert np.array_equal(g, e)
+
+
+@pytest.mark.parametrize("k,w,ell", CASES)
+def test_query_values_match_reference(k, w, ell):
+    seqs = _random_set(np.random.default_rng(k * 7 + w), 25, max_len=800)
+    got = query_sketch_values(seqs, k, w, FAMILY)
+    expected = query_sketch_values_reference(seqs, k, w, FAMILY)
+    assert np.array_equal(got.has, expected.has)
+    assert np.array_equal(got.values[:, got.has], expected.values[:, expected.has])
+
+
+def test_query_values_match_single_sketch():
+    """Cross-check: the batched query kernel == per-sequence jem_sketch_single."""
+    k, w = 12, 20
+    seqs = _random_set(np.random.default_rng(5), 10)
+    got = query_sketch_values(seqs, k, w, FAMILY)
+    for i in range(len(seqs)):
+        minis = minimizers(seqs.codes_of(i), k, w)
+        if len(minis) == 0:
+            assert not got.has[i]
+            continue
+        assert got.has[i]
+        assert np.array_equal(got.values[:, i], jem_sketch_single(minis, FAMILY))
+
+
+def test_chunked_execution_is_bit_identical(monkeypatch):
+    """Shrinking the batch budget forces multi-chunk paths; output unchanged."""
+    seqs = _random_set(np.random.default_rng(11), 20)
+    k, w, ell = 12, 20, 500
+    whole_subject = subject_sketch_pairs(seqs, k, w, ell, FAMILY)
+    whole_query = query_sketch_values(seqs, k, w, FAMILY)
+    monkeypatch.setattr(kernels_mod, "MAX_BATCH_ELEMS", 256)
+    chunked_subject = subject_sketch_pairs(seqs, k, w, ell, FAMILY)
+    chunked_query = query_sketch_values(seqs, k, w, FAMILY)
+    for a, b in zip(whole_subject, chunked_subject):
+        assert np.array_equal(a, b)
+    assert np.array_equal(whole_query.has, chunked_query.has)
+    assert np.array_equal(
+        whole_query.values[:, whole_query.has],
+        chunked_query.values[:, chunked_query.has],
+    )
+
+
+def test_empty_and_degenerate_sets():
+    empty = SequenceSet.empty()
+    pairs = subject_sketch_pairs(empty, 12, 20, 500, FAMILY)
+    assert all(p.size == 0 for p in pairs)
+    sketches = query_sketch_values(empty, 12, 20, FAMILY)
+    assert sketches.values.shape == (FAMILY.size, 0)
+    all_n = SequenceSet.from_strings([("n1", "n" * 40), ("n2", "n" * 25)])
+    pairs = subject_sketch_pairs(all_n, 12, 20, 500, FAMILY)
+    ref = subject_sketch_pairs_reference(all_n, 12, 20, 500, FAMILY)
+    for g, e in zip(pairs, ref):
+        assert np.array_equal(g, e)
+    sketches = query_sketch_values(all_n, 12, 20, FAMILY)
+    assert not sketches.has.any()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    k=st.integers(4, 16),
+    w=st.integers(1, 40),
+    ell=st.integers(1, 800),
+    trials=st.integers(1, 9),
+)
+def test_fuzzed_parity_subject_and_query(seed, k, w, ell, trials):
+    family = HashFamily.generate(trials, seed=seed % 97)
+    seqs = _random_set(np.random.default_rng(seed), 8, max_len=600)
+    got = subject_sketch_pairs(seqs, k, w, ell, family)
+    exp = subject_sketch_pairs_reference(seqs, k, w, ell, family)
+    for g, e in zip(got, exp):
+        assert np.array_equal(g, e)
+    gq = query_sketch_values(seqs, k, w, family)
+    eq = query_sketch_values_reference(seqs, k, w, family)
+    assert np.array_equal(gq.has, eq.has)
+    assert np.array_equal(gq.values[:, gq.has], eq.values[:, eq.has])
+
+
+# -- compiled fast path --------------------------------------------------------
+#
+# The parity tests above run against whichever backend is active (compiled
+# when a C compiler is present, numpy otherwise).  These tests pin down the
+# backend explicitly: the kill switch must route around the compiled path,
+# and on machines where it is available, the two backends must agree bit
+# for bit on the same direct kernel inputs.
+
+def _kernel_inputs(seed, trials=5):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 400))
+    values = rng.integers(0, 1 << 32, size=n, dtype=np.uint64)
+    # non-decreasing interval ends with ends[i] > i, as searchsorted produces
+    ends = np.maximum.accumulate(
+        np.arange(1, n + 1) + rng.integers(0, 30, size=n)
+    ).clip(max=n)
+    subject_ids = rng.integers(0, 1 << 16, size=n, dtype=np.uint64)
+    nseg = int(rng.integers(1, min(n, 40) + 1))
+    starts = np.unique(
+        np.concatenate([[0], rng.integers(0, n, size=nseg - 1)])
+    ).astype(np.int64)
+    family = HashFamily.generate(trials, seed=seed % 89 + 1)
+    return values, ends.astype(np.int64), subject_ids, starts, family
+
+
+def test_kill_switch_disables_native(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+    assert _native.load() is None
+
+
+def test_numpy_fallback_matches_reference(monkeypatch):
+    """With the compiled path disabled, the numpy kernels must still agree."""
+    monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+    for seed in (1, 2, 3):
+        values, ends, subject_ids, starts, family = _kernel_inputs(seed)
+        got = subject_kernel(values, ends, subject_ids, family)
+        exp = subject_kernel_reference(values, ends, subject_ids, family)
+        for g, e in zip(got, exp):
+            assert np.array_equal(g, e)
+        assert np.array_equal(
+            query_kernel(values, starts, family),
+            query_kernel_reference(values, starts, family),
+        )
+
+
+@pytest.mark.skipif(_native.load() is None, reason="no C compiler available")
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_native_and_numpy_backends_bit_identical(seed):
+    import os
+
+    values, ends, subject_ids, starts, family = _kernel_inputs(seed)
+    nat_subject = subject_kernel(values, ends, subject_ids, family)
+    nat_query = query_kernel(values, starts, family)
+    os.environ["REPRO_NO_NATIVE"] = "1"
+    try:
+        np_subject = subject_kernel(values, ends, subject_ids, family)
+        np_query = query_kernel(values, starts, family)
+    finally:
+        del os.environ["REPRO_NO_NATIVE"]
+    for a, b in zip(nat_subject, np_subject):
+        assert np.array_equal(a, b)
+    assert np.array_equal(nat_query, np_query)
+
+
+@pytest.mark.skipif(_native.load() is None, reason="no C compiler available")
+def test_native_compile_is_cached(tmp_path, monkeypatch):
+    """A second load in a fresh cache dir compiles once and reuses the .so."""
+    monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+    first = _native._compile()
+    stamp = first.stat().st_mtime_ns
+    second = _native._compile()
+    assert first == second
+    assert second.stat().st_mtime_ns == stamp
