@@ -12,9 +12,13 @@ Quickstart::
 """
 
 from .core import (
+    ColumnarSketchStore,
+    DictSketchStore,
     JEMConfig,
     JEMMapper,
+    MappingEngine,
     MappingResult,
+    PipelineConfig,
     load_index,
     save_index,
 )
@@ -30,6 +34,10 @@ __all__ = [
     "JEMConfig",
     "JEMMapper",
     "MappingResult",
+    "MappingEngine",
+    "PipelineConfig",
+    "ColumnarSketchStore",
+    "DictSketchStore",
     "save_index",
     "load_index",
     "Scaffolder",

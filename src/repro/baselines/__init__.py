@@ -2,12 +2,13 @@
 
 from .classical_minhash import ClassicalMinHashMapper
 from .mashmap import MashmapConfig, MashmapLikeMapper
-from .minimap_lite import MinimapLite, Placement
+from .minimap_lite import MinimapLite, MinimapLiteMapper, Placement
 
 __all__ = [
     "ClassicalMinHashMapper",
     "MashmapConfig",
     "MashmapLikeMapper",
     "MinimapLite",
+    "MinimapLiteMapper",
     "Placement",
 ]

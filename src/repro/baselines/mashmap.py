@@ -32,7 +32,7 @@ from ..core.mapper import MappingResult
 from ..core.segments import extract_end_segments
 from ..errors import MappingError
 from ..seq.records import SequenceSet
-from ..sketch.minimizers import minimizers, minimizers_set
+from ..sketch.minimizers import minimizers_set
 
 __all__ = ["MashmapConfig", "MashmapLikeMapper"]
 
@@ -212,15 +212,42 @@ class MashmapLikeMapper:
         n = len(segments)
         best_subject = np.full(n, -1, dtype=np.int64)
         best_count = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            from ..core.hitcounter import BestHits
+
+            return MappingResult.from_best_hits(
+                segments.names, BestHits(best_subject, best_count), infos
+            )
+        # Batched L0: one shared-packing minimizer pass over the whole
+        # segment set, then a single anchor gather for the batch.  Anchors
+        # come back ordered by global minimizer index, so each segment's
+        # anchors are one contiguous slice of the gathered arrays.
+        per_seg = [
+            np.unique(ml.ranks) if len(ml) else np.empty(0, dtype=np.uint64)
+            for ml in minimizers_set(segments, cfg.k, cfg.w)
+        ]
+        seg_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum([q.size for q in per_seg], out=seg_offsets[1:])
+        if seg_offsets[-1] == 0:
+            from ..core.hitcounter import BestHits
+
+            return MappingResult.from_best_hits(
+                segments.names, BestHits(best_subject, best_count), infos
+            )
+        all_q_idx, all_subs, all_poss = self._anchors(np.concatenate(per_seg))
+        slice_starts = np.searchsorted(all_q_idx, seg_offsets[:-1], side="left")
+        slice_ends = np.searchsorted(all_q_idx, seg_offsets[1:], side="left")
         for qi in range(n):
-            ml = minimizers(segments.codes_of(qi), cfg.k, cfg.w)
-            if len(ml) == 0:
-                continue
-            qranks = np.unique(ml.ranks)
+            qranks = per_seg[qi]
             sketch_size = qranks.size
-            q_idx, subs, poss = self._anchors(qranks)
-            if q_idx.size == 0:
+            if sketch_size == 0:
                 continue
+            a, b = int(slice_starts[qi]), int(slice_ends[qi])
+            if a == b:
+                continue
+            q_idx = all_q_idx[a:b] - seg_offsets[qi]
+            subs = all_subs[a:b]
+            poss = all_poss[a:b]
             # group anchors per subject, positions sorted within
             order = np.lexsort((poss, subs))
             subs, poss, q_idx = subs[order], poss[order], q_idx[order]

@@ -19,12 +19,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.hitcounter import BestHits
+from ..core.mapper import MappingResult
+from ..core.segments import extract_end_segments
 from ..errors import MappingError
 from ..seq.encode import reverse_complement
-from ..seq.records import SequenceSet
-from ..sketch.minimizers import minimizers
+from ..seq.records import SequenceSet, SequenceSetBuilder
+from ..sketch.minimizers import MinimizerList, minimizers, minimizers_set
 
-__all__ = ["Placement", "MinimapLite"]
+__all__ = ["Placement", "MinimapLite", "MinimapLiteMapper"]
 
 
 @dataclass(frozen=True)
@@ -74,11 +77,11 @@ class MinimapLite:
             chunks_r: list[np.ndarray] = []
             chunks_p: list[np.ndarray] = []
             bases = np.zeros(len(reference) + 1, dtype=np.int64)
+            lengths = reference.lengths
             for i in range(len(reference)):
-                codes = reference.codes_of(i)
                 # spacing >= longest plausible query keeps diagonals apart
-                bases[i + 1] = bases[i] + int(codes.size) + (1 << 20)
-                ml = minimizers(codes, self.k, self.w)
+                bases[i + 1] = bases[i] + int(lengths[i]) + (1 << 20)
+            for i, ml in enumerate(minimizers_set(reference, self.k, self.w)):
                 if len(ml):
                     chunks_r.append(ml.ranks)
                     chunks_p.append(ml.positions + bases[i])
@@ -105,7 +108,9 @@ class MinimapLite:
         self._positions = positions[order]
 
     def _anchors(self, query: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:
-        ml = minimizers(query, self.k, self.w)
+        return self._anchors_of(minimizers(query, self.k, self.w))
+
+    def _anchors_of(self, ml: MinimizerList) -> tuple[np.ndarray, np.ndarray] | None:
         if len(ml) == 0:
             return None
         left = np.searchsorted(self._ranks, ml.ranks, side="left")
@@ -125,9 +130,21 @@ class MinimapLite:
         if self._ranks is None:
             raise MappingError("index() must be called before place()")
         query = np.asarray(query, dtype=np.uint8)
+        fwd = minimizers(query, self.k, self.w)
+        rev = minimizers(reverse_complement(query), self.k, self.w)
+        return self._place_minimizers(fwd, rev, int(query.size), min_anchors)
+
+    def _place_minimizers(
+        self,
+        fwd: MinimizerList,
+        rev: MinimizerList,
+        query_len: int,
+        min_anchors: int,
+    ) -> Placement | None:
+        """Strand race over precomputed query minimizer lists."""
         best: Placement | None = None
-        for strand, oriented in ((1, query), (-1, reverse_complement(query))):
-            pair = self._anchors(oriented)
+        for strand, ml in ((1, fwd), (-1, rev)):
+            pair = self._anchors_of(ml)
             if pair is None:
                 continue
             qpos, rpos = pair
@@ -149,7 +166,7 @@ class MinimapLite:
             local = diag - int(self._seq_bases[sid])
             seq_len = int(self._seq_lengths[sid])
             start = max(0, local)
-            end = min(seq_len, local + query.size)
+            end = min(seq_len, local + query_len)
             if end <= start:
                 continue
             cand = Placement(
@@ -163,8 +180,79 @@ class MinimapLite:
     def place_set(
         self, queries: SequenceSet, *, min_anchors: int = 3
     ) -> list[Placement | None]:
-        """Place every sequence of a set (None where unplaceable)."""
+        """Place every sequence of a set (None where unplaceable).
+
+        Both strands are sketched with the batched shared-packing kernel —
+        one :func:`minimizers_set` pass per strand over the whole set — and
+        then each query runs the same strand race as :meth:`place`.
+        """
+        if self._ranks is None:
+            raise MappingError("index() must be called before place()")
+        n = len(queries)
+        if n == 0:
+            return []
+        fwd = minimizers_set(queries, self.k, self.w)
+        rc = SequenceSetBuilder()
+        for i in range(n):
+            rc.add(queries.names[i], reverse_complement(queries.codes_of(i)))
+        rev = minimizers_set(rc.build(), self.k, self.w)
+        lengths = queries.lengths
         return [
-            self.place(queries.codes_of(i), min_anchors=min_anchors)
-            for i in range(len(queries))
+            self._place_minimizers(fwd[i], rev[i], int(lengths[i]), min_anchors)
+            for i in range(n)
         ]
+
+
+class MinimapLiteMapper:
+    """Mapper-protocol adapter over :class:`MinimapLite`.
+
+    Lets the placement baseline ride the :class:`~repro.core.engine
+    .MappingEngine` next to jem/minhash/mashmap: subjects are indexed as a
+    multi-sequence reference and each end segment's best placement votes
+    for the contig it landed on (anchor count as the hit score).
+    """
+
+    def __init__(
+        self,
+        k: int = 14,
+        w: int = 12,
+        *,
+        ell: int = 1000,
+        min_anchors: int = 3,
+        bin_width: int = 128,
+    ) -> None:
+        if ell < k:
+            raise MappingError(f"ell ({ell}) must be >= k ({k})")
+        self.ell = ell
+        self.min_anchors = min_anchors
+        self._lite = MinimapLite(k, w, bin_width=bin_width)
+        self._subject_names: list[str] = []
+
+    @property
+    def subject_names(self) -> list[str]:
+        return self._subject_names
+
+    def index(self, contigs: SequenceSet) -> None:
+        if len(contigs) == 0:
+            raise MappingError("cannot index an empty contig set")
+        self._lite.index(contigs)
+        self._subject_names = list(contigs.names)
+
+    def map_segments(self, segments: SequenceSet, infos=None) -> MappingResult:
+        if self._lite._ranks is None:
+            raise MappingError("index() must be called before mapping")
+        n = len(segments)
+        best_subject = np.full(n, -1, dtype=np.int64)
+        best_count = np.zeros(n, dtype=np.int64)
+        placements = self._lite.place_set(segments, min_anchors=self.min_anchors)
+        for qi, placement in enumerate(placements):
+            if placement is not None:
+                best_subject[qi] = placement.ref_id
+                best_count[qi] = placement.n_anchors
+        return MappingResult.from_best_hits(
+            segments.names, BestHits(best_subject, best_count), infos
+        )
+
+    def map_reads(self, reads: SequenceSet) -> MappingResult:
+        segments, infos = extract_end_segments(reads, self.ell)
+        return self.map_segments(segments, infos)

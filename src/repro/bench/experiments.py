@@ -42,6 +42,7 @@ __all__ = [
     "exp_fig9",
     "exp_kernels",
     "exp_serve",
+    "exp_store",
     "EXPERIMENTS",
 ]
 
@@ -722,6 +723,90 @@ def exp_serve(
     return _finish(ctx, ExperimentOutput("serve", text, data))
 
 
+# -- Sketch-store layouts ------------------------------------------------------
+
+
+def exp_store(ctx: BenchContext, *, repeats: int = 5) -> ExperimentOutput:
+    """Columnar vs dict sketch store: resident bytes, lookup rate, parity.
+
+    Builds both resident layouts from one dataset's trial keys, verifies
+    that every trial's batch lookup is bit-identical between them, and
+    measures resident memory plus batch-lookup throughput (all T trials of
+    the full query sketch matrix, min-over-``repeats``).  The JSON records
+    ``memory_ratio`` (dict bytes / columnar bytes) and ``throughput_ratio``
+    (columnar lookups/s over dict lookups/s), so CI can gate on the
+    columnar layout's headline claim: at least one of the two >= 2x.
+    """
+    from ..core.mapper import JEMMapper
+    from ..core.store import ColumnarSketchStore, DictSketchStore
+    from ..sketch.jem import query_sketch_values
+
+    name = ctx.pick(("e_coli",))[0]
+    ds = ctx.dataset(name)
+    cfg = ctx.config
+    segments, _ = extract_end_segments(ds.reads, cfg.ell)
+
+    packed = JEMMapper(cfg, store_kind="packed").index(ds.contigs)
+    keys = [packed.trial_keys(t) for t in range(packed.trials)]
+    columnar = ColumnarSketchStore.from_trial_keys(keys, packed.n_subjects)
+    dictstore = DictSketchStore.from_trial_keys(keys, packed.n_subjects)
+
+    sketches = query_sketch_values(segments, cfg.k, cfg.w, cfg.hash_family())
+    queries = [sketches.values[t, sketches.has] for t in range(cfg.trials)]
+    n_lookups = cfg.trials * int(sketches.has.sum())
+
+    parity = all(
+        np.array_equal(ch.query_index, dh.query_index)
+        and np.array_equal(ch.subjects, dh.subjects)
+        for t, qv in enumerate(queries)
+        for ch, dh in ((columnar.lookup_trial(t, qv), dictstore.lookup_trial(t, qv)),)
+    )
+
+    def sweep(store) -> float:
+        t0 = time.perf_counter()
+        for t, qv in enumerate(queries):
+            store.lookup_trial(t, qv)
+        return time.perf_counter() - t0
+
+    col_seconds = min(sweep(columnar) for _ in range(repeats))
+    dict_seconds = min(sweep(dictstore) for _ in range(repeats))
+    col_rate = n_lookups / col_seconds if col_seconds > 0 else float("inf")
+    dict_rate = n_lookups / dict_seconds if dict_seconds > 0 else float("inf")
+    memory_ratio = dictstore.nbytes / columnar.nbytes if columnar.nbytes else float("inf")
+    throughput_ratio = col_rate / dict_rate if dict_rate > 0 else float("inf")
+
+    rows = [
+        ["columnar", f"{columnar.nbytes / 1e6:.2f}", f"{col_seconds:.4f}",
+         f"{col_rate:,.0f}", "yes" if parity else "NO"],
+        ["dict", f"{dictstore.nbytes / 1e6:.2f}", f"{dict_seconds:.4f}",
+         f"{dict_rate:,.0f}", "(oracle)"],
+    ]
+    text = render_table(
+        f"Sketch-store layouts — {DATASETS[name].organism}, T={cfg.trials} "
+        f"(scale={ctx.scale:g}, min of {repeats} sweeps); memory "
+        f"{memory_ratio:.1f}x smaller, lookups {throughput_ratio:.1f}x faster",
+        ["store", "resident (MB)", "sweep (s)", "lookups/s", "bit-identical"],
+        rows,
+    )
+    data = {
+        "dataset": name,
+        "trials": cfg.trials,
+        "n_contigs": len(ds.contigs),
+        "n_queries": int(sketches.has.sum()),
+        "n_lookups": n_lookups,
+        "columnar_bytes": int(columnar.nbytes),
+        "dict_bytes": int(dictstore.nbytes),
+        "columnar_seconds": col_seconds,
+        "dict_seconds": dict_seconds,
+        "columnar_lookups_per_s": col_rate,
+        "dict_lookups_per_s": dict_rate,
+        "memory_ratio": memory_ratio,
+        "throughput_ratio": throughput_ratio,
+        "parity": parity,
+    }
+    return _finish(ctx, ExperimentOutput("store", text, data))
+
+
 #: Experiment registry for the CLI.
 EXPERIMENTS = {
     "table1": exp_table1,
@@ -734,4 +819,5 @@ EXPERIMENTS = {
     "kernels": exp_kernels,
     "faults": exp_faults,
     "serve": exp_serve,
+    "store": exp_store,
 }

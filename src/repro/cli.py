@@ -25,15 +25,14 @@ import time
 import numpy as np
 
 from . import __version__
-from .baselines.classical_minhash import ClassicalMinHashMapper
-from .baselines.mashmap import MashmapConfig, MashmapLikeMapper
 from .bench import ALL_EXPERIMENTS as EXPERIMENTS
 from .bench.experiments import BenchContext
 from .core.config import JEMConfig
+from .core.engine import MAPPER_KINDS, MappingEngine, PipelineConfig, read_sequences
 from .core.mapper import JEMMapper
+from .core.store import DEFAULT_STORE_KIND, STORE_KINDS
 from .eval.datasets import DEFAULT_SCALE, dataset_names, load_or_generate
 from .eval.pipeline import run_mappers
-from .parallel.driver import run_parallel_jem
 from .seq.io_fasta import read_fasta, write_fasta
 from .seq.io_fastq import write_fastq
 from .seq.records import SequenceSet
@@ -52,6 +51,21 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
 
 def _config_from(args: argparse.Namespace) -> JEMConfig:
     return JEMConfig(k=args.k, w=args.w, ell=args.ell, trials=args.trials, seed=args.seed)
+
+
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", choices=STORE_KINDS, default=DEFAULT_STORE_KIND,
+                        help="resident sketch-store layout: columnar "
+                             "(sorted value/contig arrays, default), dict "
+                             "(hash-map oracle) or packed (legacy uint64 keys)")
+
+
+def _engine_from(args: argparse.Namespace) -> MappingEngine:
+    """Engine wired from ``--index`` or ``-s`` (shared by map/serve)."""
+    engine = MappingEngine(PipelineConfig.from_args(args))
+    if getattr(args, "index", None):
+        return engine.use_index(args.index)
+    return engine.load_subjects(args.subjects)
 
 
 def _add_service_args(parser: argparse.ArgumentParser) -> None:
@@ -91,34 +105,6 @@ def _service_config_from(args: argparse.Namespace):
     )
 
 
-def _jem_mapper_from(args: argparse.Namespace, config: JEMConfig) -> JEMMapper:
-    """Resident JEM mapper from ``--index`` or ``-s`` (shared by map/serve)."""
-    if getattr(args, "index", None):
-        from .core.persist import load_index
-
-        return load_index(args.index)
-    subjects = read_fasta(args.subjects, on_error=getattr(args, "on_error", "raise"))
-    mapper = JEMMapper(config)
-    mapper.index(subjects)
-    return mapper
-
-
-def _read_sequences(path: str, *, on_error: str = "raise") -> SequenceSet:
-    from .seq.io_fasta import ParseReport
-
-    report = ParseReport()
-    if path.endswith((".fq", ".fastq", ".fq.gz", ".fastq.gz")):
-        from .seq.io_fastq import read_fastq
-
-        seqs = read_fastq(path, on_error=on_error, report=report)
-    else:
-        seqs = read_fasta(path, on_error=on_error, report=report)
-    if report.skipped:
-        print(f"warning: skipped {report.skipped} malformed record(s) in {path}",
-              file=sys.stderr)
-    return seqs
-
-
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="jem-mapper",
@@ -137,15 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_index.add_argument("-s", "--subjects", required=True, help="contigs FASTA")
     p_index.add_argument("-o", "--output", required=True, help="index file (.npz)")
     _add_config_args(p_index)
+    _add_store_arg(p_index)
 
     p_map = sub.add_parser("map", help="map long reads to contigs")
     p_map.add_argument("-q", "--queries", required=True, help="long reads FASTA/FASTQ")
     p_map.add_argument("-s", "--subjects", help="contigs FASTA")
     p_map.add_argument("--index", help="saved JEM index (alternative to -s)")
     p_map.add_argument("-o", "--output", default="-", help="output TSV ('-' = stdout)")
-    p_map.add_argument(
-        "--mapper", choices=("jem", "mashmap", "minhash"), default="jem"
-    )
+    p_map.add_argument("--mapper", choices=MAPPER_KINDS, default="jem")
     p_map.add_argument("-p", "--processes", type=int, default=1,
                        help="simulated ranks for the parallel driver (jem only)")
     p_map.add_argument("--backend", choices=("simulated", "process"), default="simulated",
@@ -171,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject a seeded recoverable fault plan "
                             "(testing/demo; recovery shows up in the timing line)")
     _add_config_args(p_map)
+    _add_store_arg(p_map)
 
     p_serve = sub.add_parser(
         "serve",
@@ -182,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--on-error", choices=("raise", "skip"), default="raise",
                          help="contig parser policy")
     _add_config_args(p_serve)
+    _add_store_arg(p_serve)
     _add_service_args(p_serve)
 
     p_client = sub.add_parser(
@@ -199,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="shell command for the server (default: spawn "
                                "`%(prog)s serve` with the matching flags)")
     _add_config_args(p_client)
+    _add_store_arg(p_client)
     _add_service_args(p_client)
 
     p_scaf = sub.add_parser("scaffold", help="hybrid scaffolding from reads + contigs")
@@ -215,7 +203,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--data-seed", type=int, default=0)
     p_eval.add_argument("--cache-dir", default=".dataset_cache")
     p_eval.add_argument(
-        "--mappers", default="jem,mashmap", help="comma list: jem,mashmap,minhash"
+        "--mappers", default="jem,mashmap",
+        help=f"comma list from: {','.join(MAPPER_KINDS)}",
     )
     _add_config_args(p_eval)
 
@@ -261,7 +250,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
     config = _config_from(args)
     subjects = read_fasta(args.subjects)
-    mapper = JEMMapper(config)
+    mapper = JEMMapper(config, store_kind=args.store)
     t0 = time.perf_counter()
     table = mapper.index(subjects)
     path = save_index(mapper, args.output)
@@ -281,64 +270,14 @@ def _report_partial(partial) -> None:
 def _cmd_map(args: argparse.Namespace) -> int:
     if not _require_one_source(args):
         return 2
-    config = _config_from(args)
-    queries = _read_sequences(args.queries, on_error=args.on_error)
-    faults = None
-    if args.inject_faults is not None:
-        from .parallel.faults import FaultPlan
-
-        faults = FaultPlan.seeded(args.inject_faults, max(args.processes, 1))
-    t0 = time.perf_counter()
-    if args.index is not None:
-        mapper = _jem_mapper_from(args, config)
-        result = mapper.map_reads(queries)
-        subject_names = mapper.subject_names
-        timing = f"# jem (saved index): {time.perf_counter() - t0:.3f}s wall"
-    elif args.mapper == "jem" and args.processes > 1 and args.backend == "process":
-        from .parallel.faults import RecoveryReport
-        from .parallel.mp_backend import map_reads_multiprocess
-
-        subjects = read_fasta(args.subjects, on_error=args.on_error)
-        report = RecoveryReport()
-        result = map_reads_multiprocess(
-            subjects, queries, config, processes=args.processes,
-            faults=faults, strict=args.strict, timeout=args.timeout, report=report,
-            transport=args.transport,
-        )
-        subject_names = list(subjects.names)
-        timing = (f"# process backend p={args.processes} "
-                  f"({args.transport}): {time.perf_counter() - t0:.3f}s wall")
-        if report.faults_encountered:
-            timing += (f", recovery {report.recovery_seconds:.3f}s "
-                       f"({report.redispatches} re-dispatches)")
-        _report_partial(report.partial)
-    elif args.mapper == "jem" and args.processes > 1:
-        subjects = read_fasta(args.subjects, on_error=args.on_error)
-        run = run_parallel_jem(
-            subjects, queries, config, p=args.processes,
-            faults=faults, strict=args.strict,
-        )
-        result = run.mapping
-        subject_names = list(subjects.names)
-        timing = (
-            f"# parallel p={args.processes}: modelled time {run.total_time:.3f}s, "
-            f"comm {100 * run.steps.comm_fraction:.1f}%"
-        )
-        if run.recovery_time > 0:
-            timing += f", recovery {run.recovery_time:.3f}s"
-        _report_partial(run.partial)
-    else:
-        subjects = read_fasta(args.subjects, on_error=args.on_error)
-        if args.mapper == "jem":
-            mapper = JEMMapper(config)
-        elif args.mapper == "mashmap":
-            mapper = MashmapLikeMapper(MashmapConfig(k=config.k, ell=config.ell))
-        else:
-            mapper = ClassicalMinHashMapper(config)
-        mapper.index(subjects)
-        result = mapper.map_reads(queries)
-        subject_names = mapper.subject_names
-        timing = f"# {args.mapper}: {time.perf_counter() - t0:.3f}s wall"
+    engine = _engine_from(args)
+    config = engine.pipeline.jem
+    queries = read_sequences(args.queries, on_error=args.on_error)
+    run = engine.map_queries(queries)
+    result = run.mapping
+    subject_names = run.subject_names
+    timing = run.timing_line()
+    _report_partial(run.partial)
     if args.paf:
         if args.index is not None:
             print("error: --paf needs contig sequences; use -s", file=sys.stderr)
@@ -347,7 +286,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
         from .core.segments import extract_end_segments
 
         segments, _ = extract_end_segments(queries, config.ell)
-        n = write_paf(args.output, result, segments, subjects,
+        n = write_paf(args.output, result, segments, engine.subjects,
                       trials=config.trials, k=config.k)
         print(f"wrote {n} PAF records", file=sys.stderr)
         return 0
@@ -378,19 +317,14 @@ def _require_one_source(args: argparse.Namespace) -> bool:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
-    from .service import MappingService, serve_loop
+    from .service import serve_loop
 
     if not _require_one_source(args):
         return 2
-    config = _config_from(args)
-    faults = None
-    if args.inject_faults is not None:
-        from .parallel.faults import FaultPlan
-
-        faults = FaultPlan.seeded(args.inject_faults, max(args.processes, 1))
     t0 = time.perf_counter()
-    mapper = _jem_mapper_from(args, config)
-    service = MappingService(mapper, _service_config_from(args), faults=faults)
+    engine = _engine_from(args)
+    service = engine.service(_service_config_from(args))
+    mapper = engine.mapper
     print(
         f"# serving {len(mapper.subject_names)} contigs "
         f"({mapper.table.total_entries:,} sketch entries, "
@@ -418,7 +352,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
 
     if args.server_cmd is None and not _require_one_source(args):
         return 2
-    queries = _read_sequences(args.queries, on_error=args.on_error)
+    queries = read_sequences(args.queries, on_error=args.on_error)
     if args.server_cmd is not None:
         command = shlex.split(args.server_cmd)
     else:
@@ -427,6 +361,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
         command += [
             "--k", str(args.k), "--w", str(args.w), "--ell", str(args.ell),
             "--trials", str(args.trials), "--seed", str(args.seed),
+            "--store", args.store,
             "--max-batch", str(args.max_batch),
             "--max-wait-ms", str(args.max_wait_ms),
             "--queue-capacity", str(args.queue_capacity),
@@ -491,7 +426,7 @@ def _cmd_scaffold(args: argparse.Namespace) -> int:
 
     config = _config_from(args)
     contigs = read_fasta(args.subjects)
-    reads = _read_sequences(args.queries)
+    reads = read_sequences(args.queries)
     scaffolder = Scaffolder(config, min_support=args.min_support)
     t0 = time.perf_counter()
     result = scaffolder.scaffold(contigs, reads)

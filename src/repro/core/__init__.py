@@ -1,12 +1,29 @@
-"""JEM-mapper core: configuration, segments, sketch table, hit counting, mapper."""
+"""JEM-mapper core: configuration, segments, sketch stores, engine, mapper."""
 
 from .config import JEMConfig
+from .engine import (
+    EngineRun,
+    Mapper,
+    MappingEngine,
+    PipelineConfig,
+    build_mapper,
+    read_sequences,
+    register_mapper,
+)
 from .hitcounter import BestHits, count_hits_lazy, count_hits_vectorised
 from .mapper import JEMMapper, MappingResult
 from .paf import paf_records, write_paf
 from .persist import load_index, save_index
 from .segments import PREFIX, SUFFIX, SegmentInfo, extract_end_segments
 from .sketch_table import SketchTable, TrialHits
+from .store import (
+    DEFAULT_STORE_KIND,
+    STORE_KINDS,
+    ColumnarSketchStore,
+    DictSketchStore,
+    SketchStore,
+    build_store,
+)
 from .streaming import map_file, map_reads_stream
 from .tiling import TileInfo, extract_tiled_segments, map_reads_tiled
 from .topx import TopHits, count_hits_topx
@@ -15,6 +32,19 @@ __all__ = [
     "JEMConfig",
     "JEMMapper",
     "MappingResult",
+    "MappingEngine",
+    "PipelineConfig",
+    "EngineRun",
+    "Mapper",
+    "build_mapper",
+    "register_mapper",
+    "read_sequences",
+    "SketchStore",
+    "ColumnarSketchStore",
+    "DictSketchStore",
+    "build_store",
+    "STORE_KINDS",
+    "DEFAULT_STORE_KIND",
     "BestHits",
     "count_hits_lazy",
     "count_hits_vectorised",

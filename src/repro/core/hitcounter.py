@@ -17,11 +17,15 @@ deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import MappingError
-from .sketch_table import SketchTable, TrialHits
+from .sketch_table import TrialHits
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .store import SketchStore
 
 __all__ = ["BestHits", "count_hits_lazy", "count_hits_vectorised"]
 
@@ -62,7 +66,7 @@ class BestHits:
 
 
 def count_hits_lazy(
-    table: SketchTable,
+    table: "SketchStore",
     query_values: np.ndarray,
     *,
     min_hits: int = 1,
@@ -107,7 +111,7 @@ def count_hits_lazy(
 
 
 def count_hits_vectorised(
-    table: SketchTable,
+    table: "SketchStore",
     query_values: np.ndarray,
     *,
     min_hits: int = 1,

@@ -26,6 +26,7 @@ from .config import JEMConfig
 from .hitcounter import BestHits, count_hits_vectorised
 from .segments import SegmentInfo, extract_end_segments
 from .sketch_table import SketchTable
+from .store import DEFAULT_STORE_KIND, SketchStore, build_store, store_from_table
 
 __all__ = ["JEMMapper", "MappingResult"]
 
@@ -89,19 +90,27 @@ class JEMMapper:
     sequential equivalent of the paper's parallel steps S2+S3.
     """
 
-    def __init__(self, config: JEMConfig | None = None) -> None:
+    def __init__(
+        self, config: JEMConfig | None = None, *, store_kind: str | None = None
+    ) -> None:
         self.config = config if config is not None else JEMConfig()
+        self.store_kind = store_kind if store_kind is not None else DEFAULT_STORE_KIND
         self._family: HashFamily = self.config.hash_family()
-        self._table: SketchTable | None = None
+        self._table: SketchStore | None = None
         self._subject_names: list[str] = []
 
     # -- index construction (Algorithm 1 over subjects) ---------------------
 
     @property
-    def table(self) -> SketchTable:
+    def table(self) -> SketchStore:
         if self._table is None:
             raise MappingError("index() must be called before mapping")
         return self._table
+
+    #: alias — the resident index is a store; ``table`` is the legacy name
+    @property
+    def store(self) -> SketchStore:
+        return self.table
 
     @property
     def is_indexed(self) -> bool:
@@ -111,17 +120,22 @@ class JEMMapper:
     def subject_names(self) -> list[str]:
         return self._subject_names
 
-    def index(self, contigs: SequenceSet) -> SketchTable:
+    def adopt_store(self, store: SketchStore, subject_names: list[str]) -> None:
+        """Install a pre-built store (persist load, shm attach, engine)."""
+        self._table = store
+        self._subject_names = list(subject_names)
+
+    def index(self, contigs: SequenceSet) -> SketchStore:
         """Sketch all subjects and build the per-trial tables S[1..T]."""
         if len(contigs) == 0:
             raise MappingError("cannot index an empty contig set")
         cfg = self.config
         keys = subject_sketch_pairs(contigs, cfg.k, cfg.w, cfg.ell, self._family)
-        self._table = SketchTable.from_pairs(keys, n_subjects=len(contigs))
+        self._table = build_store(self.store_kind, keys, n_subjects=len(contigs))
         self._subject_names = list(contigs.names)
         return self._table
 
-    def index_partitioned(self, partitions: list[SequenceSet]) -> SketchTable:
+    def index_partitioned(self, partitions: list[SequenceSet]) -> SketchStore:
         """Build the index from disjoint contig partitions.
 
         Each partition is sketched with subject ids offset by its position —
@@ -142,7 +156,7 @@ class JEMMapper:
             offset += len(part)
             names.extend(part.names)
             parts.append(SketchTable.from_pairs(keys, n_subjects=offset))
-        self._table = SketchTable.union(parts)
+        self._table = store_from_table(self.store_kind, SketchTable.union(parts))
         self._subject_names = names
         return self._table
 

@@ -1,15 +1,24 @@
 """Index persistence: save/load a built JEM index as one ``.npz`` bundle.
 
 A production mapper indexes the contig set once and maps many read batches
-against it; this module makes the sketch table a durable artifact.  The
+against it; this module makes the sketch store a durable artifact.  The
 bundle records the full :class:`JEMConfig` so a loaded mapper is guaranteed
 to sketch queries with the same constants the index was built with —
 loading with a mismatched config is impossible by construction.
 
 The bundle also carries a CRC32 content checksum (config + names + every
-trial's keys) that is verified on load, so a truncated, bit-rotted or
+trial's columns) that is verified on load, so a truncated, bit-rotted or
 hand-edited index surfaces as a clear :class:`~repro.errors.MappingError`
 instead of a silently wrong mapping or a raw ``numpy``/``KeyError`` leak.
+
+**Format v3** stores the columnar layout natively: each ``trial_{t:03d}``
+entry is a ``(2, n)`` ``uint32`` array — row 0 the sorted sketch-value
+column, row 1 the parallel contig-id column — exactly the resident form of
+:class:`~repro.core.store.ColumnarSketchStore`, so loading builds the
+store without repacking (and at half the bytes of the packed ``uint64``
+keys v2 wrote).  v2 bundles (packed keys) are still loaded: their own v2
+checksum is verified first, then the keys are migrated in memory to the
+requested store kind.  See ``docs/architecture.md`` for the layout.
 """
 
 from __future__ import annotations
@@ -20,16 +29,25 @@ import zlib
 
 import numpy as np
 
-from ..errors import MappingError
+from ..errors import MappingError, SketchError
 from .config import JEMConfig
 from .mapper import JEMMapper
-from .sketch_table import SketchTable
+from .store import (
+    DEFAULT_STORE_KIND,
+    ColumnarSketchStore,
+    build_store,
+    store_from_table,
+)
 
 __all__ = ["save_index", "load_index", "INDEX_FORMAT_VERSION"]
 
 #: Bumped on any incompatible change to the on-disk layout.
-#: v2 added the content checksum; v1 bundles must be rebuilt.
-INDEX_FORMAT_VERSION = 2
+#: v3 stores columnar (2, n) uint32 trial columns; v2 (packed uint64 keys,
+#: content checksum) is auto-migrated on load; v1 bundles must be rebuilt.
+INDEX_FORMAT_VERSION = 3
+
+#: Oldest version :func:`load_index` can still migrate.
+_OLDEST_READABLE_VERSION = 2
 
 #: Low-level failures that mean "this file is not a readable index".
 _CORRUPTION_ERRORS = (
@@ -43,50 +61,70 @@ _CORRUPTION_ERRORS = (
 
 
 def _content_checksum(
-    config_arr: np.ndarray, n_subjects: int, names: np.ndarray, keys: list[np.ndarray]
+    config_arr: np.ndarray, n_subjects: int, names: np.ndarray, trials: list[np.ndarray]
 ) -> int:
-    """CRC32 over everything that determines mapping behaviour."""
+    """CRC32 over everything that determines mapping behaviour.
+
+    ``trials`` is whatever per-trial array the format version stores —
+    packed ``uint64`` keys for v2, stacked ``(2, n)`` ``uint32`` columns
+    for v3 — so each version's checksum covers its own bytes.
+    """
     crc = zlib.crc32(np.ascontiguousarray(config_arr).tobytes())
     crc = zlib.crc32(str(int(n_subjects)).encode(), crc)
     crc = zlib.crc32("\x00".join(str(n) for n in names).encode(), crc)
-    for k in keys:
-        crc = zlib.crc32(np.ascontiguousarray(k).tobytes(), crc)
+    for arr in trials:
+        crc = zlib.crc32(np.ascontiguousarray(arr).tobytes(), crc)
     return crc & 0xFFFFFFFF
 
 
 def save_index(mapper: JEMMapper, path: str | os.PathLike) -> str:
-    """Write a mapper's index (table + config + subject names) to ``path``.
+    """Write a mapper's index (store + config + subject names) to ``path``.
 
-    Returns the path written.  The mapper must be indexed.
+    Returns the path written.  The mapper must be indexed.  Any store kind
+    saves through the same v3 layout (columns are derived when the
+    resident store is not already columnar).
     """
-    table = mapper.table  # raises MappingError when not indexed
+    store = mapper.table  # raises MappingError when not indexed
+    if not isinstance(store, ColumnarSketchStore):
+        store = ColumnarSketchStore.from_trial_keys(
+            [store.trial_keys(t) for t in range(store.trials)], store.n_subjects
+        )
     cfg = mapper.config
     config_arr = np.array(
         [cfg.k, cfg.w, cfg.ell, cfg.trials, cfg.seed, cfg.min_hits], dtype=np.int64
     )
     names_arr = np.array(mapper.subject_names)
+    stacked = [
+        np.stack([store.values[t], store.subjects[t]]) for t in range(store.trials)
+    ]
     payload: dict = {
         "format_version": np.int64(INDEX_FORMAT_VERSION),
         "config": config_arr,
-        "n_subjects": np.int64(table.n_subjects),
+        "n_subjects": np.int64(store.n_subjects),
         "subject_names": names_arr,
         "checksum": np.uint32(
-            _content_checksum(config_arr, table.n_subjects, names_arr, table.keys)
+            _content_checksum(config_arr, store.n_subjects, names_arr, stacked)
         ),
     }
-    for t, keys in enumerate(table.keys):
-        payload[f"trial_{t:03d}"] = keys
+    for t, columns in enumerate(stacked):
+        payload[f"trial_{t:03d}"] = columns
     path = os.fspath(path)
     np.savez_compressed(path, **payload)
     # np.savez appends .npz when missing; report the real file name
     return path if path.endswith(".npz") else path + ".npz"
 
 
-def load_index(path: str | os.PathLike) -> JEMMapper:
+def load_index(
+    path: str | os.PathLike, *, store: str = DEFAULT_STORE_KIND
+) -> JEMMapper:
     """Reconstruct a ready-to-map :class:`JEMMapper` from a saved index.
 
+    ``store`` selects the resident store kind the loaded index is held in
+    (v3 columnar bundles build the default columnar store zero-conversion).
     Truncated, corrupted, or future-format files raise
-    :class:`~repro.errors.MappingError` with the root cause chained.
+    :class:`~repro.errors.MappingError` with the root cause chained; v2
+    bundles are checksum-verified against their own layout and migrated in
+    memory.
     """
     path = os.fspath(path)
     if not os.path.exists(path) and os.path.exists(path + ".npz"):
@@ -94,7 +132,7 @@ def load_index(path: str | os.PathLike) -> JEMMapper:
     try:
         with np.load(path, allow_pickle=False) as data:
             version = int(data["format_version"])
-            if version != INDEX_FORMAT_VERSION:
+            if not _OLDEST_READABLE_VERSION <= version <= INDEX_FORMAT_VERSION:
                 hint = (
                     "rebuild the index with save_index"
                     if version < INDEX_FORMAT_VERSION
@@ -102,14 +140,15 @@ def load_index(path: str | os.PathLike) -> JEMMapper:
                 )
                 raise MappingError(
                     f"index format {version} unsupported "
-                    f"(expected {INDEX_FORMAT_VERSION}); {hint}"
+                    f"(expected {_OLDEST_READABLE_VERSION}"
+                    f"..{INDEX_FORMAT_VERSION}); {hint}"
                 )
             config_arr = np.asarray(data["config"], dtype=np.int64)
             k, w, ell, trials, seed, min_hits = (int(v) for v in config_arr)
             config = JEMConfig(
                 k=k, w=w, ell=ell, trials=trials, seed=seed, min_hits=min_hits
             )
-            keys = [data[f"trial_{t:03d}"] for t in range(trials)]
+            trial_arrays = [data[f"trial_{t:03d}"] for t in range(trials)]
             n_subjects = int(data["n_subjects"])
             names_arr = data["subject_names"]
             names = [str(n) for n in names_arr]
@@ -118,14 +157,35 @@ def load_index(path: str | os.PathLike) -> JEMMapper:
         raise
     except _CORRUPTION_ERRORS as exc:
         raise MappingError(f"corrupt or unreadable index {path!r}: {exc}") from exc
-    actual = _content_checksum(config_arr, n_subjects, names_arr, keys)
+    actual = _content_checksum(config_arr, n_subjects, names_arr, trial_arrays)
     if actual != stored:
         raise MappingError(
             f"index {path!r} failed its integrity check "
             f"(stored {stored:#010x}, computed {actual:#010x}); "
             "the file is corrupt — rebuild the index"
         )
-    mapper = JEMMapper(config)
-    mapper._table = SketchTable(keys, n_subjects=n_subjects)
-    mapper._subject_names = names
+    try:
+        resident = _build_resident_store(version, trial_arrays, n_subjects, store)
+    except (SketchError, *_CORRUPTION_ERRORS) as exc:
+        raise MappingError(f"corrupt or unreadable index {path!r}: {exc}") from exc
+    mapper = JEMMapper(config, store_kind=store)
+    mapper.adopt_store(resident, names)
     return mapper
+
+
+def _build_resident_store(
+    version: int, trial_arrays: list[np.ndarray], n_subjects: int, kind: str
+):
+    """Turn the bundle's per-trial arrays into the requested store kind."""
+    if version >= 3:
+        columnar = ColumnarSketchStore(
+            [arr[0] for arr in trial_arrays],
+            [arr[1] for arr in trial_arrays],
+            n_subjects,
+        )
+        if kind == "columnar":
+            return columnar
+        return store_from_table(kind, columnar.as_table())
+    # v2 migration: packed uint64 keys -> requested store kind
+    keys = [np.asarray(arr, dtype=np.uint64) for arr in trial_arrays]
+    return build_store(kind, keys, n_subjects)

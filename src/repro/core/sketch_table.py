@@ -135,3 +135,15 @@ class SketchTable:
         """Distinct sketch values present in trial ``t`` (diagnostics)."""
         values, _ = unpack_keys(self.keys[t])
         return np.unique(values)
+
+    # -- SketchStore protocol ----------------------------------------------
+
+    def trial_keys(self, t: int) -> np.ndarray:
+        """Trial ``t``'s sorted packed-key array (store-protocol accessor)."""
+        if not 0 <= t < self.trials:
+            raise SketchError(f"trial {t} out of range [0, {self.trials})")
+        return self.keys[t]
+
+    def as_table(self) -> "SketchTable":
+        """This object — the packed table *is* the canonical table form."""
+        return self

@@ -1,0 +1,522 @@
+"""Pluggable sketch stores — the resident form of the tables S[1..T].
+
+The per-trial sketch tables of Algorithm 2 used to exist in exactly one
+shape: the packed :class:`~repro.core.sketch_table.SketchTable`.  Every
+consumer (hit counting, the parallel driver, the service, persistence,
+shared memory) was welded to that one layout, so trying a different
+resident representation meant touching five frontends at once.
+
+This module introduces the :class:`SketchStore` protocol and two
+implementations:
+
+* :class:`DictSketchStore` — an adapter over the packed
+  :class:`SketchTable` that answers lookups from per-trial Python dicts
+  (``sketch value -> subject-id array``).  It is the *equivalence oracle*:
+  a maximally simple, obviously correct lookup path the columnar store is
+  tested against bit for bit, and the memory/throughput baseline the
+  ``bench store`` experiment measures against.
+* :class:`ColumnarSketchStore` — the production layout, following
+  Minimap2's sorted-seed-array design (Li 2016, 2018): per trial, one
+  **sorted** ``uint32`` sketch-value array plus a parallel ``uint32``
+  contig-id array.  Batch lookup is a pair of ``np.searchsorted`` calls
+  over the value column (half the key-compare traffic of the packed
+  layout, and no per-lookup bound-key materialisation), feeding
+  :func:`~repro.core.hitcounter.count_hits_vectorised` unchanged.  The
+  store supports key-range sharding for partitioned lookup and zero-copy
+  export over the :mod:`repro.parallel.shm` segments so worker processes
+  attach instead of unpickling.
+
+Every store is **order-preserving**: for the same trial keys, all three
+layouts (packed table included) return identical
+:class:`~repro.core.sketch_table.TrialHits` for any query batch — the
+invariant the cross-frontend parity suite pins down.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..errors import SketchError
+from .sketch_table import SketchTable, TrialHits
+
+__all__ = [
+    "SketchStore",
+    "DictSketchStore",
+    "ColumnarSketchStore",
+    "StoreShard",
+    "STORE_KINDS",
+    "DEFAULT_STORE_KIND",
+    "build_store",
+    "store_from_table",
+    "shard_bounds",
+    "lookup_trial_sharded",
+]
+
+#: Store kinds accepted by :func:`build_store` (first is the default).
+STORE_KINDS = ("columnar", "dict", "packed")
+
+#: What every frontend builds unless explicitly told otherwise.
+DEFAULT_STORE_KIND = "columnar"
+
+_LOW32 = np.uint64(0xFFFFFFFF)
+
+
+@runtime_checkable
+class SketchStore(Protocol):
+    """Resident per-trial sketch tables, behind one lookup contract.
+
+    ``lookup_trial(t, qv)`` returns every (query, subject) collision of
+    trial ``t`` with hits ordered by (query index, subject id) — the order
+    :func:`~repro.core.hitcounter.count_hits_vectorised` relies on for
+    bit-identical best-hit selection across store implementations.
+
+    :class:`~repro.core.sketch_table.SketchTable` itself satisfies this
+    protocol (it is the "packed" store), so existing call sites keep
+    working unchanged.
+    """
+
+    @property
+    def trials(self) -> int: ...
+
+    @property
+    def n_subjects(self) -> int: ...
+
+    @property
+    def total_entries(self) -> int: ...
+
+    @property
+    def nbytes(self) -> int: ...
+
+    def lookup_trial(self, t: int, query_values: np.ndarray) -> TrialHits: ...
+
+    def lookup_scalar(self, t: int, value: int) -> np.ndarray: ...
+
+    def values_of_trial(self, t: int) -> np.ndarray: ...
+
+    def trial_keys(self, t: int) -> np.ndarray: ...
+
+    def as_table(self) -> SketchTable: ...
+
+
+def _check_query_values(qv: np.ndarray) -> np.ndarray:
+    qv = np.asarray(qv, dtype=np.uint64)
+    if qv.size and int(qv.max()) >> 32:
+        raise SketchError("sketch values must fit in 32 bits (k <= 16)")
+    return qv
+
+
+class DictSketchStore:
+    """Dict-backed adapter over the packed :class:`SketchTable` (the oracle).
+
+    One Python dict per trial maps each distinct sketch value to the sorted
+    array of subject ids carrying it.  Lookups walk the query batch in a
+    Python loop — deliberately the simplest possible implementation, kept
+    as the equivalence oracle and the baseline the ``bench store``
+    experiment measures the columnar layout against.
+    """
+
+    __slots__ = ("_table", "_maps")
+
+    def __init__(self, table: SketchTable) -> None:
+        self._table = table
+        self._maps: list[dict[int, np.ndarray]] = []
+        for t in range(table.trials):
+            values, subjects = _split_keys(table.keys[t])
+            mapping: dict[int, np.ndarray] = {}
+            if values.size:
+                starts = np.concatenate(
+                    [[0], np.flatnonzero(np.diff(values)) + 1, [values.size]]
+                )
+                for i in range(starts.size - 1):
+                    lo, hi = int(starts[i]), int(starts[i + 1])
+                    mapping[int(values[lo])] = subjects[lo:hi]
+            self._maps.append(mapping)
+
+    @classmethod
+    def from_trial_keys(
+        cls, keys: list[np.ndarray], n_subjects: int
+    ) -> "DictSketchStore":
+        return cls(SketchTable(keys, n_subjects))
+
+    # -- protocol ----------------------------------------------------------
+
+    @property
+    def trials(self) -> int:
+        return self._table.trials
+
+    @property
+    def n_subjects(self) -> int:
+        return self._table.n_subjects
+
+    @property
+    def total_entries(self) -> int:
+        return self._table.total_entries
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the dict machinery (not the wrapped table).
+
+        Counts each trial's dict, its boxed integer keys and its subject
+        arrays — the price actually paid to hold a dict-backed index in
+        memory, which is what the store bench compares layouts on.
+        """
+        total = 0
+        for mapping in self._maps:
+            total += sys.getsizeof(mapping)
+            for key, arr in mapping.items():
+                total += sys.getsizeof(key) + sys.getsizeof(arr) + arr.nbytes
+        return total
+
+    def lookup_trial(self, t: int, query_values: np.ndarray) -> TrialHits:
+        if not 0 <= t < self.trials:
+            raise SketchError(f"trial {t} out of range [0, {self.trials})")
+        qv = _check_query_values(query_values)
+        mapping = self._maps[t]
+        idx_chunks: list[np.ndarray] = []
+        sub_chunks: list[np.ndarray] = []
+        for i in range(qv.size):
+            subjects = mapping.get(int(qv[i]))
+            if subjects is not None:
+                idx_chunks.append(np.full(subjects.size, i, dtype=np.int64))
+                sub_chunks.append(subjects)
+        if not idx_chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return TrialHits(empty, empty)
+        return TrialHits(np.concatenate(idx_chunks), np.concatenate(sub_chunks))
+
+    def lookup_scalar(self, t: int, value: int) -> np.ndarray:
+        return self.lookup_trial(t, np.array([value], dtype=np.uint64)).subjects
+
+    def values_of_trial(self, t: int) -> np.ndarray:
+        return self._table.values_of_trial(t)
+
+    def trial_keys(self, t: int) -> np.ndarray:
+        return self._table.keys[t]
+
+    def as_table(self) -> SketchTable:
+        return self._table
+
+    #: packed-key view for call sites that iterate ``store.keys``
+    @property
+    def keys(self) -> list[np.ndarray]:
+        return self._table.keys
+
+    def __repr__(self) -> str:
+        return (
+            f"DictSketchStore(trials={self.trials}, "
+            f"entries={self.total_entries}, n_subjects={self.n_subjects})"
+        )
+
+
+class ColumnarSketchStore:
+    """Per-trial sorted value columns + parallel contig-id columns.
+
+    ``values[t]`` is the sorted ``uint32`` sketch-value column of trial
+    ``t`` and ``subjects[t]`` the parallel contig-id column; together they
+    carry exactly the information of the packed key array, in the layout
+    Minimap2 uses for its seed index.  Batch lookup binary-searches the
+    value column directly — no bound-key materialisation, half the
+    key-compare memory traffic — and the column pairs are flat arrays,
+    ready for zero-copy publication in shared memory.
+    """
+
+    __slots__ = ("values", "subjects", "n_subjects", "_table")
+
+    def __init__(
+        self,
+        values: list[np.ndarray],
+        subjects: list[np.ndarray],
+        n_subjects: int,
+    ) -> None:
+        if not values or len(values) != len(subjects):
+            raise SketchError("columnar store needs matching value/subject columns")
+        self.values = [np.ascontiguousarray(v, dtype=np.uint32) for v in values]
+        self.subjects = [np.ascontiguousarray(s, dtype=np.uint32) for s in subjects]
+        for v, s in zip(self.values, self.subjects):
+            if v.shape != s.shape:
+                raise SketchError("value/subject column length mismatch")
+            if v.size > 1 and (v[1:] < v[:-1]).any():
+                raise SketchError("value columns must be sorted")
+        self.n_subjects = int(n_subjects)
+        self._table: SketchTable | None = None
+
+    @classmethod
+    def from_trial_keys(
+        cls, keys: list[np.ndarray], n_subjects: int
+    ) -> "ColumnarSketchStore":
+        """Split sorted packed-key arrays into (value, subject) columns.
+
+        The packed keys sort by value first, subject second, so the split
+        columns inherit exactly the order the packed lookups returned —
+        which is what keeps the layouts bit-identical.
+        """
+        values: list[np.ndarray] = []
+        subjects: list[np.ndarray] = []
+        for k in keys:
+            v, s = _split_keys(np.asarray(k, dtype=np.uint64))
+            values.append(v)
+            subjects.append(s)
+        return cls(values, subjects, n_subjects)
+
+    @classmethod
+    def from_table(cls, table: SketchTable) -> "ColumnarSketchStore":
+        store = cls.from_trial_keys(table.keys, table.n_subjects)
+        store._table = table
+        return store
+
+    @classmethod
+    def from_columns(
+        cls, columns: list[np.ndarray], n_subjects: int
+    ) -> "ColumnarSketchStore":
+        """Rebuild from the flat column list of :meth:`export_columns`.
+
+        ``columns`` alternates value/subject pairs per trial — the exact
+        array list a shared-memory attach or a format-v3 bundle yields —
+        so reconstruction is zero-copy.
+        """
+        if len(columns) % 2:
+            raise SketchError("column list must pair values with subjects")
+        return cls(columns[0::2], columns[1::2], n_subjects)
+
+    def export_columns(self) -> list[np.ndarray]:
+        """Flat [values_0, subjects_0, values_1, subjects_1, ...] list."""
+        out: list[np.ndarray] = []
+        for v, s in zip(self.values, self.subjects):
+            out.append(v)
+            out.append(s)
+        return out
+
+    # -- protocol ----------------------------------------------------------
+
+    @property
+    def trials(self) -> int:
+        return len(self.values)
+
+    @property
+    def total_entries(self) -> int:
+        return int(sum(v.size for v in self.values))
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the columns (the index's working-set size)."""
+        return int(
+            sum(v.nbytes for v in self.values) + sum(s.nbytes for s in self.subjects)
+        )
+
+    def lookup_trial(self, t: int, query_values: np.ndarray) -> TrialHits:
+        """All (query, subject) collisions of trial ``t`` — batch lookup.
+
+        One ``searchsorted`` pair over the value column finds every run of
+        matching entries; the subject column is gathered with the same
+        flat-index trick the packed table used, so hit order (query index
+        ascending, subject ascending within a query) is preserved exactly.
+        """
+        if not 0 <= t < self.trials:
+            raise SketchError(f"trial {t} out of range [0, {self.trials})")
+        values = self.values[t]
+        qv = _check_query_values(query_values).astype(np.uint32)
+        left = np.searchsorted(values, qv, side="left")
+        right = np.searchsorted(values, qv, side="right")
+        lengths = right - left
+        total = int(lengths.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return TrialHits(empty, empty)
+        query_index = np.repeat(np.arange(qv.size, dtype=np.int64), lengths)
+        run_starts = np.zeros(qv.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=run_starts[1:])
+        flat = np.arange(total, dtype=np.int64) - run_starts[query_index] + left[query_index]
+        return TrialHits(query_index, self.subjects[t][flat].astype(np.int64))
+
+    def lookup_scalar(self, t: int, value: int) -> np.ndarray:
+        return self.lookup_trial(t, np.array([value], dtype=np.uint64)).subjects
+
+    def values_of_trial(self, t: int) -> np.ndarray:
+        if not 0 <= t < self.trials:
+            raise SketchError(f"trial {t} out of range [0, {self.trials})")
+        return np.unique(self.values[t]).astype(np.uint64)
+
+    def trial_keys(self, t: int) -> np.ndarray:
+        """Repack trial ``t`` into the sorted packed-key layout."""
+        if not 0 <= t < self.trials:
+            raise SketchError(f"trial {t} out of range [0, {self.trials})")
+        return (self.values[t].astype(np.uint64) << np.uint64(32)) | self.subjects[
+            t
+        ].astype(np.uint64)
+
+    def as_table(self) -> SketchTable:
+        """Packed :class:`SketchTable` view (repacked once, then cached)."""
+        if self._table is None:
+            self._table = SketchTable(
+                [self.trial_keys(t) for t in range(self.trials)],
+                n_subjects=self.n_subjects,
+            )
+        return self._table
+
+    #: packed-key view for call sites that iterate ``store.keys``
+    @property
+    def keys(self) -> list[np.ndarray]:
+        return self.as_table().keys
+
+    # -- key-range sharding -------------------------------------------------
+
+    def shard(self, n_shards: int) -> list["StoreShard"]:
+        """Split into ``n_shards`` disjoint key-range shards.
+
+        Boundaries come from :func:`shard_bounds` (equal-frequency over the
+        pooled value columns) so shards carry comparable entry counts; each
+        shard is itself a :class:`ColumnarSketchStore` restricted to
+        ``[lo, hi)`` of the value space.  :func:`lookup_trial_sharded`
+        routes a query batch across the shards and reassembles hits in
+        the unsharded order — the partitioned-lookup building block.
+        """
+        bounds = shard_bounds(self, n_shards)
+        shards: list[StoreShard] = []
+        for i in range(n_shards):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            values: list[np.ndarray] = []
+            subjects: list[np.ndarray] = []
+            for t in range(self.trials):
+                a = int(np.searchsorted(self.values[t], np.uint32(lo), side="left"))
+                b = (
+                    int(np.searchsorted(self.values[t], np.uint32(hi - 1), side="right"))
+                    if hi > lo
+                    else a
+                )
+                values.append(self.values[t][a:b])
+                subjects.append(self.subjects[t][a:b])
+            shards.append(
+                StoreShard(
+                    store=ColumnarSketchStore(values, subjects, self.n_subjects),
+                    lo=lo,
+                    hi=hi,
+                )
+            )
+        return shards
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarSketchStore(trials={self.trials}, "
+            f"entries={self.total_entries}, n_subjects={self.n_subjects})"
+        )
+
+
+class StoreShard:
+    """One key-range shard: a columnar store owning values in ``[lo, hi)``."""
+
+    __slots__ = ("store", "lo", "hi")
+
+    def __init__(self, store: ColumnarSketchStore, lo: int, hi: int) -> None:
+        self.store = store
+        self.lo = int(lo)
+        self.hi = int(hi)
+
+    def owns(self, qv: np.ndarray) -> np.ndarray:
+        qv = np.asarray(qv, dtype=np.uint64)
+        return (qv >= np.uint64(self.lo)) & (qv < np.uint64(self.hi))
+
+    def __repr__(self) -> str:
+        return f"StoreShard([{self.lo:#x}, {self.hi:#x}), {self.store!r})"
+
+
+def shard_bounds(store: ColumnarSketchStore, n_shards: int) -> np.ndarray:
+    """Equal-frequency key-range boundaries over the pooled value columns.
+
+    Returns ``n_shards + 1`` ascending bounds covering the full 32-bit
+    value space (first is 0, last 2^32), chosen from quantiles of the
+    concatenated trial values so every shard holds a comparable share of
+    the entries regardless of how sketch values cluster.
+    """
+    if n_shards < 1:
+        raise SketchError(f"n_shards must be >= 1, got {n_shards}")
+    pooled = (
+        np.concatenate(store.values)
+        if store.total_entries
+        else np.empty(0, dtype=np.uint32)
+    )
+    bounds = np.empty(n_shards + 1, dtype=np.int64)
+    bounds[0] = 0
+    bounds[-1] = 1 << 32
+    if pooled.size == 0:
+        interior = np.linspace(0, 1 << 32, n_shards + 1)[1:-1]
+        bounds[1:-1] = interior.astype(np.int64)
+        return bounds
+    pooled = np.sort(pooled)
+    for i in range(1, n_shards):
+        q = pooled[min(int(round(i * pooled.size / n_shards)), pooled.size - 1)]
+        bounds[i] = int(q)
+    # boundaries must be non-decreasing even for tiny/pathological inputs
+    np.maximum.accumulate(bounds, out=bounds)
+    return bounds
+
+
+def lookup_trial_sharded(
+    shards: list[StoreShard], t: int, query_values: np.ndarray
+) -> TrialHits:
+    """Partitioned lookup: route a query batch across key-range shards.
+
+    Each query value is answered by exactly the shard owning its key range
+    (boundaries are disjoint by construction); the per-shard hits are
+    stitched back together in ascending (query, subject) order, so the
+    result equals the unsharded :meth:`ColumnarSketchStore.lookup_trial`
+    bit for bit — asserted by the store test suite.
+    """
+    qv = _check_query_values(query_values)
+    idx_chunks: list[np.ndarray] = []
+    sub_chunks: list[np.ndarray] = []
+    for shard in shards:
+        mine = np.flatnonzero(shard.owns(qv))
+        if mine.size == 0:
+            continue
+        hits = shard.store.lookup_trial(t, qv[mine])
+        if len(hits):
+            idx_chunks.append(mine[hits.query_index])
+            sub_chunks.append(hits.subjects)
+    if not idx_chunks:
+        empty = np.empty(0, dtype=np.int64)
+        return TrialHits(empty, empty)
+    query_index = np.concatenate(idx_chunks)
+    subjects = np.concatenate(sub_chunks)
+    order = np.lexsort((subjects, query_index))
+    return TrialHits(query_index[order], subjects[order])
+
+
+def _split_keys(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split sorted packed keys into (uint32 values, uint32 subjects)."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    return (
+        (keys >> np.uint64(32)).astype(np.uint32),
+        (keys & _LOW32).astype(np.uint32),
+    )
+
+
+def build_store(
+    kind: str, trial_keys: list[np.ndarray], n_subjects: int
+) -> "SketchStore":
+    """Build a store of the requested kind from per-trial packed keys.
+
+    ``kind`` is one of :data:`STORE_KINDS`; ``"packed"`` returns the plain
+    :class:`SketchTable` (which satisfies the protocol), kept for
+    comparisons and for callers that need the legacy object.
+    """
+    if kind == "columnar":
+        return ColumnarSketchStore.from_trial_keys(trial_keys, n_subjects)
+    if kind == "dict":
+        return DictSketchStore.from_trial_keys(trial_keys, n_subjects)
+    if kind == "packed":
+        return SketchTable(trial_keys, n_subjects)
+    raise SketchError(f"unknown store kind {kind!r}; expected one of {STORE_KINDS}")
+
+
+def store_from_table(kind: str, table: SketchTable) -> "SketchStore":
+    """Adapt an existing packed table to the requested store kind."""
+    if kind == "columnar":
+        return ColumnarSketchStore.from_table(table)
+    if kind == "dict":
+        return DictSketchStore(table)
+    if kind == "packed":
+        return table
+    raise SketchError(f"unknown store kind {kind!r}; expected one of {STORE_KINDS}")

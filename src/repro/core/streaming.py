@@ -10,28 +10,34 @@ yields per-batch results; :func:`map_file` wires it to a FASTA/FASTQ path.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
 
 from ..errors import MappingError
 from ..seq.records import SeqRecord, SequenceSetBuilder
-from .mapper import JEMMapper, MappingResult
+from .mapper import MappingResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Mapper
 
 __all__ = ["map_reads_stream", "map_file"]
 
 
 def map_reads_stream(
-    mapper: JEMMapper,
+    mapper: "Mapper",
     records: Iterable[SeqRecord],
     *,
     batch_size: int = 1_000,
 ) -> Iterator[MappingResult]:
     """Yield one :class:`MappingResult` per batch of reads.
 
-    Segment rows follow the usual layout (two per read, prefix first);
-    ``infos[i].read_index`` is the index *within the batch*.
+    ``mapper`` is any indexed :class:`~repro.core.engine.Mapper` (the
+    engine's :meth:`~repro.core.engine.MappingEngine.map_stream` passes its
+    resident one).  Segment rows follow the usual layout (two per read,
+    prefix first); ``infos[i].read_index`` is the index *within the batch*.
     """
     if batch_size < 1:
         raise MappingError(f"batch_size must be >= 1, got {batch_size}")
-    if not mapper.is_indexed:
+    if not getattr(mapper, "is_indexed", True):
         raise MappingError("index() must be called before streaming")
     builder = SequenceSetBuilder()
     for record in records:
@@ -44,7 +50,7 @@ def map_reads_stream(
 
 
 def map_file(
-    mapper: JEMMapper, path: str, *, batch_size: int = 1_000
+    mapper: "Mapper", path: str, *, batch_size: int = 1_000
 ) -> Iterator[MappingResult]:
     """Stream-map a FASTA/FASTQ file (gzip ok) against an indexed mapper."""
     if path.endswith((".fq", ".fastq", ".fq.gz", ".fastq.gz")):

@@ -15,11 +15,15 @@ per-tile best hits into the set of *all* contigs a read covers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import SequenceError
 from ..seq.records import SequenceSet, SequenceSetBuilder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Mapper
 
 __all__ = ["TileInfo", "extract_tiled_segments", "map_reads_tiled"]
 
@@ -74,7 +78,7 @@ def extract_tiled_segments(
 
 
 def map_reads_tiled(
-    mapper,
+    mapper: "Mapper",
     reads: SequenceSet,
     *,
     stride: int | None = None,
@@ -84,12 +88,13 @@ def map_reads_tiled(
 
     Returns one dict per read: ``{contig_id: supporting tiles}``.  A contig
     contained in the read interior shows up here even though neither end
-    segment touches it.  ``mapper`` is an indexed :class:`JEMMapper` (or
-    anything with ``config`` and ``map_segments``).
+    segment touches it.  ``mapper`` is any indexed
+    :class:`~repro.core.engine.Mapper` (the engine's
+    :meth:`~repro.core.engine.MappingEngine.map_tiled` passes its resident
+    one); ℓ comes from the mapper's config (or its ``ell`` attribute).
     """
-    segments, infos = extract_tiled_segments(
-        reads, mapper.config.ell, stride=stride
-    )
+    ell = int(getattr(getattr(mapper, "config", mapper), "ell"))
+    segments, infos = extract_tiled_segments(reads, ell, stride=stride)
     result = mapper.map_segments(segments)
     per_read: list[dict[int, int]] = [dict() for _ in range(len(reads))]
     for row, info in enumerate(infos):

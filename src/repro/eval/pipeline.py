@@ -11,12 +11,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..baselines.classical_minhash import ClassicalMinHashMapper
-from ..baselines.mashmap import MashmapConfig, MashmapLikeMapper
 from ..core.config import JEMConfig
-from ..core.mapper import JEMMapper, MappingResult
+from ..core.engine import MAPPER_KINDS, PipelineConfig, build_mapper
+from ..core.mapper import MappingResult
 from ..core.segments import extract_end_segments
-from ..errors import DatasetError
+from ..errors import DatasetError, MappingError
 from ..seq.records import SequenceSet
 from .datasets import Dataset
 from .metrics import QualityReport, evaluate_mapping
@@ -72,7 +71,10 @@ def run_mappers(
 ) -> ExperimentResult:
     """Run the requested mappers on a dataset and score them.
 
-    ``mappers`` may contain ``"jem"``, ``"mashmap"`` and ``"minhash"``.
+    ``mappers`` may contain any registered mapper name (``"jem"``,
+    ``"mashmap"``, ``"minhash"``, ``"minimap-lite"``); construction goes
+    through the engine's mapper registry, so a custom
+    :func:`~repro.core.engine.register_mapper` entry works here too.
     A pre-built benchmark/segment set can be passed to amortise truth
     construction across parameter sweeps (Fig. 6 reuses one benchmark for
     every T).
@@ -82,16 +84,14 @@ def run_mappers(
         segments, infos, benchmark = prepare_benchmark(dataset, config)
     out = ExperimentResult(dataset_name=dataset.name, benchmark=benchmark)
     for label in mappers:
-        if label == "jem":
-            mapper = JEMMapper(config)
-        elif label == "mashmap":
+        try:
             # Mashmap runs with its own (denser) winnowing default, just as
             # the paper ran the stock tool rather than forcing JEM's w.
-            mapper = MashmapLikeMapper(MashmapConfig(k=config.k, ell=config.ell))
-        elif label == "minhash":
-            mapper = ClassicalMinHashMapper(config)
-        else:
-            raise DatasetError(f"unknown mapper label {label!r}")
+            mapper = build_mapper(PipelineConfig(jem=config, mapper=label))
+        except MappingError:
+            raise DatasetError(
+                f"unknown mapper label {label!r}; registered: {MAPPER_KINDS}"
+            ) from None
         t0 = time.perf_counter()
         mapper.index(dataset.contigs)
         t1 = time.perf_counter()

@@ -46,7 +46,7 @@ from ..core.config import JEMConfig
 from ..core.hitcounter import count_hits_vectorised
 from ..core.mapper import MappingResult
 from ..core.segments import SegmentInfo, extract_end_segments
-from ..core.sketch_table import SketchTable
+from ..core.store import DEFAULT_STORE_KIND, SketchStore, build_store
 from ..errors import CommError, FaultError, PartialResultError
 from ..seq.records import SequenceSet
 from ..sketch.jem import query_sketch_values, subject_sketch_pairs
@@ -185,7 +185,7 @@ class QueryMapOutcome:
 
 
 def map_partitioned_queries(
-    table: SketchTable,
+    table: SketchStore,
     read_parts: list[SequenceSet],
     config: JEMConfig,
     family=None,
@@ -314,6 +314,7 @@ def run_parallel_jem(
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
     strict: bool = True,
+    store_kind: str = DEFAULT_STORE_KIND,
 ) -> ParallelRunResult:
     """Instrumented S1–S4 run on p simulated ranks.
 
@@ -401,7 +402,7 @@ def run_parallel_jem(
         np.unique(np.concatenate([key_arrays[r][t] for r in range(p)]))
         for t in range(config.trials)
     ]
-    table = SketchTable(merged, n_subjects=len(contigs))
+    table = build_store(store_kind, merged, n_subjects=len(contigs))
     gather_comm = cost_model.allgatherv_time(p, comm_bytes)
     regather_comm = 0.0
     gather_retries = 0
@@ -461,6 +462,7 @@ def run_parallel_jem_threaded(
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
     timeout: float | None = 300.0,
+    store_kind: str = DEFAULT_STORE_KIND,
 ) -> MappingResult:
     """The same SPMD program on a real ThreadComm world (correctness mode).
 
@@ -496,7 +498,7 @@ def run_parallel_jem_threaded(
         keys, _, _ = retry_call(attempt_sketch, policy=policy, stream=r)
         # S3: per-trial Allgatherv into the global table (checksummed)
         merged = [np.unique(comm.Allgatherv(keys[t])) for t in range(config.trials)]
-        table = SketchTable(merged, n_subjects=len(contigs))
+        table = build_store(store_kind, merged, n_subjects=len(contigs))
 
         # S4: map local queries (retried on fault)
         def attempt_map(_attempt: int) -> MappingResult:

@@ -46,7 +46,7 @@ from ..core.config import JEMConfig
 from ..core.hitcounter import count_hits_vectorised
 from ..core.mapper import MappingResult
 from ..core.segments import extract_end_segments
-from ..core.sketch_table import SketchTable
+from ..core.store import DEFAULT_STORE_KIND, build_store
 from ..errors import CommError, FaultError, PartialResultError
 from ..seq.records import SequenceSet
 from ..sketch.jem import query_sketch_values, subject_sketch_pairs
@@ -56,10 +56,11 @@ from .partition import partition_bounds, partition_set
 from .retry import RetryPolicy
 from .shm import (
     SharedSeqBlock,
+    SharedStore,
     SharedTable,
     release,
     share_sequence_set,
-    share_table_keys,
+    share_store,
 )
 
 __all__ = ["map_reads_multiprocess", "TRANSPORTS"]
@@ -95,8 +96,8 @@ def _sketch_worker(payload: tuple) -> list[np.ndarray]:
 
 
 def _map_worker(payload: tuple) -> MappingResult:
-    """S4 on one read block against the gathered table."""
-    reads, config, table, n_subjects, actions = payload
+    """S4 on one read block against the gathered store."""
+    reads, config, table, n_subjects, store_kind, actions = payload
     _apply_worker_faults(actions)
     if isinstance(reads, SharedSeqBlock):
         reads = reads.materialise()
@@ -104,10 +105,10 @@ def _map_worker(payload: tuple) -> MappingResult:
         return MappingResult(
             [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), []
         )
-    if isinstance(table, SharedTable):
+    if isinstance(table, (SharedStore, SharedTable)):
         table = table.materialise()
     else:
-        table = SketchTable(table, n_subjects=n_subjects)
+        table = build_store(store_kind, table, n_subjects=n_subjects)
     family = config.hash_family()
     segments, infos = extract_end_segments(reads, config.ell)
     sketches = query_sketch_values(segments, config.k, config.w, family)
@@ -229,6 +230,7 @@ def map_reads_multiprocess(
     timeout: float | None = DEFAULT_UNIT_TIMEOUT,
     report: RecoveryReport | None = None,
     transport: str = "shm",
+    store_kind: str = DEFAULT_STORE_KIND,
 ) -> MappingResult:
     """Full pipeline with worker-process parallelism; returns the mapping.
 
@@ -244,6 +246,7 @@ def map_reads_multiprocess(
     config = config if config is not None else JEMConfig()
     policy = retry if retry is not None else RetryPolicy()
     report = report if report is not None else RecoveryReport()
+    report.transport = transport
     if processes < 1:
         raise CommError(f"processes must be >= 1, got {processes}")
     if transport not in TRANSPORTS:
@@ -258,7 +261,9 @@ def map_reads_multiprocess(
     if processes == 1 and faults is None:
         local = _sketch_worker((subject_parts[0], config, 0, ()))
         merged = [np.unique(k) for k in local]
-        result = _map_worker((read_parts[0], config, merged, len(contigs), ()))
+        result = _map_worker(
+            (read_parts[0], config, merged, len(contigs), store_kind, ())
+        )
         return _merge_rank_results([result], [0])
 
     ctx = mp.get_context(mp_context)
@@ -299,9 +304,10 @@ def map_reads_multiprocess(
             np.unique(np.concatenate([per_rank_keys[r][t] for r in range(processes)]))
             for t in range(config.trials)
         ]
-        # S4: map read blocks in parallel against the gathered table
+        # S4: map read blocks in parallel against the gathered store
         if transport == "shm":
-            table = share_table_keys(merged, len(contigs))
+            store = build_store(store_kind, merged, n_subjects=len(contigs))
+            table = share_store(store, store_kind)
             shared_refs.append(table.ref.name)
             read_blocks = share_sequence_set(
                 reads, "reads",
@@ -312,12 +318,12 @@ def map_reads_multiprocess(
             )
             shared_refs.append(read_blocks[0].ref.name)
             map_jobs = [
-                (read_blocks[r], config, table, len(contigs))
+                (read_blocks[r], config, table, len(contigs), store_kind)
                 for r in range(processes)
             ]
         else:
             map_jobs = [
-                (read_parts[r], config, merged, len(contigs))
+                (read_parts[r], config, merged, len(contigs), store_kind)
                 for r in range(processes)
             ]
         rank_results, map_failures = _run_phase(

@@ -43,6 +43,7 @@ from multiprocessing import resource_tracker, shared_memory
 import numpy as np
 
 from ..core.sketch_table import SketchTable
+from ..core.store import ColumnarSketchStore, SketchStore, store_from_table
 from ..errors import CommError
 from ..seq.records import SequenceSet
 
@@ -50,10 +51,12 @@ __all__ = [
     "ShmArrayRef",
     "SharedSeqBlock",
     "SharedTable",
+    "SharedStore",
     "share_arrays",
     "attach_arrays",
     "share_sequence_set",
     "share_table_keys",
+    "share_store",
     "release",
     "release_all",
     "created_segment_names",
@@ -221,6 +224,45 @@ def share_sequence_set(
 def share_table_keys(keys: list[np.ndarray], n_subjects: int) -> SharedTable:
     """Publish the merged trial-key arrays once; all ranks attach."""
     return SharedTable(ref=share_arrays(keys, "table"), n_subjects=n_subjects)
+
+
+@dataclass(frozen=True)
+class SharedStore:
+    """Any resident sketch store, published once for all ranks.
+
+    The columnar store's value/subject columns are shared natively
+    (workers rebuild a :class:`~repro.core.store.ColumnarSketchStore`
+    over zero-copy views of the interleaved columns); other kinds travel
+    as packed keys and are adapted on attach.  ``kind`` decides which.
+    """
+
+    ref: ShmArrayRef
+    n_subjects: int
+    kind: str
+
+    def materialise(self) -> SketchStore:
+        """Rebuild the store over zero-copy shm views."""
+        arrays = attach_arrays(self.ref)
+        if self.kind == "columnar":
+            return ColumnarSketchStore.from_columns(arrays, self.n_subjects)
+        table = SketchTable(arrays, n_subjects=self.n_subjects)
+        return store_from_table(self.kind, table)
+
+
+def share_store(store: SketchStore, kind: str) -> SharedStore:
+    """Publish a store once; returns the descriptor workers attach to.
+
+    Columnar stores ship their flat column arrays (half the key-compare
+    bytes of the packed layout, and already in resident form); every other
+    kind ships the packed trial keys, exactly like :func:`share_table_keys`.
+    """
+    if kind == "columnar" and isinstance(store, ColumnarSketchStore):
+        arrays = store.export_columns()
+    else:
+        arrays = [store.trial_keys(t) for t in range(store.trials)]
+    return SharedStore(
+        ref=share_arrays(arrays, "table"), n_subjects=store.n_subjects, kind=kind
+    )
 
 
 def release(name: str) -> None:

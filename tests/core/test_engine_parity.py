@@ -1,0 +1,154 @@
+"""Cross-frontend bit-identity: every frontend, every store, one output.
+
+The MappingEngine promises that store kind and execution mode never change
+*what* is computed.  This suite pins that down by running the same dataset
+through the CLI, the engine API (inline and simulated-parallel, with and
+without seeded faults), the resident service, the streaming frontend and
+the tiled frontend — under every store kind — and asserting the mappings
+are bit-identical to the packed-table reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import JEMConfig, MappingEngine, PipelineConfig
+from repro.seq import write_fasta, write_fastq
+
+CFG = JEMConfig(k=12, w=20, ell=500, trials=10, seed=99)
+CFG_FLAGS = ["--k", "12", "--w", "20", "--ell", "500", "--trials", "10", "--seed", "99"]
+STORES = ("columnar", "dict", "packed")
+
+
+def _reference(tiling_contigs, clean_reads):
+    engine = MappingEngine(PipelineConfig(jem=CFG, store="packed"))
+    engine.use_subjects(tiling_contigs)
+    return engine.map_queries(clean_reads).mapping
+
+
+def _assert_same(result, reference):
+    assert result.segment_names == reference.segment_names
+    assert np.array_equal(result.subject, reference.subject)
+    assert np.array_equal(result.hit_count, reference.hit_count)
+
+
+@pytest.mark.parametrize("store", STORES)
+def test_engine_inline_parity(store, tiling_contigs, clean_reads):
+    reference = _reference(tiling_contigs, clean_reads)
+    engine = MappingEngine(PipelineConfig(jem=CFG, store=store))
+    engine.use_subjects(tiling_contigs)
+    run = engine.map_queries(clean_reads)
+    assert run.mode == "inline"
+    _assert_same(run.mapping, reference)
+
+
+@pytest.mark.parametrize("store", STORES)
+def test_engine_simulated_parity(store, tiling_contigs, clean_reads):
+    reference = _reference(tiling_contigs, clean_reads)
+    engine = MappingEngine(
+        PipelineConfig(jem=CFG, store=store, processes=4, backend="simulated")
+    )
+    engine.use_subjects(tiling_contigs)
+    run = engine.map_queries(clean_reads)
+    assert run.mode == "simulated"
+    assert run.timing_line().startswith("# parallel p=4:")
+    _assert_same(run.mapping, reference)
+
+
+@pytest.mark.parametrize("store", ("columnar", "dict"))
+def test_engine_seeded_faults_parity(store, tiling_contigs, clean_reads):
+    """A seeded recoverable fault plan must not change the mapping."""
+    reference = _reference(tiling_contigs, clean_reads)
+    engine = MappingEngine(
+        PipelineConfig(jem=CFG, store=store, processes=4, inject_faults=7)
+    )
+    engine.use_subjects(tiling_contigs)
+    run = engine.map_queries(clean_reads)
+    assert run.partial is None
+    _assert_same(run.mapping, reference)
+
+
+@pytest.mark.parametrize("store", ("columnar", "dict"))
+def test_service_parity(store, tiling_contigs, clean_reads):
+    from repro.service import MappingService
+
+    reference = _reference(tiling_contigs, clean_reads)
+    with MappingService.from_pipeline(
+        PipelineConfig(jem=CFG, store=store), subjects=tiling_contigs
+    ) as service:
+        result = service.map_reads(clean_reads, timeout=60)
+    _assert_same(result, reference)
+
+
+@pytest.mark.parametrize("store", ("columnar", "dict"))
+def test_streaming_parity(store, tiling_contigs, clean_reads):
+    reference = _reference(tiling_contigs, clean_reads)
+    engine = MappingEngine(PipelineConfig(jem=CFG, store=store))
+    engine.use_subjects(tiling_contigs)
+    batches = list(engine.map_stream(iter(clean_reads), batch_size=7))
+    subjects = np.concatenate([b.subject for b in batches])
+    hit_counts = np.concatenate([b.hit_count for b in batches])
+    names = [n for b in batches for n in b.segment_names]
+    assert names == reference.segment_names
+    assert np.array_equal(subjects, reference.subject)
+    assert np.array_equal(hit_counts, reference.hit_count)
+
+
+@pytest.mark.parametrize("store", ("columnar", "dict"))
+def test_tiled_parity(store, tiling_contigs, clean_reads):
+    packed = MappingEngine(PipelineConfig(jem=CFG, store="packed"))
+    packed.use_subjects(tiling_contigs)
+    reference = packed.map_tiled(clean_reads)
+    engine = MappingEngine(PipelineConfig(jem=CFG, store=store))
+    engine.use_subjects(tiling_contigs)
+    assert engine.map_tiled(clean_reads) == reference
+
+
+def _write_inputs(tmp_path, tiling_contigs, clean_reads):
+    contigs_path = str(tmp_path / "contigs.fasta")
+    reads_path = str(tmp_path / "reads.fastq")
+    write_fasta(contigs_path, tiling_contigs)
+    write_fastq(reads_path, clean_reads)
+    return contigs_path, reads_path
+
+
+def _tsv_body(path):
+    with open(path, encoding="utf-8") as fh:
+        return [line for line in fh if not line.startswith("#")]
+
+
+@pytest.mark.parametrize("store", STORES)
+def test_cli_map_parity(store, tmp_path, tiling_contigs, clean_reads):
+    """`jem map --store <kind>` writes the same TSV for every store kind."""
+    contigs_path, reads_path = _write_inputs(tmp_path, tiling_contigs, clean_reads)
+    want = str(tmp_path / "packed.tsv")
+    got = str(tmp_path / f"{store}.tsv")
+    base = ["map", "-q", reads_path, "-s", contigs_path, *CFG_FLAGS]
+    assert main([*base, "-o", want, "--store", "packed"]) == 0
+    assert main([*base, "-o", got, "--store", store]) == 0
+    assert _tsv_body(got) == _tsv_body(want)
+
+
+@pytest.mark.parametrize("store", ("columnar", "dict"))
+def test_cli_saved_index_roundtrip(store, tmp_path, tiling_contigs, clean_reads):
+    """index -> map --index keeps parity across the persisted v3 bundle."""
+    contigs_path, reads_path = _write_inputs(tmp_path, tiling_contigs, clean_reads)
+    index_path = str(tmp_path / "contigs.npz")
+    assert main(["index", "-s", contigs_path, "-o", index_path, *CFG_FLAGS]) == 0
+    direct = str(tmp_path / "direct.tsv")
+    via_index = str(tmp_path / "via_index.tsv")
+    base = ["map", "-q", reads_path, *CFG_FLAGS]
+    assert main([*base, "-s", contigs_path, "-o", direct, "--store", store]) == 0
+    assert main([*base, "--index", index_path, "-o", via_index, "--store", store]) == 0
+    assert _tsv_body(via_index) == _tsv_body(direct)
+
+
+def test_cli_map_minimap_lite(tmp_path, tiling_contigs, clean_reads):
+    """The minimap-lite registry entry is reachable from the CLI."""
+    contigs_path, reads_path = _write_inputs(tmp_path, tiling_contigs, clean_reads)
+    out = str(tmp_path / "mml.tsv")
+    assert main(["map", "-q", reads_path, "-s", contigs_path, "-o", out,
+                 "--mapper", "minimap-lite", *CFG_FLAGS]) == 0
+    body = _tsv_body(out)
+    assert body[0] == "segment\tcontig\thits\n"
+    assert len(body) == 1 + 2 * len(clean_reads)

@@ -1,0 +1,216 @@
+"""SketchStore protocol conformance and three-way layout parity."""
+
+import numpy as np
+import pytest
+
+from repro.core import SketchTable
+from repro.core.store import (
+    DEFAULT_STORE_KIND,
+    STORE_KINDS,
+    ColumnarSketchStore,
+    DictSketchStore,
+    SketchStore,
+    StoreShard,
+    build_store,
+    lookup_trial_sharded,
+    shard_bounds,
+    store_from_table,
+)
+from repro.errors import SketchError
+
+TRIALS = 5
+N_SUBJECTS = 40
+
+
+def _random_trial_keys(rng, trials=TRIALS, n_subjects=N_SUBJECTS, per_trial=300):
+    """Sorted, deduplicated packed (value << 32 | subject) arrays."""
+    keys = []
+    for _ in range(trials):
+        values = rng.integers(0, 500, size=per_trial, dtype=np.uint64)
+        subjects = rng.integers(0, n_subjects, size=per_trial, dtype=np.uint64)
+        keys.append(np.unique((values << np.uint64(32)) | subjects))
+    return keys
+
+
+@pytest.fixture
+def trial_keys(rng):
+    return _random_trial_keys(rng)
+
+
+@pytest.fixture
+def queries(rng):
+    # mix of hitting and missing values
+    return rng.integers(0, 700, size=200, dtype=np.uint64)
+
+
+def _stores(trial_keys):
+    return {kind: build_store(kind, trial_keys, N_SUBJECTS) for kind in STORE_KINDS}
+
+
+def test_default_kind_is_columnar():
+    assert DEFAULT_STORE_KIND == "columnar"
+    assert STORE_KINDS[0] == "columnar"
+
+
+@pytest.mark.parametrize("kind", STORE_KINDS)
+def test_protocol_conformance(kind, trial_keys):
+    store = build_store(kind, trial_keys, N_SUBJECTS)
+    assert isinstance(store, SketchStore)
+    assert store.trials == TRIALS
+    assert store.n_subjects == N_SUBJECTS
+    assert store.total_entries == sum(k.size for k in trial_keys)
+    assert store.nbytes > 0
+    for t in range(TRIALS):
+        assert np.array_equal(store.trial_keys(t), trial_keys[t])
+
+
+@pytest.mark.parametrize("kind", ("columnar", "dict"))
+def test_lookup_parity_with_packed(kind, trial_keys, queries):
+    """Every layout answers batch lookups bit-identically to the packed table."""
+    packed = build_store("packed", trial_keys, N_SUBJECTS)
+    other = build_store(kind, trial_keys, N_SUBJECTS)
+    for t in range(TRIALS):
+        want = packed.lookup_trial(t, queries)
+        got = other.lookup_trial(t, queries)
+        assert np.array_equal(want.query_index, got.query_index)
+        assert np.array_equal(want.subjects, got.subjects)
+
+
+@pytest.mark.parametrize("kind", STORE_KINDS)
+def test_lookup_scalar_matches_batch(kind, trial_keys):
+    store = build_store(kind, trial_keys, N_SUBJECTS)
+    value = int(store.values_of_trial(0)[0])
+    subjects = store.lookup_scalar(0, value)
+    batch = store.lookup_trial(0, np.array([value], dtype=np.uint64))
+    assert np.array_equal(subjects, batch.subjects)
+    assert subjects.size > 0
+
+
+@pytest.mark.parametrize("kind", STORE_KINDS)
+def test_values_of_trial_sorted_unique(kind, trial_keys):
+    store = build_store(kind, trial_keys, N_SUBJECTS)
+    for t in range(TRIALS):
+        values = store.values_of_trial(t)
+        assert np.array_equal(values, np.unique(values))
+
+
+def test_as_table_roundtrip(trial_keys):
+    for kind in ("columnar", "dict"):
+        store = build_store(kind, trial_keys, N_SUBJECTS)
+        table = store.as_table()
+        assert isinstance(table, SketchTable)
+        for t in range(TRIALS):
+            assert np.array_equal(table.keys[t], trial_keys[t])
+
+
+def test_store_from_table(trial_keys):
+    table = SketchTable(trial_keys, N_SUBJECTS)
+    assert store_from_table("packed", table) is table
+    for kind in ("columnar", "dict"):
+        store = store_from_table(kind, table)
+        assert store.total_entries == table.total_entries
+        for t in range(TRIALS):
+            assert np.array_equal(store.trial_keys(t), trial_keys[t])
+
+
+def test_export_import_columns_roundtrip(trial_keys, queries):
+    store = ColumnarSketchStore.from_trial_keys(trial_keys, N_SUBJECTS)
+    columns = store.export_columns()
+    assert len(columns) == 2 * TRIALS
+    rebuilt = ColumnarSketchStore.from_columns(columns, N_SUBJECTS)
+    for t in range(TRIALS):
+        want = store.lookup_trial(t, queries)
+        got = rebuilt.lookup_trial(t, queries)
+        assert np.array_equal(want.query_index, got.query_index)
+        assert np.array_equal(want.subjects, got.subjects)
+    # the rebuilt store shares the exported buffers (zero-copy attach)
+    assert rebuilt.values[0] is columns[0]
+
+
+def test_columnar_nbytes_much_smaller_than_dict(trial_keys):
+    columnar = build_store("columnar", trial_keys, N_SUBJECTS)
+    dictstore = build_store("dict", trial_keys, N_SUBJECTS)
+    assert columnar.nbytes * 2 <= dictstore.nbytes
+
+
+def test_sharding_parity(trial_keys, queries):
+    """Partitioned lookup over key-range shards equals the unsharded one."""
+    store = ColumnarSketchStore.from_trial_keys(trial_keys, N_SUBJECTS)
+    for n_shards in (1, 3, 4):
+        shards = store.shard(n_shards)
+        assert len(shards) == n_shards
+        assert all(isinstance(s, StoreShard) for s in shards)
+        assert sum(s.store.total_entries for s in shards) == store.total_entries
+        for t in range(TRIALS):
+            want = store.lookup_trial(t, queries)
+            got = lookup_trial_sharded(shards, t, queries)
+            assert np.array_equal(want.query_index, got.query_index)
+            assert np.array_equal(want.subjects, got.subjects)
+
+
+def test_shard_bounds_cover_value_space(trial_keys):
+    store = ColumnarSketchStore.from_trial_keys(trial_keys, N_SUBJECTS)
+    bounds = shard_bounds(store, 4)
+    assert bounds[0] == 0
+    assert bounds[-1] == 1 << 32
+    assert (np.diff(bounds) >= 0).all()
+
+
+def test_shard_bounds_empty_store():
+    empty = [np.empty(0, dtype=np.uint64) for _ in range(2)]
+    store = ColumnarSketchStore.from_trial_keys(empty, 1)
+    bounds = shard_bounds(store, 3)
+    assert bounds[0] == 0 and bounds[-1] == 1 << 32
+    assert (np.diff(bounds) >= 0).all()
+
+
+def test_unknown_kind_rejected(trial_keys):
+    with pytest.raises(SketchError):
+        build_store("btree", trial_keys, N_SUBJECTS)
+    with pytest.raises(SketchError):
+        store_from_table("btree", SketchTable(trial_keys, N_SUBJECTS))
+
+
+def test_trial_out_of_range(trial_keys):
+    for kind in STORE_KINDS:
+        store = build_store(kind, trial_keys, N_SUBJECTS)
+        with pytest.raises(SketchError):
+            store.lookup_trial(TRIALS, np.array([1], dtype=np.uint64))
+
+
+def test_oversized_query_values_rejected(trial_keys):
+    store = ColumnarSketchStore.from_trial_keys(trial_keys, N_SUBJECTS)
+    with pytest.raises(SketchError):
+        store.lookup_trial(0, np.array([1 << 33], dtype=np.uint64))
+
+
+def test_unsorted_columns_rejected():
+    values = [np.array([5, 3], dtype=np.uint32)]
+    subjects = [np.array([0, 1], dtype=np.uint32)]
+    with pytest.raises(SketchError):
+        ColumnarSketchStore(values, subjects, 2)
+
+
+def test_mismatched_columns_rejected():
+    with pytest.raises(SketchError):
+        ColumnarSketchStore(
+            [np.array([1], dtype=np.uint32)],
+            [np.array([1, 2], dtype=np.uint32)],
+            2,
+        )
+    with pytest.raises(SketchError):
+        ColumnarSketchStore.from_columns([np.array([1], dtype=np.uint32)], 2)
+
+
+def test_empty_lookup(trial_keys):
+    for kind in STORE_KINDS:
+        store = build_store(kind, trial_keys, N_SUBJECTS)
+        hits = store.lookup_trial(0, np.empty(0, dtype=np.uint64))
+        assert len(hits) == 0
+
+
+def test_dict_store_wraps_table(trial_keys):
+    table = SketchTable(trial_keys, N_SUBJECTS)
+    store = DictSketchStore(table)
+    assert store.as_table() is table
+    assert store.keys is table.keys
