@@ -10,9 +10,16 @@ Subcommands:
   (index resident, micro-batched, cached; see ``docs/service.md``);
 * ``client``   — drive a ``serve`` process from a FASTA/FASTQ file and
   write the same TSV as ``map``;
+* ``chaos``    — seeded kill-resume chaos cycles against ``index``/``map``
+  with output-parity verification (see ``docs/robustness.md``);
 * ``eval``     — end-to-end quality evaluation on a generated dataset;
 * ``bench``    — regenerate one (or all) of the paper's tables/figures;
 * ``datasets`` — list the dataset registry.
+
+``index`` and ``map`` accept ``--checkpoint-dir DIR`` to commit every
+completed S2 shard / S4 query block durably, and ``--resume DIR`` to
+re-run the recorded invocation, skipping finished units — the resumed
+output is bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -53,6 +60,46 @@ def _config_from(args: argparse.Namespace) -> JEMConfig:
     return JEMConfig(k=args.k, w=args.w, ell=args.ell, trials=args.trials, seed=args.seed)
 
 
+def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="commit every completed work unit durably to DIR; "
+                             "a killed run restarted with the same command (or "
+                             "--resume DIR) skips finished units")
+    parser.add_argument("--resume", default=None, metavar="DIR",
+                        help="re-run the invocation recorded in DIR by an "
+                             "earlier --checkpoint-dir run, loading its "
+                             "completed units")
+
+
+def _apply_resume(args: argparse.Namespace, command: str) -> argparse.Namespace:
+    """Replace ``args`` with the invocation a ``--resume`` directory recorded."""
+    if not getattr(args, "resume", None):
+        return args
+    from .errors import CheckpointError
+    from .resilience import load_invocation
+
+    payload = load_invocation(args.resume)
+    if payload.get("command") != command:
+        raise CheckpointError(
+            f"{args.resume!r} was created by `jem {payload.get('command')}`, "
+            f"not `jem {command}`"
+        )
+    resumed = argparse.Namespace(**payload["args"])
+    resumed.command = command
+    resumed.resume = None
+    return resumed
+
+
+def _invocation_payload(args: argparse.Namespace, command: str) -> dict:
+    """Everything ``--resume`` needs to reconstruct this command line."""
+    return {
+        "command": command,
+        "args": {
+            k: v for k, v in vars(args).items() if k not in ("command", "resume")
+        },
+    }
+
+
 def _add_store_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--store", choices=STORE_KINDS, default=DEFAULT_STORE_KIND,
                         help="resident sketch-store layout: columnar "
@@ -90,6 +137,13 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
                         help="inject a seeded recoverable fault plan (testing/demo)")
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write the final metrics snapshot as JSON")
+    parser.add_argument("--breaker-failures", type=int, default=0,
+                        help="failed batches in the rolling window that trip "
+                             "the circuit breaker into degraded single-trial "
+                             "mapping (0 = breaker disabled, default)")
+    parser.add_argument("--watchdog-interval-ms", type=float, default=0.0,
+                        help="self-healing watchdog period (orphaned-shm sweep, "
+                             "pool rebuild); 0 = disabled (default)")
 
 
 def _service_config_from(args: argparse.Namespace):
@@ -102,6 +156,8 @@ def _service_config_from(args: argparse.Namespace):
         cache_capacity=args.cache_capacity,
         processes=args.processes,
         strict=args.strict,
+        breaker_failures=getattr(args, "breaker_failures", 0),
+        watchdog_interval_ms=getattr(args, "watchdog_interval_ms", 0.0),
     )
 
 
@@ -120,13 +176,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--out", default=".", help="output directory")
 
     p_index = sub.add_parser("index", help="build and save a JEM index from contigs")
-    p_index.add_argument("-s", "--subjects", required=True, help="contigs FASTA")
-    p_index.add_argument("-o", "--output", required=True, help="index file (.npz)")
+    p_index.add_argument("-s", "--subjects", help="contigs FASTA")
+    p_index.add_argument("-o", "--output", help="index file (.npz)")
+    p_index.add_argument("--shards", type=int, default=1,
+                         help="sketch the contigs in this many checkpointable "
+                              "shards (bit-identical to a one-shot build)")
+    _add_checkpoint_args(p_index)
     _add_config_args(p_index)
     _add_store_arg(p_index)
 
     p_map = sub.add_parser("map", help="map long reads to contigs")
-    p_map.add_argument("-q", "--queries", required=True, help="long reads FASTA/FASTQ")
+    p_map.add_argument("-q", "--queries", help="long reads FASTA/FASTQ")
     p_map.add_argument("-s", "--subjects", help="contigs FASTA")
     p_map.add_argument("--index", help="saved JEM index (alternative to -s)")
     p_map.add_argument("-o", "--output", default="-", help="output TSV ('-' = stdout)")
@@ -155,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--inject-faults", type=int, default=None, metavar="SEED",
                        help="inject a seeded recoverable fault plan "
                             "(testing/demo; recovery shows up in the timing line)")
+    _add_checkpoint_args(p_map)
     _add_config_args(p_map)
     _add_store_arg(p_map)
 
@@ -188,6 +249,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_args(p_client)
     _add_store_arg(p_client)
     _add_service_args(p_client)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded kill-resume chaos cycles against index/map with "
+             "output-parity verification (see docs/robustness.md)",
+    )
+    p_chaos.add_argument("target", choices=("index", "map"),
+                         help="which checkpointed command to torture")
+    p_chaos.add_argument("-s", "--subjects", required=True, help="contigs FASTA")
+    p_chaos.add_argument("-q", "--queries",
+                         help="long reads FASTA/FASTQ (map target only)")
+    p_chaos.add_argument("--seeds", default="1,2,3,4,5",
+                         help="comma list of chaos plan seeds (default 1,2,3,4,5)")
+    p_chaos.add_argument("--shards", type=int, default=4,
+                         help="index shards for the index target (default 4)")
+    p_chaos.add_argument("-p", "--processes", type=int, default=2,
+                         help="simulated ranks for the map target (default 2)")
+    p_chaos.add_argument("--max-damage", type=int, default=2,
+                         help="most post-kill damage actions per plan (default 2)")
+    p_chaos.add_argument("--workdir", default=None,
+                         help="where per-seed run directories land "
+                              "(default: a fresh temp dir)")
+    p_chaos.add_argument("--keep", action="store_true",
+                         help="keep the run directories for inspection")
+    _add_config_args(p_chaos)
+    _add_store_arg(p_chaos)
 
     p_scaf = sub.add_parser("scaffold", help="hybrid scaffolding from reads + contigs")
     p_scaf.add_argument("-q", "--queries", required=True, help="long reads FASTA/FASTQ")
@@ -248,11 +335,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_index(args: argparse.Namespace) -> int:
     from .core.persist import save_index
 
+    args = _apply_resume(args, "index")
+    if args.subjects is None or args.output is None:
+        print("error: index requires -s/--subjects and -o/--output", file=sys.stderr)
+        return 2
     config = _config_from(args)
     subjects = read_fasta(args.subjects)
-    mapper = JEMMapper(config, store_kind=args.store)
     t0 = time.perf_counter()
-    table = mapper.index(subjects)
+    if args.checkpoint_dir:
+        from .resilience import build_index_checkpointed, save_invocation
+
+        save_invocation(args.checkpoint_dir, _invocation_payload(args, "index"))
+        mapper = build_index_checkpointed(
+            subjects, config, store_kind=args.store, shards=args.shards,
+            run_dir=args.checkpoint_dir, subjects_path=args.subjects,
+        )
+    elif args.shards > 1:
+        from .parallel.partition import partition_set
+
+        mapper = JEMMapper(config, store_kind=args.store)
+        mapper.index_partitioned(partition_set(subjects, args.shards))
+    else:
+        mapper = JEMMapper(config, store_kind=args.store)
+        mapper.index(subjects)
+    table = mapper.table
     path = save_index(mapper, args.output)
     print(f"indexed {len(subjects)} contigs in {time.perf_counter() - t0:.2f}s: "
           f"{table.total_entries:,} sketch entries ({table.nbytes / 1e6:.1f} MB) -> {path}")
@@ -268,8 +374,16 @@ def _report_partial(partial) -> None:
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
+    args = _apply_resume(args, "map")
+    if args.queries is None:
+        print("error: map requires -q/--queries", file=sys.stderr)
+        return 2
     if not _require_one_source(args):
         return 2
+    if args.checkpoint_dir:
+        from .resilience import save_invocation
+
+        save_invocation(args.checkpoint_dir, _invocation_payload(args, "map"))
     engine = _engine_from(args)
     config = engine.pipeline.jem
     queries = read_sequences(args.queries, on_error=args.on_error)
@@ -421,6 +535,111 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_fingerprint(target: str, path: str):
+    """What parity means per target: TSV body for map, content checksum
+    for index (the npz container bytes legitimately differ run to run)."""
+    from .resilience.chaos import read_tsv_body
+
+    if target == "map":
+        return read_tsv_body(path)
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=False) as data:
+        return int(data["checksum"])
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import shutil
+    import tempfile
+
+    from .errors import ChaosError
+    from .resilience import ChaosPlan, run_kill_resume_cycle
+
+    if args.target == "map" and args.queries is None:
+        print("error: chaos map requires -q/--queries", file=sys.stderr)
+        return 2
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    if not seeds:
+        print("error: --seeds is empty", file=sys.stderr)
+        return 2
+    workdir = args.workdir or tempfile.mkdtemp(prefix="jem-chaos-")
+    os.makedirs(workdir, exist_ok=True)
+    config_argv = [
+        "--k", str(args.k), "--w", str(args.w), "--ell", str(args.ell),
+        "--trials", str(args.trials), "--seed", str(args.seed),
+        "--store", args.store,
+    ]
+
+    def victim_argv(out: str, run_dir: str | None = None) -> list[str]:
+        if args.target == "index":
+            argv = ["index", "-s", args.subjects, "-o", out,
+                    "--shards", str(args.shards)]
+        else:
+            argv = ["map", "-q", args.queries, "-s", args.subjects, "-o", out,
+                    "-p", str(args.processes)]
+        argv += config_argv
+        if run_dir is not None:
+            argv += ["--checkpoint-dir", run_dir]
+        return argv
+
+    # one checkpoint record lands per completed unit: S2 shards for index,
+    # S2 + S4 blocks for map
+    if args.target == "index":
+        total_units = max(args.shards, 1)
+    else:
+        total_units = 2 * max(args.processes, 1)
+
+    ext = ".npz" if args.target == "index" else ".tsv"
+    ref_out = os.path.join(workdir, "reference" + ext)
+    if main(victim_argv(ref_out)) != 0:  # uninterrupted parity reference
+        print("error: reference run failed", file=sys.stderr)
+        return 1
+    reference = _chaos_fingerprint(args.target, ref_out)
+
+    failures = 0
+    for seed in seeds:
+        run_dir = os.path.join(workdir, f"seed{seed}")
+        os.makedirs(run_dir, exist_ok=True)
+        out = os.path.join(run_dir, "output" + ext)
+        plan = ChaosPlan.seeded(
+            seed, total_units=total_units, max_damage=args.max_damage
+        )
+        try:
+            cycle = run_kill_resume_cycle(
+                victim_argv(out, run_dir), run_dir=run_dir, plan=plan,
+                resume_argv=[args.target, "--resume", run_dir],
+            )
+        except ChaosError as exc:
+            failures += 1
+            print(f"seed {seed}: ERROR {exc}", file=sys.stderr)
+            continue
+        if not cycle.resumed_ok:
+            failures += 1
+            print(f"seed {seed}: FAIL resume rc={cycle.resume_returncode}\n"
+                  f"{cycle.resume_stderr[-1000:]}", file=sys.stderr)
+            continue
+        story = (
+            f"killed after record {plan.kill.after_records}"
+            + (" (torn frame)" if plan.kill.kind == "torn_kill" else "")
+            + f", {cycle.records_surviving} unit(s) survived"
+            if cycle.killed
+            else "finished before the kill point"
+        )
+        if cycle.damage_applied:
+            story += "; " + "; ".join(cycle.damage_applied)
+        parity = _chaos_fingerprint(args.target, out) == reference
+        if not parity:
+            failures += 1
+        print(f"seed {seed}: {'ok' if parity else 'PARITY FAIL'} [{story}]")
+    if not args.keep and args.workdir is None:
+        shutil.rmtree(workdir, ignore_errors=True)
+    what = "index content checksum" if args.target == "index" else "mapping TSV body"
+    print(f"{len(seeds) - failures}/{len(seeds)} chaos cycles reproduced the "
+          f"uninterrupted {what}" + ("" if args.keep or args.workdir else
+                                     " (run dirs removed; --keep to inspect)"))
+    return 1 if failures else 0
+
+
 def _cmd_scaffold(args: argparse.Namespace) -> int:
     from .scaffold import Scaffolder
 
@@ -505,6 +724,7 @@ def main(argv: list[str] | None = None) -> int:
         "map": _cmd_map,
         "serve": _cmd_serve,
         "client": _cmd_client,
+        "chaos": _cmd_chaos,
         "scaffold": _cmd_scaffold,
         "eval": _cmd_eval,
         "bench": _cmd_bench,

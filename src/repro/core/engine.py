@@ -105,6 +105,10 @@ class PipelineConfig:
     timeout: float = 60.0
     on_error: str = "raise"
     inject_faults: int | None = None
+    #: run directory for durable checkpoint/resume (jem only); None = off.
+    #: Excluded from the manifest's config identity — the same logical run
+    #: may live in different directories.
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.store not in STORE_KINDS:
@@ -135,6 +139,7 @@ class PipelineConfig:
             timeout=getattr(args, "timeout", 60.0),
             on_error=getattr(args, "on_error", "raise"),
             inject_faults=getattr(args, "inject_faults", None),
+            checkpoint_dir=getattr(args, "checkpoint_dir", None),
         )
 
     def fault_plan(self) -> "FaultPlan | None":
@@ -293,6 +298,7 @@ class MappingEngine:
         self._mapper: Mapper | None = None
         self._subjects: SequenceSet | None = None
         self._from_saved_index = False
+        self._index_path: str | None = None
 
     # -- source selection ---------------------------------------------------
 
@@ -320,6 +326,7 @@ class MappingEngine:
         self._mapper = load_index(path, store=self.pipeline.store)
         self._subjects = None
         self._from_saved_index = True
+        self._index_path = path
         return self
 
     @classmethod
@@ -364,6 +371,15 @@ class MappingEngine:
         """
         pipe = self.pipeline
         t0 = time.perf_counter()
+        if pipe.checkpoint_dir is not None:
+            if pipe.mapper != "jem":
+                raise MappingError(
+                    f"checkpointed runs are jem-only; pipeline requests "
+                    f"{pipe.mapper!r}"
+                )
+            from ..resilience.runner import map_queries_checkpointed
+
+            return map_queries_checkpointed(self, reads, t0=t0)
         if self._from_saved_index:
             mapping = self.mapper.map_reads(reads)
             return EngineRun(

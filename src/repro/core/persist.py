@@ -8,8 +8,12 @@ loading with a mismatched config is impossible by construction.
 
 The bundle also carries a CRC32 content checksum (config + names + every
 trial's columns) that is verified on load, so a truncated, bit-rotted or
-hand-edited index surfaces as a clear :class:`~repro.errors.MappingError`
-instead of a silently wrong mapping or a raw ``numpy``/``KeyError`` leak.
+hand-edited index surfaces as a typed
+:class:`~repro.errors.IndexCorruptError` — localised to a byte offset
+when the damage can be placed — instead of a silently wrong mapping or a
+raw ``numpy``/``KeyError`` leak.  Saves are atomic (tmp file +
+``os.replace`` + fsync): a crash mid-save can leave a stale tmp file but
+never a torn bundle under the index's name.
 
 **Format v3** stores the columnar layout natively: each ``trial_{t:03d}``
 entry is a ``(2, n)`` ``uint32`` array — row 0 the sorted sketch-value
@@ -23,13 +27,14 @@ requested store kind.  See ``docs/architecture.md`` for the layout.
 
 from __future__ import annotations
 
+import io
 import os
 import zipfile
 import zlib
 
 import numpy as np
 
-from ..errors import MappingError, SketchError
+from ..errors import IndexCorruptError, MappingError, SketchError
 from .config import JEMConfig
 from .mapper import JEMMapper
 from .store import (
@@ -50,6 +55,8 @@ INDEX_FORMAT_VERSION = 3
 _OLDEST_READABLE_VERSION = 2
 
 #: Low-level failures that mean "this file is not a readable index".
+#: ``NotImplementedError`` covers a flipped compression-method byte in a
+#: member header (zipfile refuses the bogus method instead of failing CRC).
 _CORRUPTION_ERRORS = (
     KeyError,
     ValueError,
@@ -57,6 +64,7 @@ _CORRUPTION_ERRORS = (
     EOFError,
     zipfile.BadZipFile,
     zlib.error,
+    NotImplementedError,
 )
 
 
@@ -109,9 +117,28 @@ def save_index(mapper: JEMMapper, path: str | os.PathLike) -> str:
     for t, columns in enumerate(stacked):
         payload[f"trial_{t:03d}"] = columns
     path = os.fspath(path)
-    np.savez_compressed(path, **payload)
-    # np.savez appends .npz when missing; report the real file name
-    return path if path.endswith(".npz") else path + ".npz"
+    # np.savez appends .npz when missing; commit under the real file name
+    final = path if path.endswith(".npz") else path + ".npz"
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **payload)
+    # atomic commit: a crash mid-save can leave a stale tmp file, never a
+    # torn bundle under the index's name
+    tmp = f"{final}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        fh.write(buffer.getbuffer())
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+    parent = os.path.dirname(os.path.abspath(final))
+    try:
+        dir_fd = os.open(parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return final
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return final
 
 
 def load_index(
@@ -155,22 +182,67 @@ def load_index(
             stored = int(data["checksum"])
     except MappingError:
         raise
+    except FileNotFoundError as exc:
+        raise MappingError(f"no such index: {path!r}") from exc
     except _CORRUPTION_ERRORS as exc:
-        raise MappingError(f"corrupt or unreadable index {path!r}: {exc}") from exc
+        raise _corrupt_error(path, str(exc)) from exc
     actual = _content_checksum(config_arr, n_subjects, names_arr, trial_arrays)
     if actual != stored:
-        raise MappingError(
-            f"index {path!r} failed its integrity check "
-            f"(stored {stored:#010x}, computed {actual:#010x}); "
-            "the file is corrupt — rebuild the index"
+        raise _corrupt_error(
+            path,
+            f"failed its integrity check (stored {stored:#010x}, "
+            f"computed {actual:#010x})",
         )
     try:
         resident = _build_resident_store(version, trial_arrays, n_subjects, store)
     except (SketchError, *_CORRUPTION_ERRORS) as exc:
-        raise MappingError(f"corrupt or unreadable index {path!r}: {exc}") from exc
+        raise _corrupt_error(path, str(exc)) from exc
     mapper = JEMMapper(config, store_kind=store)
     mapper.adopt_store(resident, names)
     return mapper
+
+
+def _locate_corruption(path: str) -> int | None:
+    """Best-effort byte offset where reading the bundle first goes wrong.
+
+    A truncated container (the zip central directory at EOF is missing)
+    localises to the file size — the truncation point; a damaged member
+    localises to that member's local header offset by decoding every
+    member in turn (unlike :meth:`zipfile.ZipFile.testzip` this survives
+    members whose damage raises instead of failing the CRC).  ``None``
+    when the damage cannot be placed (e.g. the corruption only shows up
+    as a checksum mismatch over structurally valid zip data).
+    """
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return None
+    try:
+        with zipfile.ZipFile(path) as zf:
+            for info in zf.infolist():
+                try:
+                    with zf.open(info) as member:
+                        while member.read(1 << 20):
+                            pass
+                except _CORRUPTION_ERRORS:
+                    return int(info.header_offset)
+    except zipfile.BadZipFile:
+        return size
+    except OSError:  # pragma: no cover - unreadable mid-scan
+        return None
+    return None
+
+
+def _corrupt_error(path: str, cause: str) -> IndexCorruptError:
+    """Typed corruption error, localised to a byte offset when possible."""
+    offset = _locate_corruption(path)
+    where = f" (first bad byte near offset {offset})" if offset is not None else ""
+    return IndexCorruptError(
+        f"corrupt or unreadable index {path!r}: {cause}{where}; "
+        "rebuild the index",
+        path=path,
+        offset=offset,
+    )
 
 
 def _build_resident_store(

@@ -14,13 +14,17 @@ __all__ = [
     "ConfigError",
     "SketchError",
     "MappingError",
+    "IndexCorruptError",
     "CommError",
     "FaultError",
     "RankTimeoutError",
     "PartialResultError",
+    "CheckpointError",
+    "ChaosError",
     "ServiceError",
     "ServiceClosedError",
     "ServiceOverloadError",
+    "DeadlineExceededError",
     "AssemblyError",
     "DatasetError",
 ]
@@ -62,6 +66,22 @@ class MappingError(ReproError):
     """Failure in the mapping stage."""
 
 
+class IndexCorruptError(MappingError):
+    """A persisted index bundle is truncated, bit-rotted, or hand-edited.
+
+    ``offset`` is the byte position in the file where reading first went
+    wrong (best effort: the truncation point for short files, the bad zip
+    member's header offset for payload corruption, ``None`` when the
+    failure cannot be localised).  Subclasses :class:`MappingError` so
+    existing corruption handling keeps working.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None, offset: int | None = None):
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
+
+
 class CommError(ReproError):
     """Misuse of the communicator / SPMD engine."""
 
@@ -100,6 +120,19 @@ class PartialResultError(ReproError):
         self.failed_reads = tuple(failed_reads)
 
 
+class CheckpointError(ReproError):
+    """A checkpointed run cannot start, continue, or resume.
+
+    Raised when a run directory's manifest disagrees with the requested
+    configuration or inputs (resuming would silently mix incompatible
+    results), or when the checkpoint structures are misused.
+    """
+
+
+class ChaosError(ReproError):
+    """The chaos harness was misconfigured or a chaos cycle failed."""
+
+
 class ServiceError(ReproError):
     """Failure inside the long-lived mapping service."""
 
@@ -118,6 +151,20 @@ class ServiceOverloadError(ServiceError):
     def __init__(self, message: str, *, retry_after: float = 0.0):
         super().__init__(message)
         self.retry_after = float(retry_after)
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before its batch was dispatched.
+
+    The service sheds such requests instead of mapping them: the caller
+    has already given up, so computing the answer would only steal
+    capacity from requests that can still meet their deadlines.
+    ``elapsed`` is how long the request had been queued when it was shed.
+    """
+
+    def __init__(self, message: str, *, elapsed: float = 0.0):
+        super().__init__(message)
+        self.elapsed = float(elapsed)
 
 
 class AssemblyError(ReproError):

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -55,6 +56,9 @@ from .costmodel import CostModel, StepTimes
 from .faults import FaultPlan, PartialResult, inject_compute_faults
 from .partition import partition_bounds, partition_set
 from .retry import RetryPolicy, retry_call
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.checkpoint import CheckpointContext
 
 __all__ = [
     "ParallelRunResult",
@@ -194,6 +198,7 @@ def map_partitioned_queries(
     retry: RetryPolicy | None = None,
     first_stream_base: int | None = None,
     redispatch_stream_base: int | None = None,
+    checkpoint: "CheckpointContext | None" = None,
 ) -> QueryMapOutcome:
     """Map per-rank query blocks against a resident sketch table (step S4).
 
@@ -204,6 +209,12 @@ def map_partitioned_queries(
     whose own rank is beyond saving is re-dispatched to the surviving
     ranks.  Blocks that fail everywhere land in ``failed_blocks``;
     :func:`resolve_partial` turns them into the strict/no-strict contract.
+
+    With a :class:`~repro.resilience.checkpoint.CheckpointContext`, a
+    block whose mapping is already on disk is loaded instead of computed
+    (its fault budget is not consumed — the unit never runs), and every
+    freshly computed block is committed before the next one starts, so a
+    crash between blocks resumes without losing finished work.
     """
     p = len(read_parts)
     policy = retry if retry is not None else RetryPolicy()
@@ -236,6 +247,11 @@ def map_partitioned_queries(
     rank_results: list[MappingResult | None] = [None] * p
     map_failures: list[tuple[int, str]] = []
     for r in range(p):
+        if checkpoint is not None:
+            saved = checkpoint.mapping_result(r)
+            if saved is not None:
+                rank_results[r] = saved
+                continue
         result, dt, rec, cause = _simulate_unit(
             faults, policy, "map", block=r, exec_rank=r,
             stream=first_stream_base + r, fn=map_block(r),
@@ -246,6 +262,8 @@ def map_partitioned_queries(
             map_failures.append((r, cause or "unknown fault"))
         else:
             rank_results[r] = result
+            if checkpoint is not None:
+                checkpoint.save_mapping(r, result)
     failed_blocks: dict[int, str] = {}
     for b, cause in map_failures:
         recovered = False
@@ -262,6 +280,8 @@ def map_partitioned_queries(
             redispatches += 1
             if result is not None:
                 rank_results[b] = result
+                if checkpoint is not None:
+                    checkpoint.save_mapping(b, result)
                 recovered = True
                 break
             cause = cause2 or cause
@@ -315,6 +335,7 @@ def run_parallel_jem(
     retry: RetryPolicy | None = None,
     strict: bool = True,
     store_kind: str = DEFAULT_STORE_KIND,
+    checkpoint: "CheckpointContext | None" = None,
 ) -> ParallelRunResult:
     """Instrumented S1–S4 run on p simulated ranks.
 
@@ -325,6 +346,12 @@ def run_parallel_jem(
     table (measured).  The merged mapping is identical to a sequential
     :class:`~repro.core.mapper.JEMMapper` run — a property the test suite
     asserts, *including under any recoverable fault plan*.
+
+    With a :class:`~repro.resilience.checkpoint.CheckpointContext`, every
+    completed S2 shard and S4 query block is committed to the run
+    directory as it finishes, and units already on disk are loaded rather
+    than recomputed — a run killed at any boundary and resumed yields the
+    same bits as an uninterrupted one (the kill-resume parity tests).
     """
     config = config if config is not None else JEMConfig()
     cost_model = cost_model if cost_model is not None else CostModel()
@@ -363,6 +390,11 @@ def run_parallel_jem(
     local_keys: list[list[np.ndarray] | None] = [None] * p
     sketch_failures: list[tuple[int, str]] = []
     for r in range(p):
+        if checkpoint is not None:
+            saved = checkpoint.sketch_result(r)
+            if saved is not None:
+                local_keys[r] = saved
+                continue
         keys, dt, rec, cause = _simulate_unit(
             faults, policy, "sketch", block=r, exec_rank=r, stream=r, fn=sketch_block(r)
         )
@@ -372,6 +404,8 @@ def run_parallel_jem(
             sketch_failures.append((r, cause or "unknown fault"))
         else:
             local_keys[r] = keys
+            if checkpoint is not None:
+                checkpoint.save_sketch(r, keys)
     # Re-dispatch lost sketch blocks to surviving ranks.  A block no
     # survivor can sketch is fatal in every mode: an incomplete index
     # would silently corrupt all mappings, not one block's.
@@ -387,6 +421,8 @@ def run_parallel_jem(
             redispatches += 1
             if keys is not None:
                 local_keys[b] = keys
+                if checkpoint is not None:
+                    checkpoint.save_sketch(b, keys)
                 break
             cause = cause2 or cause
         if local_keys[b] is None:
@@ -429,6 +465,7 @@ def run_parallel_jem(
     outcome = map_partitioned_queries(
         table, read_parts, config, family, faults=faults, retry=policy,
         first_stream_base=2 * p, redispatch_stream_base=3 * p,
+        checkpoint=checkpoint,
     )
     map_times = outcome.map_times
     recovery += outcome.recovery

@@ -162,6 +162,33 @@ class FaultPlan:
             )
         return cls(specs)
 
+    @classmethod
+    def kill_all_workers(
+        cls, p: int, *, phase: str = "map", once: bool = True
+    ) -> "FaultPlan":
+        """Every worker dies — the chaos scenario behind the circuit breaker.
+
+        ``once=True`` plants one ``worker_death`` per rank (each worker
+        dies exactly once; retry and re-dispatch can still recover).
+        ``once=False`` makes the deaths permanent on every rank, so no
+        donor survives either: the whole dispatch fails until the plan is
+        cleared — modelling a pool that stays dead until the watchdog
+        rebuilds it.
+        """
+        if p < 1:
+            raise ReproError(f"p must be >= 1, got {p}")
+        return cls(
+            [
+                FaultSpec(
+                    kind="worker_death",
+                    phase=phase,
+                    block=r,
+                    times=1 if once else None,
+                )
+                for r in range(p)
+            ]
+        )
+
     @property
     def recoverable(self) -> bool:
         """Whether recovery can still yield the exact sequential mapping.

@@ -61,6 +61,7 @@ from .shm import (
     release,
     share_sequence_set,
     share_store,
+    sweep_orphan_segments,
 )
 
 __all__ = ["map_reads_multiprocess", "TRANSPORTS"]
@@ -153,6 +154,8 @@ def _run_phase(
     policy: RetryPolicy,
     timeout: float | None,
     report: RecoveryReport,
+    precomputed: dict[int, object] | None = None,
+    on_complete=None,
 ) -> tuple[list, dict[int, str]]:
     """Dispatch work units in rounds with retry, backoff and re-dispatch.
 
@@ -160,13 +163,24 @@ def _run_phase(
     unit index to the last cause.  The pool is rebuilt after any timeout
     (the slot may be held by a hung worker); dead workers are respawned by
     ``multiprocessing`` itself.
+
+    ``precomputed`` seeds unit results that need not run at all (resumed
+    checkpoint units); ``on_complete(idx, result)`` is invoked in the
+    parent as each fresh unit's result is collected — the checkpoint
+    layer's single-writer commit hook.
     """
     n = len(payloads)
     results: list = [None] * n
     attempts = [0] * n
     pending = list(range(n))
+    if precomputed:
+        for idx, value in precomputed.items():
+            results[idx] = value
+        pending = [i for i in pending if i not in precomputed]
     failures: dict[int, str] = {}
     delays = {i: policy.delays(stream=i) for i in range(n)}
+    if not pending:
+        return results, failures
     pool = ctx.Pool(processes)
     try:
         while pending:
@@ -184,6 +198,8 @@ def _run_phase(
                 t0 = time.perf_counter()
                 try:
                     results[idx] = async_result.get(timeout)
+                    if on_complete is not None:
+                        on_complete(idx, results[idx])
                     continue
                 except mp.TimeoutError:
                     cause = (
@@ -231,6 +247,7 @@ def map_reads_multiprocess(
     report: RecoveryReport | None = None,
     transport: str = "shm",
     store_kind: str = DEFAULT_STORE_KIND,
+    checkpoint=None,
 ) -> MappingResult:
     """Full pipeline with worker-process parallelism; returns the mapping.
 
@@ -242,6 +259,11 @@ def map_reads_multiprocess(
     :class:`~repro.parallel.faults.RecoveryReport` to observe what the
     recovery machinery did (attempts, re-dispatches, recovery seconds,
     and — with ``strict=False`` — any :class:`PartialResult`).
+
+    ``checkpoint`` (a :class:`~repro.resilience.checkpoint.CheckpointContext`)
+    makes the run crash-safe: completed S2/S4 units are committed in the
+    parent as their results arrive (single writer — workers never touch
+    the log) and resumed units are fed back in as precomputed results.
     """
     config = config if config is not None else JEMConfig()
     policy = retry if retry is not None else RetryPolicy()
@@ -258,7 +280,7 @@ def map_reads_multiprocess(
     read_index_bounds = partition_bounds(reads.offsets, processes)
     read_offsets = read_index_bounds[:-1]
 
-    if processes == 1 and faults is None:
+    if processes == 1 and faults is None and checkpoint is None:
         local = _sketch_worker((subject_parts[0], config, 0, ()))
         merged = [np.unique(k) for k in local]
         result = _map_worker(
@@ -268,6 +290,10 @@ def map_reads_multiprocess(
 
     ctx = mp.get_context(mp_context)
     shared_refs: list[str] = []
+    if transport == "shm":
+        # reclaim segments leaked by an earlier hard-killed run before
+        # publishing new ones (startup half of the orphan-sweep contract)
+        sweep_orphan_segments()
     try:
         # S2: sketch subject blocks in parallel (with retry / re-dispatch)
         if transport == "shm":
@@ -288,10 +314,18 @@ def map_reads_multiprocess(
                 (subject_parts[r], config, int(subject_offsets[r]))
                 for r in range(processes)
             ]
+        sketch_done: dict[int, object] = {}
+        sketch_commit = None
+        if checkpoint is not None:
+            for r in range(processes):
+                saved = checkpoint.sketch_result(r)
+                if saved is not None:
+                    sketch_done[r] = saved
+            sketch_commit = checkpoint.save_sketch
         per_rank_keys, sketch_failures = _run_phase(
             ctx, processes, _sketch_worker, sketch_jobs,
             plan=faults, phase="sketch", policy=policy, timeout=timeout,
-            report=report,
+            report=report, precomputed=sketch_done, on_complete=sketch_commit,
         )
         if sketch_failures:
             blocks = sorted(sketch_failures)
@@ -326,9 +360,18 @@ def map_reads_multiprocess(
                 (read_parts[r], config, merged, len(contigs), store_kind)
                 for r in range(processes)
             ]
+        map_done: dict[int, object] = {}
+        map_commit = None
+        if checkpoint is not None:
+            for r in range(processes):
+                saved = checkpoint.mapping_result(r)
+                if saved is not None:
+                    map_done[r] = saved
+            map_commit = checkpoint.save_mapping
         rank_results, map_failures = _run_phase(
             ctx, processes, _map_worker, map_jobs,
             plan=faults, phase="map", policy=policy, timeout=timeout, report=report,
+            precomputed=map_done, on_complete=map_commit,
         )
     finally:
         for name in shared_refs:

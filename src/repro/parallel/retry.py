@@ -50,6 +50,12 @@ class RetryPolicy:
         sacrificing determinism.
     seed:
         Seed for the jitter stream.
+    rng:
+        Alternative to ``seed``: an explicit ``numpy`` Generator the
+        policy draws its jitter seed from at construction time.  Two
+        policies built from same-seed generators produce identical
+        schedules; there is no module-level RNG anywhere in the retry
+        path.  Mutually exclusive with a non-default ``seed``.
     """
 
     def __init__(
@@ -60,11 +66,18 @@ class RetryPolicy:
         max_delay: float = 1.0,
         jitter: float = 0.1,
         seed: int = 0,
+        rng: np.random.Generator | None = None,
     ) -> None:
         if max_attempts < 1:
             raise ReproError(f"max_attempts must be >= 1, got {max_attempts}")
         if base_delay < 0 or max_delay < 0 or jitter < 0 or backoff < 1.0:
             raise ReproError("retry delays must be >= 0 and backoff >= 1")
+        if rng is not None:
+            if seed != 0:
+                raise ReproError("pass either seed= or rng=, not both")
+            # one draw fixes every stream: per-stream generators spawn from
+            # (base seed, stream), so streams stay decorrelated
+            seed = int(rng.integers(np.iinfo(np.int64).max))
         self.max_attempts = int(max_attempts)
         self.base_delay = float(base_delay)
         self.backoff = float(backoff)

@@ -61,7 +61,17 @@ __all__ = [
     "release_all",
     "created_segment_names",
     "segment_exists",
+    "SEGMENT_PREFIX",
+    "orphan_segment_names",
+    "sweep_orphan_segments",
 ]
+
+#: Every segment this package creates is named ``jem-{pid}-{role}-{n}`` —
+#: the prefix the orphan sweep scans for.
+SEGMENT_PREFIX = "jem-"
+
+#: Where POSIX shared memory surfaces as files (Linux; absent elsewhere).
+_SHM_DIR = "/dev/shm"
 
 #: Segments created by *this* process: name -> (SharedMemory, creator pid).
 _created: dict[str, tuple[shared_memory.SharedMemory, int]] = {}
@@ -301,6 +311,66 @@ def segment_exists(name: str) -> bool:
         return False
     shm.close()
     return True
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid exists, other user
+        return True
+    return True
+
+
+def orphan_segment_names() -> list[str]:
+    """``jem-*`` segments whose creating process is dead.
+
+    The deterministic name scheme embeds the creator pid, so orphans are
+    decidable without any registry: a segment named ``jem-{pid}-...``
+    whose pid no longer exists was leaked by a hard crash (SIGKILL never
+    runs the ``atexit`` unlink).  Segments of live processes — including
+    this one — are never reported.
+    """
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:  # pragma: no cover - non-Linux shm backing
+        return []
+    orphans: list[str] = []
+    for name in entries:
+        if not name.startswith(SEGMENT_PREFIX):
+            continue
+        parts = name.split("-")
+        try:
+            pid = int(parts[1])
+        except (IndexError, ValueError):
+            continue
+        if not _pid_alive(pid):
+            orphans.append(name)
+    return sorted(orphans)
+
+
+def sweep_orphan_segments() -> list[str]:
+    """Unlink every orphaned ``jem-*`` segment; returns the names removed.
+
+    Run at process-backend startup and by the service watchdog, so shared
+    memory leaked by a SIGKILLed run is reclaimed by the next one instead
+    of accumulating until reboot.  Safe to call concurrently: a segment
+    already gone is skipped.
+    """
+    removed: list[str] = []
+    for name in orphan_segment_names():
+        try:
+            shm = _attach_untracked(name)
+        except FileNotFoundError:
+            continue
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - lost a race
+            continue
+        removed.append(name)
+    return removed
 
 
 atexit.register(release_all)

@@ -1,0 +1,43 @@
+"""Crash safety and chaos engineering for the mapping pipeline.
+
+Three cooperating pieces (see ``docs/robustness.md``):
+
+* :mod:`~repro.resilience.checkpoint` — a durable, CRC32-framed
+  :class:`CheckpointLog` plus :class:`RunManifest` identity records, so a
+  run SIGKILLed mid-flight resumes from its last completed S2 shard or S4
+  query block and still produces bit-identical output;
+* :mod:`~repro.resilience.chaos` — a seeded, deterministic
+  :class:`ChaosPlan` that kills live processes mid-unit, tears and
+  corrupts checkpoint/index files, and drops shared-memory segments, with
+  a kill→resume→verify cycle runner behind ``jem chaos``;
+* :mod:`~repro.resilience.pool` — a :class:`ResilientWorkerPool` of real
+  worker processes over a shared-memory resident store that rebuilds
+  itself (and re-publishes the store) when workers die.
+"""
+
+from .chaos import ChaosCycleResult, ChaosPlan, ChaosSpec, run_kill_resume_cycle
+from .checkpoint import (
+    CheckpointContext,
+    CheckpointLog,
+    RunManifest,
+    fingerprint_file,
+    fingerprint_sequences,
+)
+from .pool import ResilientWorkerPool
+from .runner import build_index_checkpointed, load_invocation, save_invocation
+
+__all__ = [
+    "CheckpointContext",
+    "CheckpointLog",
+    "RunManifest",
+    "fingerprint_file",
+    "fingerprint_sequences",
+    "ChaosPlan",
+    "ChaosSpec",
+    "ChaosCycleResult",
+    "run_kill_resume_cycle",
+    "ResilientWorkerPool",
+    "build_index_checkpointed",
+    "save_invocation",
+    "load_invocation",
+]

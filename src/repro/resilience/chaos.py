@@ -1,0 +1,270 @@
+"""Process-kill chaos harness: real SIGKILLs, deterministic schedules.
+
+:mod:`repro.parallel.faults` injects *in-band* compute faults — a work
+unit raises, sleeps, or its worker exits.  This module injects the faults
+that kill whole *runs*: the process is SIGKILLed mid-unit, checkpoint and
+index files are torn or bit-flipped mid-write, shared-memory segments are
+dropped.  Everything is driven by one seed, so a failing chaos cycle is
+replayable exactly.
+
+Determinism without races: instead of an external monitor trying to time
+a kill, the victim kills **itself**.  The :class:`~.checkpoint.CheckpointLog`
+honours two environment hooks — ``REPRO_CHAOS_KILL_AFTER=N`` (SIGKILL the
+process right after its N-th durable log append) and ``REPRO_CHAOS_TORN=1``
+(leave a half-written frame behind first).  A :class:`ChaosPlan` draws the
+kill point and the post-mortem file damage from its seed;
+:func:`run_kill_resume_cycle` executes one full cycle: run the victim
+under the plan, confirm the SIGKILL, vandalise the run directory, resume,
+and report what happened.  ``jem chaos`` wraps this in a parity check
+against an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ChaosError
+from ..parallel.shm import sweep_orphan_segments
+from .checkpoint import (
+    CHAOS_KILL_AFTER_ENV,
+    CHAOS_TORN_ENV,
+    LOG_NAME,
+    CheckpointLog,
+)
+
+__all__ = [
+    "DAMAGE_KINDS",
+    "ChaosSpec",
+    "ChaosPlan",
+    "ChaosCycleResult",
+    "apply_damage",
+    "run_kill_resume_cycle",
+    "read_tsv_body",
+]
+
+#: Post-kill vandalism a plan may order on the run directory.
+DAMAGE_KINDS = ("truncate_log", "corrupt_unit", "drop_tmp", "drop_shm")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One chaos action.
+
+    ``kill`` / ``torn_kill`` specs SIGKILL the victim after its
+    ``after_records``-th checkpoint append (``torn_kill`` additionally
+    leaves a half-written log frame).  Damage specs (:data:`DAMAGE_KINDS`)
+    run *after* the kill, against the run directory the victim left
+    behind.
+    """
+
+    kind: str
+    after_records: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("kill", "torn_kill", *DAMAGE_KINDS):
+            raise ChaosError(f"unknown chaos kind {self.kind!r}")
+        if self.after_records < 1:
+            raise ChaosError(f"after_records must be >= 1, got {self.after_records}")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded, replayable chaos schedule for one kill-resume cycle."""
+
+    seed: int
+    specs: tuple[ChaosSpec, ...]
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        total_units: int,
+        max_damage: int = 2,
+        torn_probability: float = 0.5,
+    ) -> "ChaosPlan":
+        """Draw a plan: one kill somewhere in the unit range, 0..n damage.
+
+        ``total_units`` bounds the kill point (a checkpointed run appends
+        one record per completed unit), so the SIGKILL lands at a real
+        checkpoint boundary somewhere strictly inside the run.
+        """
+        if total_units < 1:
+            raise ChaosError(f"total_units must be >= 1, got {total_units}")
+        rng = np.random.default_rng(seed)
+        kill_kind = "torn_kill" if rng.random() < torn_probability else "kill"
+        specs = [
+            ChaosSpec(kind=kill_kind, after_records=int(rng.integers(1, total_units + 1)))
+        ]
+        for _ in range(int(rng.integers(0, max_damage + 1))):
+            specs.append(ChaosSpec(kind=str(rng.choice(DAMAGE_KINDS))))
+        return cls(seed=seed, specs=tuple(specs))
+
+    @property
+    def kill(self) -> ChaosSpec | None:
+        for spec in self.specs:
+            if spec.kind in ("kill", "torn_kill"):
+                return spec
+        return None
+
+    @property
+    def damage(self) -> tuple[ChaosSpec, ...]:
+        return tuple(s for s in self.specs if s.kind in DAMAGE_KINDS)
+
+    def env(self) -> dict[str, str]:
+        """Environment overlay arming the victim's self-kill hook."""
+        kill = self.kill
+        if kill is None:
+            return {}
+        overlay = {CHAOS_KILL_AFTER_ENV: str(kill.after_records)}
+        if kill.kind == "torn_kill":
+            overlay[CHAOS_TORN_ENV] = "1"
+        return overlay
+
+
+def apply_damage(run_dir: str, plan: ChaosPlan) -> list[str]:
+    """Vandalise a (dead) run directory per the plan; returns what was done.
+
+    Each action is deterministic in the plan seed: the same plan always
+    truncates the same byte count and flips the same byte of the same
+    unit payload.  Missing targets (no units yet, no tmp files) are
+    recorded as skipped rather than failing the cycle — a kill at record
+    1 simply leaves less to vandalise.
+    """
+    rng = np.random.default_rng((plan.seed, 0xDA_A6E))
+    done: list[str] = []
+    for spec in plan.damage:
+        if spec.kind == "truncate_log":
+            path = os.path.join(run_dir, LOG_NAME)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                done.append("truncate_log: skipped (no log)")
+                continue
+            cut = int(rng.integers(1, 13))
+            with open(path, "r+b") as fh:
+                fh.truncate(max(size - cut, 0))
+            done.append(f"truncate_log: -{cut} bytes")
+        elif spec.kind == "corrupt_unit":
+            units_dir = os.path.join(run_dir, "units")
+            try:
+                files = sorted(
+                    f for f in os.listdir(units_dir) if f.endswith(".npz")
+                )
+            except OSError:
+                files = []
+            if not files:
+                done.append("corrupt_unit: skipped (no units)")
+                continue
+            victim = os.path.join(units_dir, files[int(rng.integers(len(files)))])
+            offset = int(rng.integers(os.path.getsize(victim)))
+            with open(victim, "r+b") as fh:
+                fh.seek(offset)
+                byte = fh.read(1)
+                fh.seek(offset)
+                fh.write(bytes([byte[0] ^ 0xFF]))
+            done.append(f"corrupt_unit: {os.path.basename(victim)} @ {offset}")
+        elif spec.kind == "drop_tmp":
+            dropped = 0
+            for root, _dirs, files in os.walk(run_dir):
+                for name in files:
+                    if ".tmp." in name:
+                        os.unlink(os.path.join(root, name))
+                        dropped += 1
+            done.append(f"drop_tmp: {dropped} file(s)")
+        elif spec.kind == "drop_shm":
+            removed = sweep_orphan_segments()
+            done.append(f"drop_shm: {len(removed)} orphan segment(s)")
+    return done
+
+
+@dataclass
+class ChaosCycleResult:
+    """What one kill → vandalise → resume cycle did."""
+
+    plan: ChaosPlan
+    killed: bool
+    kill_returncode: int
+    damage_applied: list[str] = field(default_factory=list)
+    records_surviving: int = 0
+    resume_returncode: int | None = None
+    resume_stdout: str = ""
+    resume_stderr: str = ""
+
+    @property
+    def resumed_ok(self) -> bool:
+        return self.resume_returncode == 0
+
+
+def run_kill_resume_cycle(
+    argv: list[str],
+    *,
+    run_dir: str,
+    plan: ChaosPlan,
+    resume_argv: list[str] | None = None,
+    timeout: float = 300.0,
+) -> ChaosCycleResult:
+    """Execute one chaos cycle against the ``jem`` CLI.
+
+    ``argv`` is the CLI argument vector (without the interpreter) of a
+    checkpointed run whose directory is ``run_dir``; it is launched with
+    the plan's kill hook armed and must die by SIGKILL (a run that
+    finishes first is reported with ``killed=False`` — the plan's kill
+    point exceeded the run's unit count).  The run directory is then
+    vandalised per the plan and ``resume_argv`` (default: ``argv`` again)
+    is run to completion without chaos hooks.
+    """
+    base = [sys.executable, "-m", "repro.cli"]
+    env = {**os.environ, **plan.env()}
+    env.pop("PYTEST_CURRENT_TEST", None)
+    victim = subprocess.run(
+        base + argv, env=env, capture_output=True, text=True, timeout=timeout,
+    )
+    killed = victim.returncode == -signal.SIGKILL
+    result = ChaosCycleResult(
+        plan=plan, killed=killed, kill_returncode=victim.returncode
+    )
+    if not killed:
+        if victim.returncode != 0:
+            raise ChaosError(
+                f"victim run failed for a non-chaos reason "
+                f"(rc={victim.returncode}): {victim.stderr[-2000:]}"
+            )
+        # finished before the kill point: nothing to resume
+        result.resume_returncode = 0
+        result.resume_stdout = victim.stdout
+        result.resume_stderr = victim.stderr
+        return result
+    result.damage_applied = apply_damage(run_dir, plan)
+    result.records_surviving = len(
+        CheckpointLog(os.path.join(run_dir, LOG_NAME)).replay()
+    )
+    clean_env = {
+        k: v
+        for k, v in os.environ.items()
+        if k not in (CHAOS_KILL_AFTER_ENV, CHAOS_TORN_ENV)
+    }
+    resumed = subprocess.run(
+        base + (resume_argv if resume_argv is not None else argv),
+        env=clean_env, capture_output=True, text=True, timeout=timeout,
+    )
+    result.resume_returncode = resumed.returncode
+    result.resume_stdout = resumed.stdout
+    result.resume_stderr = resumed.stderr
+    return result
+
+
+def read_tsv_body(path: str) -> list[str]:
+    """A mapping TSV's data lines (``#`` timing comments stripped).
+
+    Two runs are *parity-equal* when these lists match exactly — the
+    comment line carries wall-clock timings that legitimately differ.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        return [line.rstrip("\n") for line in fh if not line.startswith("#")]

@@ -45,6 +45,20 @@ class ServiceConfig:
         requests error, naming the cause.
     metrics_window:
         Reservoir size of each latency histogram.
+    breaker_failures:
+        Failed batches within ``breaker_window`` recorded batches that
+        trip the circuit breaker into degraded single-trial mapping.
+        ``0`` (the default) disables the breaker entirely — a clean or
+        default-configured service can never change routing.
+    breaker_window:
+        Rolling window (in batches) the breaker counts failures over.
+    breaker_cooldown_batches:
+        Degraded batches served while open before a half-open probe of
+        the primary path.
+    watchdog_interval_ms:
+        Period of the self-healing watchdog (orphaned-shm sweep, worker
+        pool ensure, readiness refresh).  ``0`` (the default) disables
+        the watchdog thread.
     """
 
     max_batch_size: int = 64
@@ -54,6 +68,10 @@ class ServiceConfig:
     processes: int = 1
     strict: bool = True
     metrics_window: int = 4096
+    breaker_failures: int = 0
+    breaker_window: int = 16
+    breaker_cooldown_batches: int = 2
+    watchdog_interval_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -68,7 +86,28 @@ class ServiceConfig:
             raise ConfigError(f"processes must be >= 1, got {self.processes}")
         if self.metrics_window < 1:
             raise ConfigError(f"metrics_window must be >= 1, got {self.metrics_window}")
+        if self.breaker_failures < 0:
+            raise ConfigError(
+                f"breaker_failures must be >= 0, got {self.breaker_failures}"
+            )
+        if self.breaker_window < 1:
+            raise ConfigError(
+                f"breaker_window must be >= 1, got {self.breaker_window}"
+            )
+        if self.breaker_cooldown_batches < 1:
+            raise ConfigError(
+                "breaker_cooldown_batches must be >= 1, got "
+                f"{self.breaker_cooldown_batches}"
+            )
+        if self.watchdog_interval_ms < 0:
+            raise ConfigError(
+                f"watchdog_interval_ms must be >= 0, got {self.watchdog_interval_ms}"
+            )
 
     @property
     def max_wait_seconds(self) -> float:
         return self.max_wait_ms / 1000.0
+
+    @property
+    def watchdog_interval_seconds(self) -> float:
+        return self.watchdog_interval_ms / 1000.0

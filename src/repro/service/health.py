@@ -1,0 +1,173 @@
+"""Self-healing machinery for the mapping service.
+
+Two pieces, both deliberately free of mapping knowledge:
+
+* :class:`CircuitBreaker` — a rolling-window breaker over per-batch
+  outcomes.  A spike of post-recovery batch failures (workers dying
+  faster than retry/re-dispatch can absorb) trips it **open**; while
+  open the service re-routes batches to the degraded single-trial
+  mapping path, which needs no parallel dispatch at all.  After a
+  cooldown of degraded batches the breaker goes **half-open** and lets
+  exactly one batch probe the primary path: success closes it
+  (recovered), failure re-opens it.  All transitions are returned as
+  events so the service can count them in its metrics.
+* :class:`Watchdog` — a daemon thread that periodically sweeps orphaned
+  shared-memory segments, keeps an attached
+  :class:`~repro.resilience.pool.ResilientWorkerPool` healthy (rebuilding
+  it and re-publishing the resident store when workers or segments
+  vanish), and refreshes the service's readiness gauge.
+
+Neither piece ever changes mapping output on a healthy service: the
+breaker only routes *after* failures, and a breaker with
+``failure_threshold`` 0 is permanently closed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["CircuitBreaker", "Watchdog", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Rolling-window circuit breaker over batch outcomes.
+
+    ``failure_threshold`` failures within the last ``window`` recorded
+    batches trip the breaker; ``0`` disables it entirely (it reports
+    :data:`CLOSED` forever — the default service configuration, so clean
+    runs cannot change behaviour).  ``cooldown_batches`` is how many
+    batches are served degraded before a half-open probe of the primary
+    path.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 16,
+        failure_threshold: int = 0,
+        cooldown_batches: int = 2,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if failure_threshold < 0:
+            raise ValueError(
+                f"failure_threshold must be >= 0, got {failure_threshold}"
+            )
+        if cooldown_batches < 1:
+            raise ValueError(
+                f"cooldown_batches must be >= 1, got {cooldown_batches}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_batches = int(cooldown_batches)
+        self._outcomes: deque[bool] = deque(maxlen=int(window))
+        self._state = CLOSED
+        self._degraded_since_open = 0
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.failure_threshold > 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def decide(self) -> str:
+        """Routing decision for the next batch: ``"primary"`` or ``"degraded"``.
+
+        While open, each call counts one degraded batch; once the
+        cooldown is spent the breaker moves to half-open and the *next*
+        batch probes the primary path.
+        """
+        if not self.enabled:
+            return "primary"
+        with self._lock:
+            if self._state == OPEN:
+                if self._degraded_since_open >= self.cooldown_batches:
+                    self._state = HALF_OPEN
+                    return "primary"
+                self._degraded_since_open += 1
+                return "degraded"
+            return "primary"
+
+    def record_success(self) -> str | None:
+        """Record a clean primary batch; returns ``"recovered"`` on close."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            self._outcomes.append(True)
+            if self._state == HALF_OPEN:
+                self._state = CLOSED
+                self._degraded_since_open = 0
+                self._outcomes.clear()
+                return "recovered"
+            return None
+
+    def record_failure(self) -> str | None:
+        """Record a failed primary batch; returns ``"opened"`` on trip."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._state = OPEN
+                self._degraded_since_open = 0
+                return "opened"
+            self._outcomes.append(False)
+            failures = sum(1 for ok in self._outcomes if not ok)
+            if self._state == CLOSED and failures >= self.failure_threshold:
+                self._state = OPEN
+                self._degraded_since_open = 0
+                return "opened"
+            return None
+
+
+class Watchdog:
+    """Periodic keeper of the service's crash-prone resources.
+
+    Every ``interval_s`` the tick callback runs on a daemon thread; the
+    service's tick sweeps orphaned shm segments, ensures the attached
+    worker pool, and refreshes the readiness gauge.  :meth:`stop` is
+    idempotent and joins the thread.
+    """
+
+    def __init__(self, tick, interval_s: float) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self._tick = tick
+        self._interval = float(interval_s)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.ticks = 0
+
+    @property
+    def alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.alive:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="jem-service-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._tick()
+            except Exception:  # pragma: no cover - the watchdog must not die
+                pass
+            self.ticks += 1
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None

@@ -127,9 +127,17 @@ class ServiceMetrics:
         ``requests_total``, ``responses_total``, ``rejected_total``
         (admission-control rejections), ``errors_total`` (requests failed
         by faults), ``cache_hits_total``, ``cache_misses_total``,
-        ``batches_total``, ``reads_mapped_total``.
+        ``batches_total``, ``reads_mapped_total``; self-healing:
+        ``shed_total`` (requests dropped because their deadline expired
+        before dispatch), ``degraded_total`` (reads served by the
+        degraded single-trial path while the breaker was open),
+        ``breaker_open_total`` (breaker trips), ``recovered_total``
+        (half-open probes that closed the breaker),
+        ``pool_rebuilds_total`` (watchdog worker-pool rebuilds).
     Gauges
-        ``queue_depth``, ``inflight``, ``cache_size``.
+        ``queue_depth``, ``inflight``, ``cache_size``, ``ready``
+        (1 while the service passes its readiness check, 0 otherwise),
+        ``breaker_open`` (1 while the breaker is open).
     Histograms (seconds unless noted)
         ``queue_wait`` (submit → batch pickup), ``map_latency`` (batch
         compute), ``request_latency`` (submit → response), ``batch_size``
@@ -145,9 +153,16 @@ class ServiceMetrics:
         self.cache_misses_total = Counter()
         self.batches_total = Counter()
         self.reads_mapped_total = Counter()
+        self.shed_total = Counter()
+        self.degraded_total = Counter()
+        self.breaker_open_total = Counter()
+        self.recovered_total = Counter()
+        self.pool_rebuilds_total = Counter()
         self.queue_depth = Gauge()
         self.inflight = Gauge()
         self.cache_size = Gauge()
+        self.ready = Gauge()
+        self.breaker_open = Gauge()
         self.queue_wait = LatencyHistogram(window)
         self.map_latency = LatencyHistogram(window)
         self.request_latency = LatencyHistogram(window)
@@ -172,11 +187,18 @@ class ServiceMetrics:
                 "cache_misses_total": self.cache_misses_total.value,
                 "batches_total": self.batches_total.value,
                 "reads_mapped_total": self.reads_mapped_total.value,
+                "shed_total": self.shed_total.value,
+                "degraded_total": self.degraded_total.value,
+                "breaker_open_total": self.breaker_open_total.value,
+                "recovered_total": self.recovered_total.value,
+                "pool_rebuilds_total": self.pool_rebuilds_total.value,
             },
             "gauges": {
                 "queue_depth": self.queue_depth.value,
                 "inflight": self.inflight.value,
                 "cache_size": self.cache_size.value,
+                "ready": self.ready.value,
+                "breaker_open": self.breaker_open.value,
             },
             "cache_hit_ratio": self.cache_hit_ratio,
             "histograms": {

@@ -4,8 +4,15 @@ One JSON object per line, in both directions.  Requests:
 
 * ``{"op": "map", "id": <any>, "name": "<read>", "seq": "ACGT..."}`` —
   map one read; the response echoes ``id`` and ``name`` and carries one
-  result per end segment.
+  result per end segment.  An optional ``"deadline_ms"`` propagates a
+  per-request deadline into dispatch: a request still queued when it
+  expires is shed and answered with a typed error instead of mapped.
+  Responses carry ``"degraded": true`` when the circuit breaker routed
+  the read through the single-trial fallback path.
 * ``{"op": "ping"}`` → ``{"op": "pong"}`` (liveness).
+* ``{"op": "health"}`` → liveness/readiness/breaker state plus worker
+  pool health — answered immediately, without flushing pending maps, so
+  probes are not blocked behind a slow batch.
 * ``{"op": "metrics"}`` → the full metrics snapshot (pending maps are
   flushed first so the snapshot reflects them).
 * ``{"op": "drain"}`` — stop admission, finish everything, answer
@@ -56,7 +63,7 @@ def _response_for(entry) -> dict:
         mapping = future.result()
     except ReproError as exc:
         return {**header, "error": str(exc)}
-    return {
+    response = {
         **header,
         "results": [
             {"segment": seg, "contig": mapping.subject_names[i],
@@ -65,6 +72,9 @@ def _response_for(entry) -> dict:
         ],
         "cached": mapping.cached,
     }
+    if mapping.degraded:
+        response["degraded"] = True
+    return response
 
 
 def serve_loop(service: MappingService, in_stream, out_stream) -> ServeStats:
@@ -111,8 +121,15 @@ def serve_loop(service: MappingService, in_stream, out_stream) -> ServeStats:
             if op == "map":
                 header = {"id": message.get("id"), "name": message.get("name", "")}
                 seq = message.get("seq", "")
+                deadline_ms = message.get("deadline_ms")
                 try:
-                    future = service.submit(header["name"] or "read", seq)
+                    future = service.submit(
+                        header["name"] or "read", seq,
+                        deadline_s=(
+                            float(deadline_ms) / 1000.0
+                            if deadline_ms is not None else None
+                        ),
+                    )
                     pending.append((header, future))
                 except ServiceOverloadError as exc:
                     pending.append((
@@ -129,6 +146,9 @@ def serve_loop(service: MappingService, in_stream, out_stream) -> ServeStats:
             elif op == "ping":
                 flush_pending()
                 emit({"op": "pong"})
+            elif op == "health":
+                # answered without flushing: probes must not wait on batches
+                emit({"op": "health", **service.healthz()})
             elif op == "metrics":
                 flush_pending()
                 emit({"op": "metrics", "metrics": service.metrics.snapshot()})

@@ -36,22 +36,31 @@ from ..core.config import JEMConfig
 from ..core.hitcounter import count_hits_vectorised
 from ..core.mapper import JEMMapper, MappingResult
 from ..core.segments import PREFIX, SUFFIX, SegmentInfo, extract_end_segments
-from ..errors import SequenceError, ServiceError, ServiceOverloadError
+from ..core.sketch_table import SketchTable
+from ..errors import (
+    DeadlineExceededError,
+    SequenceError,
+    ServiceError,
+    ServiceOverloadError,
+)
 from ..parallel.driver import map_partitioned_queries, resolve_partial
 from ..parallel.faults import FaultPlan
 from ..parallel.partition import partition_bounds, partition_set
 from ..parallel.retry import RetryPolicy
+from ..parallel.shm import sweep_orphan_segments
 from ..seq.encode import encode
 from ..seq.records import SequenceSet, SequenceSetBuilder
 from ..sketch.jem import query_sketch_values
 from .cache import SketchCacheEntry, SketchLRUCache, read_content_key
 from .config import ServiceConfig
+from .health import OPEN, CircuitBreaker, Watchdog
 from .metrics import ServiceMetrics
 from .queue import AdmissionQueue, MapFuture
 from .scheduler import MicroBatchScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.engine import PipelineConfig
+    from ..resilience.pool import ResilientWorkerPool
 
 __all__ = ["MappingService", "ReadMapping"]
 
@@ -61,13 +70,19 @@ _INITIAL_READ_SECONDS = 2e-3
 
 @dataclass(frozen=True)
 class ReadMapping:
-    """Service response for one read: its two end-segment mappings."""
+    """Service response for one read: its two end-segment mappings.
+
+    ``degraded`` marks a best-effort answer produced by the single-trial
+    fallback path while the circuit breaker was open — lower sensitivity
+    than the full multi-trial mapping, never cached.
+    """
 
     name: str
     subject: tuple[int, int]  # (prefix, suffix) contig ids; -1 = unmapped
     hit_count: tuple[int, int]
     subject_names: tuple[str | None, str | None]
     cached: bool = False
+    degraded: bool = False
 
     @property
     def segment_names(self) -> tuple[str, str]:
@@ -80,16 +95,29 @@ class ReadMapping:
 
 
 class _MapRequest:
-    """One queued read and its completion future."""
+    """One queued read and its completion future.
 
-    __slots__ = ("name", "codes", "key", "future", "t_submit")
+    ``deadline`` is an absolute ``time.perf_counter()`` instant (or
+    ``None``): a request still undispatched past it is shed, not mapped.
+    """
 
-    def __init__(self, name: str, codes: np.ndarray, key: bytes) -> None:
+    __slots__ = ("name", "codes", "key", "future", "t_submit", "deadline")
+
+    def __init__(
+        self,
+        name: str,
+        codes: np.ndarray,
+        key: bytes,
+        deadline_s: float | None = None,
+    ) -> None:
         self.name = name
         self.codes = codes
         self.key = key
         self.future: MapFuture = MapFuture()
         self.t_submit = time.perf_counter()
+        self.deadline = (
+            self.t_submit + deadline_s if deadline_s is not None else None
+        )
 
 
 class MappingService:
@@ -125,6 +153,18 @@ class MappingService:
         )
         self._ewma_read_seconds = _INITIAL_READ_SECONDS
         self._drained = False
+        self._breaker = CircuitBreaker(
+            window=self.config.breaker_window,
+            failure_threshold=self.config.breaker_failures,
+            cooldown_batches=self.config.breaker_cooldown_batches,
+        )
+        self._watchdog: Watchdog | None = (
+            Watchdog(self._watchdog_tick, self.config.watchdog_interval_seconds)
+            if self.config.watchdog_interval_ms > 0
+            else None
+        )
+        self._pool: "ResilientWorkerPool | None" = None
+        self._degraded_view: tuple[SketchTable, object] | None = None
         if auto_start:
             self.start()
 
@@ -193,6 +233,9 @@ class MappingService:
 
     def start(self) -> None:
         self._scheduler.start()
+        if self._watchdog is not None:
+            self._watchdog.start()
+        self.metrics.ready.set(1.0)
 
     @property
     def draining(self) -> bool:
@@ -219,8 +262,13 @@ class MappingService:
                 f"service failed to drain within {timeout}s "
                 f"({self._queue.depth} requests still queued)"
             )
+        if self._watchdog is not None:
+            self._watchdog.stop()
+        if self._pool is not None:
+            self._pool.close()
         self._drained = True
         self.metrics.queue_depth.set(0)
+        self.metrics.ready.set(0.0)
 
     close = drain
 
@@ -230,13 +278,96 @@ class MappingService:
     def __exit__(self, *exc_info) -> None:
         self.drain()
 
+    # -- health and self-healing ---------------------------------------------
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        return self._breaker
+
+    def attach_pool(self, pool: "ResilientWorkerPool") -> None:
+        """Give the watchdog a worker pool to keep alive.
+
+        The service takes ownership: the pool is started now, ensured on
+        every watchdog tick (rebuilt, with the resident store's shm
+        columns re-published, whenever workers or segments vanish), and
+        closed on :meth:`drain`.
+        """
+        pool.start()
+        self._pool = pool
+        if self._watchdog is not None:
+            self._watchdog.start()
+
+    def set_fault_plan(self, faults: FaultPlan | None) -> None:
+        """Chaos hook: swap the injected fault plan of future batches."""
+        self._faults = faults
+
+    def healthz(self) -> dict:
+        """Liveness/readiness snapshot (also refreshes the ``ready`` gauge).
+
+        ``live`` is True until the service has drained — the process can
+        still answer.  ``ready`` is True only while new work is being
+        accepted *and* served at full quality: scheduler running, not
+        draining, circuit breaker not open, attached worker pool healthy.
+        """
+        breaker_state = self._breaker.state
+        pool_healthy = self._pool is None or self._pool.healthy()
+        ready = (
+            self._scheduler.alive
+            and not self.draining
+            and breaker_state != OPEN
+            and pool_healthy
+        )
+        self.metrics.ready.set(1.0 if ready else 0.0)
+        self.metrics.breaker_open.set(1.0 if breaker_state == OPEN else 0.0)
+        health: dict = {
+            "live": not self._drained,
+            "ready": ready,
+            "draining": self.draining,
+            "breaker": breaker_state,
+            "queue_depth": self._queue.depth,
+        }
+        if self._pool is not None:
+            health["pool"] = {
+                "healthy": pool_healthy,
+                "workers": self._pool.worker_pids,
+                "rebuilds": self._pool.rebuilds,
+            }
+        return health
+
+    def _watchdog_tick(self) -> None:
+        sweep_orphan_segments()
+        if self._pool is not None and self._pool.ensure():
+            self.metrics.pool_rebuilds_total.inc()
+        self.healthz()  # refresh the readiness gauge
+
+    def _note_breaker(self, event: str | None) -> None:
+        if event == "opened":
+            self.metrics.breaker_open_total.inc()
+            self.metrics.breaker_open.set(1.0)
+            self.metrics.ready.set(0.0)
+        elif event == "recovered":
+            self.metrics.recovered_total.inc()
+            self.metrics.breaker_open.set(0.0)
+            self.metrics.ready.set(1.0)
+
     # -- request path --------------------------------------------------------
 
     def _retry_after(self) -> float:
         return max((self._queue.depth + 1) * self._ewma_read_seconds, 1e-3)
 
-    def submit(self, name: str, sequence: str | np.ndarray) -> MapFuture:
+    def submit(
+        self,
+        name: str,
+        sequence: str | np.ndarray,
+        *,
+        deadline_s: float | None = None,
+    ) -> MapFuture:
         """Admit one read; returns a future resolving to a :class:`ReadMapping`.
+
+        ``deadline_s`` (seconds from now) propagates into S4 dispatch: a
+        request whose deadline expires while still queued is *shed* — its
+        future fails with :class:`~repro.errors.DeadlineExceededError`
+        before any mapping work is spent on it.
 
         Raises :class:`~repro.errors.ServiceOverloadError` (with a
         ``retry_after`` hint) when the admission queue is full and
@@ -249,10 +380,12 @@ class MappingService:
         )
         if codes.size == 0:
             raise SequenceError(f"read {name!r} is empty")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ServiceError(f"deadline_s must be > 0, got {deadline_s}")
         ell = self.jem_config.ell
         n = codes.size
         key = read_content_key(codes[: min(ell, n)], codes[max(0, n - ell):])
-        request = _MapRequest(name, codes, key)
+        request = _MapRequest(name, codes, key, deadline_s)
         try:
             depth = self._queue.put(request, retry_after=self._retry_after())
         except ServiceOverloadError:
@@ -301,7 +434,14 @@ class MappingService:
     def _subject_label(self, subject: int) -> str | None:
         return self._mapper.subject_names[subject] if subject >= 0 else None
 
-    def _resolve(self, request: _MapRequest, entry: SketchCacheEntry, *, cached: bool) -> None:
+    def _resolve(
+        self,
+        request: _MapRequest,
+        entry: SketchCacheEntry,
+        *,
+        cached: bool,
+        degraded: bool = False,
+    ) -> None:
         mapping = ReadMapping(
             name=request.name,
             subject=(entry.prefix_subject, entry.suffix_subject),
@@ -311,6 +451,7 @@ class MappingService:
                 self._subject_label(entry.suffix_subject),
             ),
             cached=cached,
+            degraded=degraded,
         )
         request.future.set_result(mapping)
         now = time.perf_counter()
@@ -326,9 +467,23 @@ class MappingService:
 
     def _fail_batch(self, batch, exc: BaseException) -> None:
         """Scheduler error hook: fail whatever the batch left unresolved."""
+        self._note_breaker(self._breaker.record_failure())
         for request in batch:
             if not request.future.done():
                 self._fail(request, exc)
+
+    def _shed(self, request: _MapRequest, now: float) -> None:
+        """Fail an expired request before spending mapping work on it."""
+        elapsed = now - request.t_submit
+        request.future.set_exception(
+            DeadlineExceededError(
+                f"read {request.name!r} shed: deadline expired after "
+                f"{elapsed:.3f}s in queue",
+                elapsed=elapsed,
+            )
+        )
+        self.metrics.shed_total.inc()
+        self.metrics.inflight.add(-1)
 
     def _entries_from_result(
         self, result: MappingResult, count: int, base: int = 0
@@ -344,6 +499,45 @@ class MappingService:
             for j in range(base, base + count)
         ]
 
+    def _reads_of(self, requests: list[_MapRequest]) -> SequenceSet:
+        builder = SequenceSetBuilder()
+        for request in requests:
+            builder.add(request.name, request.codes)
+        return builder.build()
+
+    def _map_degraded(
+        self, requests: list[_MapRequest]
+    ) -> list[tuple[SketchCacheEntry | None, str | None]]:
+        """Best-effort single-trial mapping — the open-breaker fallback.
+
+        Uses trial 0 of the resident store with the matching slice of the
+        hash family (slicing, never regenerating, so the trial is the
+        same one the full mapping uses) and ``min_hits=1``: with a single
+        trial a subject can collect at most one hit, so the configured
+        multi-trial threshold would unmap everything.  Needs no parallel
+        dispatch and no retry machinery, which is the point: it cannot be
+        taken down by the worker failures that opened the breaker.
+        Results are never cached — they are lower-sensitivity answers.
+        """
+        reads = self._reads_of(requests)
+        cfg = self.jem_config
+        if self._degraded_view is None:
+            self._degraded_view = (
+                SketchTable(
+                    [np.asarray(self._table.trial_keys(0))],
+                    self._table.n_subjects,
+                ),
+                self._family.trial_slice(0, 1),
+            )
+        table, family = self._degraded_view
+        segments, _ = extract_end_segments(reads, cfg.ell)
+        sketches = query_sketch_values(segments, cfg.k, cfg.w, family)
+        hits = count_hits_vectorised(
+            table, sketches.values, min_hits=1, query_mask=sketches.has
+        )
+        result = MappingResult.from_best_hits(segments.names, hits)
+        return [(e, None) for e in self._entries_from_result(result, len(requests))]
+
     def _map_misses(
         self, requests: list[_MapRequest]
     ) -> list[tuple[SketchCacheEntry | None, str | None]]:
@@ -355,10 +549,7 @@ class MappingService:
         fault-tolerant S4 stage, inheriting retry, re-dispatch, and the
         strict/no-strict degradation contract.
         """
-        builder = SequenceSetBuilder()
-        for request in requests:
-            builder.add(request.name, request.codes)
-        reads = builder.build()
+        reads = self._reads_of(requests)
         cfg = self.jem_config
         if self.config.processes == 1 and self._faults is None:
             segments, _ = extract_end_segments(reads, cfg.ell)
@@ -394,8 +585,18 @@ class MappingService:
 
     def _process_batch(self, batch: list[_MapRequest]) -> None:
         t0 = time.perf_counter()
-        self.metrics.batch_size.observe(len(batch))
+        # deadline propagation: shed expired work before dispatching any of it
+        live: list[_MapRequest] = []
+        for request in batch:
+            if request.deadline is not None and t0 > request.deadline:
+                self._shed(request, t0)
+            else:
+                live.append(request)
+        batch = live
         self.metrics.queue_depth.set(self._queue.depth)
+        if not batch:
+            return
+        self.metrics.batch_size.observe(len(batch))
         for request in batch:
             self.metrics.queue_wait.observe(t0 - request.t_submit)
         hits: list[tuple[_MapRequest, SketchCacheEntry]] = []
@@ -409,11 +610,23 @@ class MappingService:
                 self.metrics.cache_misses_total.inc()
                 misses.append(request)
         mapped: list[tuple[SketchCacheEntry | None, str | None]] = []
+        degraded = False
         if misses:
-            mapped = self._map_misses(misses)
-            for request, (entry, _cause) in zip(misses, mapped):
-                if entry is not None:
-                    self.cache.put(request.key, entry)
+            if self._breaker.decide() == "degraded":
+                degraded = True
+                mapped = self._map_degraded(misses)
+                self.metrics.degraded_total.inc(len(misses))
+            else:
+                # a strict-mode failure propagates to _fail_batch, which
+                # records the breaker failure for this batch
+                mapped = self._map_misses(misses)
+                if any(entry is None for entry, _ in mapped):
+                    self._note_breaker(self._breaker.record_failure())
+                else:
+                    self._note_breaker(self._breaker.record_success())
+                for request, (entry, _cause) in zip(misses, mapped):
+                    if entry is not None:
+                        self.cache.put(request.key, entry)
         self.metrics.map_latency.observe(time.perf_counter() - t0)
         for request, entry in hits:
             self._resolve(request, entry, cached=True)
@@ -424,7 +637,7 @@ class MappingService:
                     ServiceError(f"read {request.name!r} lost to faults: {cause}"),
                 )
             else:
-                self._resolve(request, entry, cached=False)
+                self._resolve(request, entry, cached=False, degraded=degraded)
         self.metrics.batches_total.inc()
         self.metrics.cache_size.set(len(self.cache))
         elapsed = time.perf_counter() - t0

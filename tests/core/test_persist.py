@@ -1,12 +1,59 @@
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import JEMConfig, JEMMapper
-from repro.core.persist import INDEX_FORMAT_VERSION, load_index, save_index
-from repro.errors import MappingError
+from repro.core.persist import (
+    INDEX_FORMAT_VERSION,
+    _content_checksum,
+    load_index,
+    save_index,
+)
+from repro.errors import IndexCorruptError, MappingError
 
 
 CFG = JEMConfig(k=12, w=20, ell=500, trials=7, seed=31)
+
+#: Relative positions spanning the whole bundle: header, member data,
+#: central directory, and the very tail.
+BOUNDARIES = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999)
+
+
+def _saved_bundle(tmp_path, contigs) -> str:
+    mapper = JEMMapper(CFG)
+    mapper.index(contigs)
+    return save_index(mapper, tmp_path / "idx")
+
+
+def _v2_bundle(tmp_path, contigs) -> str:
+    """A legacy v2 bundle (packed uint64 keys) built by hand."""
+    mapper = JEMMapper(CFG)
+    mapper.index(contigs)
+    store = mapper.table
+    keys = [
+        np.asarray(store.trial_keys(t), dtype=np.uint64)
+        for t in range(store.trials)
+    ]
+    config_arr = np.array(
+        [CFG.k, CFG.w, CFG.ell, CFG.trials, CFG.seed, CFG.min_hits],
+        dtype=np.int64,
+    )
+    names_arr = np.array(mapper.subject_names)
+    payload = {
+        "format_version": np.int64(2),
+        "config": config_arr,
+        "n_subjects": np.int64(store.n_subjects),
+        "subject_names": names_arr,
+        "checksum": np.uint32(
+            _content_checksum(config_arr, store.n_subjects, names_arr, keys)
+        ),
+    }
+    for t, k in enumerate(keys):
+        payload[f"trial_{t:03d}"] = k
+    path = str(tmp_path / "v2.npz")
+    np.savez_compressed(path, **payload)
+    return path
 
 
 def test_round_trip(tmp_path, tiling_contigs, clean_reads):
@@ -81,6 +128,104 @@ def test_missing_key_is_clear_error(tmp_path, tiling_contigs):
     np.savez_compressed(path, **payload)
     with pytest.raises(MappingError, match="corrupt"):
         load_index(path)
+
+
+@pytest.mark.parametrize("bundle", ["v3", "v2"])
+@pytest.mark.parametrize("fraction", BOUNDARIES)
+def test_truncation_at_every_boundary_is_typed_with_offset(
+    tmp_path, tiling_contigs, bundle, fraction
+):
+    build = _saved_bundle if bundle == "v3" else _v2_bundle
+    path = build(tmp_path, tiling_contigs)
+    raw = open(path, "rb").read()
+    cut = max(1, int(len(raw) * fraction))
+    with open(path, "wb") as fh:
+        fh.write(raw[:cut])
+    with pytest.raises(IndexCorruptError) as excinfo:
+        load_index(path)
+    # truncation kills the central directory: localised to the cut point
+    assert excinfo.value.path == path
+    assert excinfo.value.offset == cut
+    assert "rebuild the index" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("bundle", ["v3", "v2"])
+@pytest.mark.parametrize("fraction", BOUNDARIES)
+def test_bitflip_at_every_boundary_never_maps_silently_wrong(
+    tmp_path, tiling_contigs, bundle, fraction
+):
+    """A single flipped byte either raises typed or provably changed nothing.
+
+    Flips landing in zip bookkeeping (timestamps, attributes) decode to
+    the same content — those must load with trial columns bit-identical
+    to the pristine bundle.  Any flip that reaches decoded content must
+    surface as :class:`IndexCorruptError`, never a wrong mapping.
+    """
+    build = _saved_bundle if bundle == "v3" else _v2_bundle
+    path = build(tmp_path, tiling_contigs)
+    pristine = load_index(path)
+    raw = bytearray(open(path, "rb").read())
+    offset = min(int(len(raw) * fraction), len(raw) - 1)
+    raw[offset] ^= 0xFF
+    with open(path, "wb") as fh:
+        fh.write(bytes(raw))
+    try:
+        loaded = load_index(path)
+    except IndexCorruptError as exc:
+        assert exc.path == path
+    else:
+        assert loaded.config == pristine.config
+        assert loaded.subject_names == pristine.subject_names
+        for t in range(loaded.config.trials):
+            assert np.array_equal(
+                loaded.table.trial_keys(t), pristine.table.trial_keys(t)
+            )
+
+
+def test_member_bitflip_localises_to_an_offset(tmp_path, tiling_contigs):
+    path = _saved_bundle(tmp_path, tiling_contigs)
+    raw = bytearray(open(path, "rb").read())
+    raw[len(raw) // 2] ^= 0xFF  # inside some member's compressed data
+    with open(path, "wb") as fh:
+        fh.write(bytes(raw))
+    with pytest.raises(IndexCorruptError) as excinfo:
+        load_index(path)
+    assert isinstance(excinfo.value.offset, int)
+    assert 0 <= excinfo.value.offset <= len(raw)
+    assert "offset" in str(excinfo.value)
+
+
+def test_corrupt_v2_checksum_refuses_migration(tmp_path, tiling_contigs):
+    path = _v2_bundle(tmp_path, tiling_contigs)
+    with np.load(path) as data:
+        payload = {key: data[key] for key in data.files}
+    flipped = payload["trial_000"].copy()
+    flipped[0] ^= np.uint64(1)
+    payload["trial_000"] = flipped
+    np.savez_compressed(path, **payload)
+    with pytest.raises(IndexCorruptError, match="integrity"):
+        load_index(path)
+
+
+def test_save_is_atomic_and_tolerates_stale_tmp(tmp_path, tiling_contigs):
+    path = _saved_bundle(tmp_path, tiling_contigs)
+    first = load_index(path)
+    # a crashed earlier save can leave a stale tmp sibling behind
+    stale = path + ".tmp.99999"
+    with open(stale, "wb") as fh:
+        fh.write(b"half-written garbage")
+    loaded = load_index(path)  # the committed bundle is unaffected
+    assert loaded.subject_names == first.subject_names
+    # re-saving over the live bundle commits whole-file via rename
+    mapper = JEMMapper(CFG)
+    mapper.index(tiling_contigs)
+    save_index(mapper, path)
+    assert load_index(path).subject_names == first.subject_names
+    assert not [
+        name
+        for name in os.listdir(os.path.dirname(path))
+        if ".tmp." in name and name != os.path.basename(stale)
+    ]
 
 
 def test_version_check(tmp_path, tiling_contigs):

@@ -293,6 +293,27 @@ def test_retry_schedule_deterministic():
     assert list(policy.delays(stream=3)) != list(policy.delays(stream=4))
 
 
+def test_retry_jitter_from_explicit_generator():
+    """Two policies built from same-seed Generators share one schedule."""
+    make = lambda: RetryPolicy(  # noqa: E731 - tiny local factory
+        max_attempts=4, base_delay=0.1, jitter=0.5,
+        rng=np.random.default_rng(42),
+    )
+    a, b = make(), make()
+    for stream in range(4):
+        assert list(a.delays(stream=stream)) == list(b.delays(stream=stream))
+    other = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.5,
+                        rng=np.random.default_rng(43))
+    assert list(a.delays()) != list(other.delays())
+
+
+def test_retry_seed_and_rng_are_mutually_exclusive():
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError, match="not both"):
+        RetryPolicy(seed=5, rng=np.random.default_rng(1))
+
+
 def test_retry_backoff_grows_and_caps():
     policy = RetryPolicy(max_attempts=5, base_delay=0.1, backoff=2.0,
                          max_delay=0.25, jitter=0.0)

@@ -1,0 +1,165 @@
+"""CheckpointLog framing, torn-tail replay, unit payloads, manifests.
+
+The durability contract under test: after ``append`` returns, the record
+survives any crash; a torn or corrupted tail is *discarded* on replay
+(never an error); a unit payload that fails its CRC reads as "not done"
+so the unit is recomputed rather than trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.mapper import MappingResult
+from repro.core.segments import PREFIX, SUFFIX, SegmentInfo
+from repro.errors import CheckpointError
+from repro.resilience import CheckpointContext, CheckpointLog, RunManifest
+from repro.resilience.checkpoint import LOG_NAME
+
+
+def log_path(tmp_path) -> str:
+    return str(tmp_path / LOG_NAME)
+
+
+class TestCheckpointLog:
+    def test_append_replay_roundtrip(self, tmp_path):
+        records = [{"phase": "sketch", "block": b, "crc32": 7 * b} for b in range(5)]
+        with CheckpointLog(log_path(tmp_path)) as log:
+            for record in records:
+                log.append(record)
+        assert CheckpointLog(log_path(tmp_path)).replay() == records
+
+    def test_replay_of_missing_file_is_empty(self, tmp_path):
+        assert CheckpointLog(log_path(tmp_path)).replay() == []
+
+    def test_garbage_tail_is_dropped_not_fatal(self, tmp_path):
+        with CheckpointLog(log_path(tmp_path)) as log:
+            log.append({"block": 0})
+            log.append({"block": 1})
+        with open(log_path(tmp_path), "ab") as fh:
+            fh.write(b"JMCK\x40\x00\x00\x00\x00\x00\x00\x00half-a-frame")
+        assert CheckpointLog(log_path(tmp_path)).replay() == [
+            {"block": 0}, {"block": 1},
+        ]
+
+    def test_truncation_loses_only_the_torn_record(self, tmp_path):
+        with CheckpointLog(log_path(tmp_path)) as log:
+            for b in range(4):
+                log.append({"block": b})
+        size = os.path.getsize(log_path(tmp_path))
+        with open(log_path(tmp_path), "r+b") as fh:
+            fh.truncate(size - 3)
+        replayed = CheckpointLog(log_path(tmp_path)).replay()
+        assert replayed == [{"block": b} for b in range(3)]
+
+    def test_midlog_bitflip_stops_replay_at_damage(self, tmp_path):
+        with CheckpointLog(log_path(tmp_path)) as log:
+            for b in range(4):
+                log.append({"block": b})
+        frame = struct.Struct("<4sII")
+        payload_len = len(json.dumps({"block": 0}, sort_keys=True).encode())
+        # flip one payload byte of record 2
+        offset = 2 * (frame.size + payload_len) + frame.size + 1
+        with open(log_path(tmp_path), "r+b") as fh:
+            fh.seek(offset)
+            byte = fh.read(1)
+            fh.seek(offset)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        assert CheckpointLog(log_path(tmp_path)).replay() == [
+            {"block": 0}, {"block": 1},
+        ]
+
+
+class TestCheckpointContext:
+    def test_sketch_payload_roundtrip(self, tmp_path):
+        keys = [np.array([1, 5, 9], dtype=np.uint64),
+                np.array([2, 4], dtype=np.uint64)]
+        with CheckpointContext(str(tmp_path)) as ctx:
+            assert ctx.sketch_result(0) is None
+            ctx.save_sketch(0, keys)
+        with CheckpointContext(str(tmp_path)) as ctx:
+            assert ctx.completed_units("sketch") == [0]
+            loaded = ctx.sketch_result(0)
+        assert all(np.array_equal(a, b) for a, b in zip(loaded, keys))
+
+    def test_mapping_payload_roundtrip(self, tmp_path):
+        result = MappingResult(
+            segment_names=["r0/prefix", "r0/suffix"],
+            subject=np.array([2, -1], dtype=np.int64),
+            hit_count=np.array([5, 0], dtype=np.int64),
+            infos=[SegmentInfo(0, PREFIX), SegmentInfo(0, SUFFIX)],
+        )
+        with CheckpointContext(str(tmp_path)) as ctx:
+            ctx.save_mapping(3, result)
+        with CheckpointContext(str(tmp_path)) as ctx:
+            loaded = ctx.mapping_result(3)
+        assert loaded.segment_names == result.segment_names
+        assert np.array_equal(loaded.subject, result.subject)
+        assert np.array_equal(loaded.hit_count, result.hit_count)
+        assert loaded.infos == result.infos
+
+    def test_corrupt_unit_payload_reads_as_not_done(self, tmp_path):
+        with CheckpointContext(str(tmp_path)) as ctx:
+            ctx.save_sketch(0, [np.arange(8, dtype=np.uint64)])
+        unit = tmp_path / "units" / "sketch_0000.npz"
+        raw = bytearray(unit.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        unit.write_bytes(bytes(raw))
+        with CheckpointContext(str(tmp_path)) as ctx:
+            # the log says "done" but the payload fails its CRC: recompute
+            assert ctx.completed_units("sketch") == [0]
+            assert ctx.sketch_result(0) is None
+
+    def test_missing_unit_payload_reads_as_not_done(self, tmp_path):
+        with CheckpointContext(str(tmp_path)) as ctx:
+            ctx.save_sketch(1, [np.arange(4, dtype=np.uint64)])
+        os.unlink(tmp_path / "units" / "sketch_0001.npz")
+        with CheckpointContext(str(tmp_path)) as ctx:
+            assert ctx.sketch_result(1) is None
+
+
+class TestRunManifest:
+    def manifest(self, **overrides) -> RunManifest:
+        base = dict(
+            command="map",
+            pipeline={"mapper": "jem", "jem_k": 16},
+            units={"mode": "simulated", "map_blocks": 4},
+            inputs={"reads": {"n": 20, "crc32": 123}},
+        )
+        base.update(overrides)
+        return RunManifest(**base)
+
+    def test_identical_manifest_resumes(self, tmp_path):
+        with CheckpointContext(str(tmp_path)) as ctx:
+            ctx.ensure_manifest(self.manifest())
+        with CheckpointContext(str(tmp_path)) as ctx:
+            ctx.ensure_manifest(self.manifest())  # no raise
+
+    @pytest.mark.parametrize(
+        "overrides, expected",
+        [
+            ({"command": "index"}, "command"),
+            ({"pipeline": {"mapper": "jem", "jem_k": 12}}, "pipeline.jem_k"),
+            ({"units": {"mode": "simulated", "map_blocks": 8}}, "units.map_blocks"),
+            ({"inputs": {"reads": {"n": 21, "crc32": 9}}}, "inputs.reads"),
+        ],
+    )
+    def test_mismatched_manifest_refused(self, tmp_path, overrides, expected):
+        with CheckpointContext(str(tmp_path)) as ctx:
+            ctx.ensure_manifest(self.manifest())
+        with CheckpointContext(str(tmp_path)) as ctx:
+            with pytest.raises(CheckpointError, match=expected):
+                ctx.ensure_manifest(self.manifest(**overrides))
+
+    def test_unreadable_manifest_is_typed(self, tmp_path):
+        with CheckpointContext(str(tmp_path)) as ctx:
+            ctx.ensure_manifest(self.manifest())
+        (tmp_path / "manifest.json").write_text("{not json")
+        with CheckpointContext(str(tmp_path)) as ctx:
+            with pytest.raises(CheckpointError, match="unreadable"):
+                ctx.load_manifest()

@@ -37,6 +37,59 @@ class TestAdmissionQueue:
         assert exc_info.value.retry_after == pytest.approx(0.25)
         assert q.depth == 2  # rejected item was not admitted
 
+    def test_drain_vs_shutdown_race_never_hangs_or_drops(self):
+        """Producers race close() mid-drain: every put() resolves — either a
+        depth (and the item is drained) or a typed rejection — and the
+        consumer terminates.  Nothing hangs, nothing is silently lost."""
+        q = AdmissionQueue(16)
+        accepted, rejected, drained = [], [], []
+        lock = threading.Lock()
+        start = threading.Barrier(9)
+
+        def produce(rank):
+            start.wait()
+            for i in range(50):
+                item = (rank, i)
+                try:
+                    q.put(item)
+                except (ServiceClosedError, ServiceOverloadError) as exc:
+                    with lock:
+                        rejected.append((item, type(exc)))
+                else:
+                    with lock:
+                        accepted.append(item)
+
+        def consume():
+            start.wait()
+            while True:
+                batch = q.take_batch(4, 0.005)
+                drained.extend(batch)
+                if not batch and q.closed:
+                    return
+
+        def shutdown():
+            start.wait()
+            time.sleep(0.002)  # land mid-traffic
+            q.close()
+
+        threads = [threading.Thread(target=produce, args=(r,)) for r in range(6)]
+        threads += [threading.Thread(target=consume), threading.Thread(target=shutdown)]
+        for t in threads:
+            t.start()
+        start.wait()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive(), "a participant hung in the race"
+        # every put resolved one way or the other
+        assert len(accepted) + len(rejected) == 6 * 50
+        # each accepted item was drained exactly once, order preserved per rank
+        assert sorted(drained) == sorted(accepted)
+        assert all(exc in (ServiceClosedError, ServiceOverloadError)
+                   for _, exc in rejected)
+        # the queue stayed closed and empty afterwards
+        assert q.closed and q.depth == 0
+        assert q.take_batch(4, 0.0) == []
+
     def test_closed_queue_rejects_new_but_drains_old(self):
         q = AdmissionQueue(4)
         q.put("a")

@@ -1,0 +1,242 @@
+"""Service self-healing: breaker routing, deadline shedding, watchdog.
+
+The scenario behind the design: every worker dies and stays dead.  The
+service must fail the affected batch *typed* (never hang), flip
+readiness, open the breaker, keep answering through the degraded
+single-trial path, and — once the workers heal — recover through one
+half-open probe and report it in the metrics.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro import JEMConfig, JEMMapper
+from repro.errors import DeadlineExceededError, ReproError, ServiceError
+from repro.parallel.faults import FaultPlan
+from repro.resilience import ResilientWorkerPool
+from repro.service import MappingService, ServiceConfig, serve_loop
+from repro.service.health import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+CONFIG = JEMConfig(k=12, w=20, ell=500, trials=6, seed=99)
+
+BREAKER_CFG = ServiceConfig(
+    processes=2,
+    strict=False,
+    breaker_failures=1,
+    breaker_window=4,
+    breaker_cooldown_batches=1,
+    max_batch_size=4,
+    max_wait_ms=1.0,
+    cache_capacity=0,
+)
+
+
+def wait_until(predicate, timeout=10.0, interval=0.02) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestCircuitBreakerUnit:
+    def test_disabled_breaker_never_routes(self):
+        breaker = CircuitBreaker(failure_threshold=0)
+        for _ in range(10):
+            assert breaker.record_failure() is None
+            assert breaker.decide() == "primary"
+        assert breaker.state == CLOSED
+
+    def test_opens_at_threshold_within_window(self):
+        breaker = CircuitBreaker(window=4, failure_threshold=2)
+        assert breaker.record_failure() is None
+        assert breaker.record_failure() == "opened"
+        assert breaker.state == OPEN
+
+    def test_window_forgets_old_failures(self):
+        breaker = CircuitBreaker(window=3, failure_threshold=2)
+        breaker.record_failure()
+        for _ in range(3):  # pushes the failure out of the window
+            breaker.record_success()
+        assert breaker.record_failure() is None
+        assert breaker.state == CLOSED
+
+    def test_cooldown_then_half_open_probe_recovers(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_batches=2)
+        assert breaker.record_failure() == "opened"
+        assert breaker.decide() == "degraded"
+        assert breaker.decide() == "degraded"
+        assert breaker.decide() == "primary"  # the half-open probe
+        assert breaker.state == HALF_OPEN
+        assert breaker.record_success() == "recovered"
+        assert breaker.state == CLOSED
+
+    def test_failed_probe_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_batches=1)
+        breaker.record_failure()
+        breaker.decide()  # degraded cooldown
+        assert breaker.decide() == "primary"
+        assert breaker.record_failure() == "opened"
+        assert breaker.state == OPEN
+
+
+class TestBreakerEndToEnd:
+    def test_dead_pool_opens_breaker_degrades_then_recovers(
+        self, tiling_contigs, clean_reads
+    ):
+        plan = FaultPlan.kill_all_workers(2, once=False)
+        with MappingService.from_contigs(
+            tiling_contigs, CONFIG, BREAKER_CFG, faults=plan
+        ) as service:
+            # 1. every rank dead and no donor alive: the batch fails TYPED
+            with pytest.raises(ServiceError, match="lost to faults"):
+                service.submit("r0", clean_reads.codes_of(0)).result(60)
+            assert service.breaker.state == OPEN
+            assert service.metrics.breaker_open_total.value == 1
+            health = service.healthz()
+            assert health["live"] and not health["ready"]
+            assert health["breaker"] == OPEN
+
+            # 2. while open, reads are answered degraded (single-trial)
+            degraded = service.submit("r1", clean_reads.codes_of(1)).result(60)
+            assert degraded.degraded is True
+            assert service.metrics.degraded_total.value >= 1
+            assert service.breaker.state == OPEN
+
+            # 3. workers heal; the half-open probe closes the breaker
+            service.set_fault_plan(None)
+            recovered = service.submit("r2", clean_reads.codes_of(2)).result(60)
+            assert recovered.degraded is False
+            assert service.breaker.state == CLOSED
+            assert service.metrics.recovered_total.value == 1
+            assert service.healthz()["ready"] is True
+
+            # 4. recovered results match the sequential mapper bit for bit
+            sequential = JEMMapper(CONFIG)
+            sequential.index(tiling_contigs)
+            expected = sequential.map_reads(clean_reads)
+            result = service.map_reads(clean_reads)
+            assert list(result.subject) == list(expected.subject)
+            assert list(result.hit_count) == list(expected.hit_count)
+
+    def test_no_request_hangs_under_total_worker_loss(
+        self, tiling_contigs, clean_reads
+    ):
+        plan = FaultPlan.kill_all_workers(2, once=False)
+        with MappingService.from_contigs(
+            tiling_contigs, CONFIG, BREAKER_CFG, faults=plan
+        ) as service:
+            futures = [
+                service.submit(clean_reads.names[i], clean_reads.codes_of(i))
+                for i in range(len(clean_reads))
+            ]
+            outcomes = []
+            for future in futures:
+                try:
+                    outcomes.append(future.result(60))
+                except ReproError as exc:  # typed rejection, not a hang
+                    outcomes.append(exc)
+            assert len(outcomes) == len(clean_reads)
+
+    def test_degraded_results_are_not_cached(self, tiling_contigs, clean_reads):
+        cfg = ServiceConfig(
+            processes=2, strict=False, breaker_failures=1,
+            breaker_cooldown_batches=8, cache_capacity=64,
+        )
+        plan = FaultPlan.kill_all_workers(2, once=False)
+        with MappingService.from_contigs(
+            tiling_contigs, CONFIG, cfg, faults=plan
+        ) as service:
+            with pytest.raises(ServiceError):
+                service.submit("r0", clean_reads.codes_of(0)).result(60)
+            degraded = service.submit("dup", clean_reads.codes_of(1)).result(60)
+            assert degraded.degraded
+            assert len(service.cache) == 0
+            again = service.submit("dup", clean_reads.codes_of(1)).result(60)
+            assert again.degraded and not again.cached
+
+
+class TestDeadlineShedding:
+    def test_expired_request_is_shed_before_dispatch(self, tiling_contigs, clean_reads):
+        mapper = JEMMapper(CONFIG)
+        mapper.index(tiling_contigs)
+        service = MappingService(mapper, ServiceConfig(), auto_start=False)
+        doomed = service.submit("late", clean_reads.codes_of(0), deadline_s=0.02)
+        fine = service.submit("fine", clean_reads.codes_of(1))
+        time.sleep(0.1)  # the deadline expires while still queued
+        service.start()
+        try:
+            with pytest.raises(DeadlineExceededError, match="shed") as info:
+                doomed.result(30)
+            assert info.value.elapsed >= 0.02
+            assert fine.result(30).subject is not None
+            assert service.metrics.shed_total.value == 1
+            assert service.metrics.errors_total.value == 0
+        finally:
+            service.drain()
+
+    def test_unexpired_deadline_maps_normally(self, tiling_contigs, clean_reads):
+        with MappingService.from_contigs(tiling_contigs, CONFIG) as service:
+            mapping = service.submit(
+                "r0", clean_reads.codes_of(0), deadline_s=30.0
+            ).result(30)
+            assert mapping.degraded is False
+            assert service.metrics.shed_total.value == 0
+
+    def test_nonpositive_deadline_rejected(self, tiling_contigs, clean_reads):
+        with MappingService.from_contigs(tiling_contigs, CONFIG) as service:
+            with pytest.raises(ServiceError, match="deadline_s"):
+                service.submit("r0", clean_reads.codes_of(0), deadline_s=0.0)
+
+
+class TestHealthSurface:
+    def test_healthz_lifecycle(self, tiling_contigs):
+        service = MappingService.from_contigs(tiling_contigs, CONFIG)
+        health = service.healthz()
+        assert health == {
+            "live": True, "ready": True, "draining": False,
+            "breaker": CLOSED, "queue_depth": 0,
+        }
+        assert service.metrics.ready.value == 1.0
+        service.drain()
+        health = service.healthz()
+        assert health["live"] is False and health["ready"] is False
+        assert service.metrics.ready.value == 0.0
+
+    def test_protocol_health_op(self, tiling_contigs):
+        service = MappingService.from_contigs(tiling_contigs, CONFIG)
+        out = io.StringIO()
+        serve_loop(
+            service, io.StringIO('{"op": "health"}\n{"op": "ping"}\n'), out
+        )
+        lines = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert lines[0]["op"] == "health"
+        assert lines[0]["live"] is True and lines[0]["ready"] is True
+        assert lines[0]["breaker"] == CLOSED
+        assert lines[1] == {"op": "pong"}
+        assert lines[-1]["op"] == "drained"
+
+
+class TestWatchdog:
+    def test_watchdog_rebuilds_killed_pool(self, tiling_contigs):
+        mapper = JEMMapper(CONFIG)
+        mapper.index(tiling_contigs)
+        cfg = ServiceConfig(watchdog_interval_ms=20.0)
+        service = MappingService(mapper, cfg)
+        try:
+            pool = ResilientWorkerPool(mapper.table, "columnar", processes=2)
+            service.attach_pool(pool)
+            assert wait_until(lambda: service.healthz()["pool"]["healthy"])
+            pool.kill_workers()
+            assert wait_until(lambda: pool.rebuilds >= 1), "watchdog never rebuilt"
+            assert wait_until(lambda: service.healthz()["pool"]["healthy"])
+            assert service.metrics.pool_rebuilds_total.value >= 1
+        finally:
+            service.drain()
+        assert not pool.healthy()  # drain closed the pool with the service
