@@ -228,6 +228,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--index", help="saved JEM index (alternative to -s)")
     p_serve.add_argument("--on-error", choices=("raise", "skip"), default="raise",
                          help="contig parser policy")
+    p_serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                         help="serve the NDJSON protocol over TCP instead of "
+                              "stdin/stdout; port 0 picks a free port "
+                              "(see docs/serving.md)")
+    p_serve.add_argument("--replicas", type=int, default=1,
+                         help="mapping service workers behind --listen "
+                              "(default 1)")
+    p_serve.add_argument("--placement", choices=("scatter", "replicate"),
+                         default="scatter",
+                         help="replica index ownership: scatter = key-range "
+                              "shards + central vote, replicate = full copies "
+                              "+ round-robin (default scatter)")
+    p_serve.add_argument("--tenant-quota", type=int, default=None,
+                         help="max in-flight maps per tenant tag across all "
+                              "connections (default: unlimited)")
     _add_config_args(p_serve)
     _add_store_arg(p_serve)
     _add_service_args(p_serve)
@@ -246,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_client.add_argument("--server-cmd", default=None,
                           help="shell command for the server (default: spawn "
                                "`%(prog)s serve` with the matching flags)")
+    p_client.add_argument("--connect", default=None, metavar="HOST:PORT",
+                          help="connect to a running `jem serve --listen` "
+                               "server instead of spawning a pipe-mode one")
     _add_config_args(p_client)
     _add_store_arg(p_client)
     _add_service_args(p_client)
@@ -437,6 +455,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     t0 = time.perf_counter()
     engine = _engine_from(args)
+    if args.listen is not None:
+        return _serve_listen(args, engine, t0)
     service = engine.service(_service_config_from(args))
     mapper = engine.mapper
     print(
@@ -457,47 +477,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_client(args: argparse.Namespace) -> int:
+def _serve_listen(args: argparse.Namespace, engine: MappingEngine, t0: float) -> int:
+    """``jem serve --listen``: asyncio TCP front-end over a replica set."""
+    import asyncio
+    import contextlib
     import json
-    import shlex
-    import subprocess
+    import signal
 
-    from .service import stream_reads
+    from .netserve import NetFrontend, ReplicaSet, make_placement, parse_hostport
 
-    if args.server_cmd is None and not _require_one_source(args):
-        return 2
-    queries = read_sequences(args.queries, on_error=args.on_error)
-    if args.server_cmd is not None:
-        command = shlex.split(args.server_cmd)
-    else:
-        command = [sys.executable, "-m", "repro.cli", "serve"]
-        command += ["--index", args.index] if args.index else ["-s", args.subjects]
-        command += [
-            "--k", str(args.k), "--w", str(args.w), "--ell", str(args.ell),
-            "--trials", str(args.trials), "--seed", str(args.seed),
-            "--store", args.store,
-            "--max-batch", str(args.max_batch),
-            "--max-wait-ms", str(args.max_wait_ms),
-            "--queue-capacity", str(args.queue_capacity),
-            "--cache-capacity", str(args.cache_capacity),
-            "--processes", str(args.processes),
-            "--strict" if args.strict else "--no-strict",
-        ]
-        if args.inject_faults is not None:
-            command += ["--inject-faults", str(args.inject_faults)]
-    t0 = time.perf_counter()
-    proc = subprocess.Popen(
-        command, stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True
+    host, port = parse_hostport(args.listen)
+    placement = make_placement(args.placement, args.replicas)
+    replica_set = ReplicaSet.from_engine(
+        engine, placement, _service_config_from(args)
     )
+    frontend = NetFrontend(
+        replica_set, host=host, port=port, tenant_quota=args.tenant_quota
+    )
+
+    async def main() -> None:
+        bound_host, bound_port = await frontend.start()
+        # machine-parseable banner: CI and tests discover port 0 from it
+        print(
+            f"# jem-netserve listening on {bound_host}:{bound_port} "
+            f"({placement.kind} x{placement.n_replicas}, "
+            f"{len(replica_set.subject_names)} contigs, "
+            f"ready in {time.perf_counter() - t0:.2f}s)",
+            file=sys.stderr,
+            flush=True,
+        )
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, stop_requested.set)
+        await stop_requested.wait()
+        await frontend.stop()
+
     try:
-        stats = stream_reads(queries, proc)
+        asyncio.run(main())
     finally:
-        if proc.poll() is None:
-            try:
-                proc.wait(timeout=30)
-            except subprocess.TimeoutExpired:
-                proc.kill()
-    elapsed = time.perf_counter() - t0
+        replica_set.drain()
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(replica_set.metrics_snapshot(), fh, indent=2)
+    print("# jem-netserve stopped", file=sys.stderr)
+    return 0
+
+
+def _client_report(args: argparse.Namespace, queries, stats, elapsed: float) -> int:
+    """Write the client TSV + summary for any transport (pipe or socket)."""
+    import json
+
     out = sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
     mapped_segments = 0
     total_segments = 0
@@ -533,6 +564,60 @@ def _cmd_client(args: argparse.Namespace) -> int:
     if not drained or stats.errors:
         return 1
     return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import shlex
+    import subprocess
+
+    from .service import stream_reads
+
+    if (
+        args.server_cmd is None
+        and args.connect is None
+        and not _require_one_source(args)
+    ):
+        return 2
+    queries = read_sequences(args.queries, on_error=args.on_error)
+    if args.connect is not None:
+        from .netserve import parse_hostport
+        from .service import SocketTransport, run_session
+
+        host, port = parse_hostport(args.connect)
+        t0 = time.perf_counter()
+        stats = run_session(queries, SocketTransport.connect(host, port))
+        return _client_report(args, queries, stats, time.perf_counter() - t0)
+    if args.server_cmd is not None:
+        command = shlex.split(args.server_cmd)
+    else:
+        command = [sys.executable, "-m", "repro.cli", "serve"]
+        command += ["--index", args.index] if args.index else ["-s", args.subjects]
+        command += [
+            "--k", str(args.k), "--w", str(args.w), "--ell", str(args.ell),
+            "--trials", str(args.trials), "--seed", str(args.seed),
+            "--store", args.store,
+            "--max-batch", str(args.max_batch),
+            "--max-wait-ms", str(args.max_wait_ms),
+            "--queue-capacity", str(args.queue_capacity),
+            "--cache-capacity", str(args.cache_capacity),
+            "--processes", str(args.processes),
+            "--strict" if args.strict else "--no-strict",
+        ]
+        if args.inject_faults is not None:
+            command += ["--inject-faults", str(args.inject_faults)]
+    t0 = time.perf_counter()
+    proc = subprocess.Popen(
+        command, stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True
+    )
+    try:
+        stats = stream_reads(queries, proc)
+    finally:
+        if proc.poll() is None:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    return _client_report(args, queries, stats, time.perf_counter() - t0)
 
 
 def _chaos_fingerprint(target: str, path: str):

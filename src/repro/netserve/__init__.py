@@ -1,0 +1,42 @@
+"""repro.netserve — concurrent network serving over replicated shard workers.
+
+The network tier on top of :mod:`repro.service`: an asyncio TCP front-end
+(:class:`NetFrontend`) speaks the existing NDJSON protocol to many
+concurrent clients with per-client fairness and optional per-tenant
+quotas, and hands every read to a :class:`ReplicaSet` — N
+:class:`~repro.service.MappingService` workers whose index ownership is
+decided by a pluggable :class:`PlacementPolicy`:
+
+* ``scatter`` — each replica owns one key-range shard of the columnar
+  store (``ColumnarSketchStore.shard`` + shm ``export_columns``); a
+  scatter/gather router fans per-trial lookups to shard owners and runs
+  the vote centrally, bit-identical to single-session serving.
+* ``replicate`` — every replica attaches the full store from one shared
+  segment; whole reads round-robin across healthy replicas.
+
+See ``docs/serving.md`` for the topology and lifecycle contracts.
+"""
+
+from .frontend import NetFrontend, parse_hostport
+from .placement import (
+    FULL_RANGE,
+    PlacementPolicy,
+    ReplicatedPlacement,
+    ScatterPlacement,
+    make_placement,
+)
+from .replica import Replica, ReplicaSet
+from .router import ScatterGatherStore
+
+__all__ = [
+    "NetFrontend",
+    "parse_hostport",
+    "PlacementPolicy",
+    "ScatterPlacement",
+    "ReplicatedPlacement",
+    "make_placement",
+    "FULL_RANGE",
+    "Replica",
+    "ReplicaSet",
+    "ScatterGatherStore",
+]

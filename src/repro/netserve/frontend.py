@@ -1,0 +1,382 @@
+"""Asyncio TCP front-end: the NDJSON protocol over many connections.
+
+One event loop multiplexes every client:
+
+* a per-connection **reader** task parses NDJSON lines into the
+  connection's intake queue (``health`` is answered immediately, off the
+  ordered path, so probes never wait behind a slow batch);
+* one global **dispatcher** task drains intakes round-robin, at most
+  ``fair_chunk`` messages per connection per cycle — per-client fairness:
+  a firehose client cannot starve a trickle client's admissions;
+* a per-connection **writer** task emits responses *in request order*
+  (the protocol's transcript-determinism contract), awaiting each
+  mapping's completion as it reaches the head of the line.
+
+Thread boundary: the backend (:class:`~repro.netserve.ReplicaSet` or a
+bare :class:`~repro.service.MappingService`) completes futures on its
+scheduler threads; ``MapFuture.add_done_callback`` +
+``loop.call_soon_threadsafe`` bridge each completion to an
+``asyncio.Future``, so no executor thread is parked per in-flight
+request.
+
+Backpressure is layered: the admission queue rejects in-band with
+``retry_after`` (same as pipe mode); a connection with ``max_pending``
+unanswered maps stops being read (TCP pushes back); an optional
+**per-tenant quota** caps in-flight maps per ``tenant`` tag across all
+connections, rejecting the excess in-band so one tenant cannot occupy
+the whole admission queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import ReproError, ServiceOverloadError
+from ..service.protocol import MAX_PENDING, response_for_mapping
+from ..service.queue import MapFuture
+
+__all__ = ["NetFrontend", "parse_hostport"]
+
+#: Messages the dispatcher drains from one connection per fairness cycle.
+FAIR_CHUNK = 16
+
+#: retry hint for tenant-quota rejections (the tenant's own responses
+#: drain the quota, so a short client-side pause is enough).
+TENANT_RETRY_S = 0.05
+
+
+def parse_hostport(spec: str, *, default_host: str = "127.0.0.1") -> tuple[str, int]:
+    """``HOST:PORT`` / ``:PORT`` / ``PORT`` → (host, port)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        host, port = default_host, spec
+    if not host:
+        host = default_host
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ReproError(f"bad listen address {spec!r}: {exc}") from None
+
+
+@dataclass
+class _Connection:
+    """Per-client state shared by the reader/dispatcher/writer tasks."""
+
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    intake: deque = field(default_factory=deque)
+    #: ordered responses: ("map", header, afut, tenant) | ("ready", dict)
+    #: | ("metrics",) | ("drain",)
+    pending: asyncio.Queue = field(default_factory=asyncio.Queue)
+    outstanding: int = 0  # dispatched maps not yet written
+    resume_read: asyncio.Event = field(default_factory=asyncio.Event)
+    mapped: int = 0
+    errors: int = 0
+    rejected: int = 0
+    closed: bool = False
+
+    def send_json(self, obj: dict) -> None:
+        # whole lines only: StreamWriter.write is a synchronous buffer
+        # append, so health replies interleave safely with the writer task
+        self.writer.write((json.dumps(obj) + "\n").encode("utf-8"))
+
+
+class NetFrontend:
+    """Serve the NDJSON protocol on TCP over a submit/healthz/metrics backend.
+
+    ``backend`` needs ``submit(name, seq, *, deadline_s) -> MapFuture``,
+    ``healthz() -> dict``, and ``metrics_snapshot() -> dict`` — satisfied
+    by :class:`~repro.netserve.ReplicaSet`; a single
+    :class:`~repro.service.MappingService` works too when wrapped with a
+    ``metrics_snapshot`` adapter (see ``jem serve --listen --replicas 1``).
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tenant_quota: int | None = None,
+        fair_chunk: int = FAIR_CHUNK,
+        max_pending: int = MAX_PENDING,
+    ) -> None:
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ReproError(f"tenant_quota must be >= 1, got {tenant_quota}")
+        self.backend = backend
+        self.host = host
+        self.port = int(port)
+        self.tenant_quota = tenant_quota
+        self.fair_chunk = int(fair_chunk)
+        self.max_pending = int(max_pending)
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._handlers: set[asyncio.Task] = set()
+        self._connections: list[_Connection] = []
+        self._tenant_inflight: dict[str, int] = {}
+        self._dispatch_wake = asyncio.Event()
+        self._dispatcher: asyncio.Task | None = None
+        self._stopping = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the actual (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="jem-net-dispatch"
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._stopping.wait()
+
+    async def stop(self, *, session_grace_s: float = 10.0) -> None:
+        """Stop accepting, let open sessions finish their pending work."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._connections):
+            with contextlib.suppress(Exception):
+                conn.writer.close()  # readers see EOF, sessions drain out
+        if self._handlers:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    asyncio.gather(*list(self._handlers), return_exceptions=True),
+                    session_grace_s,
+                )
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._dispatcher
+        self._stopping.set()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(reader=reader, writer=writer)
+        conn.resume_read.set()
+        self._connections.append(conn)
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        writer_task = asyncio.create_task(self._write_loop(conn))
+        try:
+            await self._read_loop(conn)
+        finally:
+            conn.intake.append(("drain",))
+            self._dispatch_wake.set()
+            await writer_task
+            self._connections.remove(conn)
+            with contextlib.suppress(ConnectionError):
+                conn.writer.close()
+                await conn.writer.wait_closed()
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        while True:
+            await conn.resume_read.wait()  # pending-cap backpressure
+            try:
+                line = await conn.reader.readline()
+            except ConnectionError:
+                return
+            if not line:  # EOF = implicit drain, as in pipe mode
+                return
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                message = json.loads(line)
+                op = message.get("op", "map")
+            except (json.JSONDecodeError, AttributeError) as exc:
+                conn.send_json({"error": f"bad request line: {exc}"})
+                continue
+            if op == "health":
+                # immediate, off the ordered path: probes never queue
+                conn.send_json({"op": "health", **self.backend.healthz()})
+                await self._drain_writer(conn)
+            elif op == "drain":
+                conn.intake.append(("drain",))
+                self._dispatch_wake.set()
+                return
+            elif op in ("map", "ping", "metrics"):
+                conn.intake.append(("msg", message))
+                self._dispatch_wake.set()
+            else:
+                conn.send_json({"error": f"unknown op {op!r}"})
+                await self._drain_writer(conn)
+
+    @staticmethod
+    async def _drain_writer(conn: _Connection) -> None:
+        with contextlib.suppress(ConnectionError):
+            await conn.writer.drain()
+
+    # -- fair dispatch -------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Round-robin drain across connection intakes — per-client fairness."""
+        while True:
+            progressed = False
+            for conn in list(self._connections):
+                if conn.closed:
+                    continue
+                for _ in range(self.fair_chunk):
+                    if not conn.intake:
+                        break
+                    entry = conn.intake.popleft()
+                    progressed = True
+                    if entry[0] == "drain":
+                        conn.closed = True
+                        conn.pending.put_nowait(("drain",))
+                        break
+                    self._dispatch_message(conn, entry[1])
+            if not progressed:
+                self._dispatch_wake.clear()
+                if not any(
+                    c.intake for c in self._connections if not c.closed
+                ):
+                    await self._dispatch_wake.wait()
+
+    def _dispatch_message(self, conn: _Connection, message: dict) -> None:
+        op = message.get("op", "map")
+        if op == "ping":
+            # ordered behind earlier maps: pong only after they are written
+            conn.pending.put_nowait(("ready", {"op": "pong"}))
+            return
+        if op == "metrics":
+            # snapshot taken at *write* time, after earlier maps resolved
+            conn.pending.put_nowait(("metrics",))
+            return
+        header = {"id": message.get("id"), "name": message.get("name", "")}
+        tenant = str(message.get("tenant", ""))
+        if (
+            self.tenant_quota is not None
+            and self._tenant_inflight.get(tenant, 0) >= self.tenant_quota
+        ):
+            conn.pending.put_nowait((
+                "ready",
+                {**header, "error": "overloaded",
+                 "retry_after": TENANT_RETRY_S, "tenant": tenant or None},
+            ))
+            conn.rejected += 1
+            return
+        deadline_ms = message.get("deadline_ms")
+        try:
+            future = self.backend.submit(
+                header["name"] or "read",
+                message.get("seq", ""),
+                deadline_s=(
+                    float(deadline_ms) / 1000.0 if deadline_ms is not None else None
+                ),
+            )
+        except ServiceOverloadError as exc:
+            conn.pending.put_nowait((
+                "ready",
+                {**header, "error": "overloaded", "retry_after": exc.retry_after},
+            ))
+            conn.rejected += 1
+            return
+        except ReproError as exc:
+            conn.pending.put_nowait(("ready", {**header, "error": str(exc)}))
+            conn.errors += 1
+            return
+        self._tenant_inflight[tenant] = self._tenant_inflight.get(tenant, 0) + 1
+        conn.outstanding += 1
+        if conn.outstanding >= self.max_pending:
+            conn.resume_read.clear()
+        conn.pending.put_nowait(("map", header, self._bridge(future), tenant))
+
+    def _bridge(self, future: MapFuture) -> asyncio.Future:
+        """Thread-side MapFuture completion → loop-side asyncio.Future."""
+        loop = asyncio.get_running_loop()
+        afut: asyncio.Future = loop.create_future()
+
+        def transfer(done: MapFuture) -> None:
+            try:
+                result = done.result()
+            except BaseException as exc:  # noqa: BLE001 - re-raised loop-side
+                loop.call_soon_threadsafe(self._complete, afut, None, exc)
+            else:
+                loop.call_soon_threadsafe(self._complete, afut, result, None)
+
+        future.add_done_callback(transfer)
+        return afut
+
+    @staticmethod
+    def _complete(afut: asyncio.Future, result, exc: BaseException | None) -> None:
+        if afut.done():  # the session died while the mapping was in flight
+            return
+        if exc is not None:
+            afut.set_exception(exc)
+        else:
+            afut.set_result(result)
+
+    # -- ordered response writing --------------------------------------------
+
+    async def _write_loop(self, conn: _Connection) -> None:
+        while True:
+            entry = await conn.pending.get()
+            if entry[0] == "drain":
+                break
+            if entry[0] == "ready":
+                conn.send_json(entry[1])
+            elif entry[0] == "metrics":
+                conn.send_json({"op": "metrics", **self.backend.metrics_snapshot()})
+            else:
+                _kind, header, afut, tenant = entry
+                try:
+                    mapping = await afut
+                except ReproError as exc:
+                    conn.send_json({**header, "error": str(exc)})
+                    conn.errors += 1
+                else:
+                    conn.send_json(response_for_mapping(header, mapping))
+                    conn.mapped += 1
+                self._tenant_inflight[tenant] = max(
+                    0, self._tenant_inflight.get(tenant, 0) - 1
+                )
+                conn.outstanding -= 1
+                if conn.outstanding < self.max_pending // 2:
+                    conn.resume_read.set()
+            await self._drain_writer(conn)
+        # session end: flush whatever was still pending, then summarise
+        while not conn.pending.empty():
+            leftover = conn.pending.get_nowait()
+            if leftover[0] == "map":
+                _kind, header, afut, tenant = leftover
+                try:
+                    mapping = await afut
+                except ReproError as exc:
+                    conn.send_json({**header, "error": str(exc)})
+                    conn.errors += 1
+                else:
+                    conn.send_json(response_for_mapping(header, mapping))
+                    conn.mapped += 1
+                self._tenant_inflight[tenant] = max(
+                    0, self._tenant_inflight.get(tenant, 0) - 1
+                )
+            elif leftover[0] == "ready":
+                conn.send_json(leftover[1])
+            elif leftover[0] == "metrics":
+                conn.send_json(
+                    {"op": "metrics", **self.backend.metrics_snapshot()}
+                )
+        conn.send_json({
+            "op": "drained",
+            "mapped": conn.mapped,
+            "errors": conn.errors,
+            "rejected": conn.rejected,
+            "metrics": self.backend.metrics_snapshot(),
+        })
+        await self._drain_writer(conn)

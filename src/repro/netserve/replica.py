@@ -1,0 +1,344 @@
+"""Replicated mapping workers behind one front door.
+
+A :class:`ReplicaSet` spawns N :class:`~repro.service.MappingService`
+workers.  Each worker *attaches* its owned store — the placement policy's
+shard, or the full store under replication — from a shared-memory segment
+published once with :func:`~repro.parallel.shm.share_store` (the columnar
+store's ``export_columns`` travels zero-copy), so per-replica index
+memory is bounded: N scatter replicas together hold ~one copy of the
+index, and N full replicas all map the *same* segment.
+
+Every replica keeps its own admission queue, circuit breaker, and
+labelled metrics registry (all inside its ``MappingService``), so one
+sick replica sheds or degrades alone while the set keeps serving:
+
+* ``replicate`` placement routes whole reads round-robin across replicas
+  whose breaker is not open, with overload failover to the next replica
+  — an open-breaker replica would answer from its degraded single-trial
+  path, so routing around it is what keeps the set's output bit-identical
+  to a single healthy session.
+* ``scatter`` placement serves every read through one *central* service
+  over a :class:`~repro.netserve.router.ScatterGatherStore`; the replicas
+  answer per-trial key-range lookups through their
+  :class:`~repro.netserve.router.LookupLane`, and a sick owner's share is
+  recomputed inline from the root store — same answer, one replica's
+  speedup lost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from ..core.config import JEMConfig
+from ..core.mapper import JEMMapper, MappingResult
+from ..core.segments import PREFIX, SUFFIX, SegmentInfo
+from ..core.store import ColumnarSketchStore
+from ..errors import ServiceError, ServiceOverloadError
+from ..parallel.faults import FaultPlan
+from ..parallel.retry import RetryPolicy
+from ..parallel.shm import SharedStore, release, share_store
+from ..seq.records import SequenceSet
+from ..service.config import ServiceConfig
+from ..service.health import OPEN
+from ..service.metrics import aggregate_metrics
+from ..service.queue import MapFuture
+from ..service.service import MappingService
+from .placement import PlacementPolicy, ReplicatedPlacement, ScatterPlacement
+from .router import LookupLane, ScatterGatherStore
+
+__all__ = ["Replica", "ReplicaSet"]
+
+
+class Replica:
+    """One worker: a :class:`MappingService` over its shm-attached store."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        shared: SharedStore,
+        lo: int,
+        hi: int,
+        subject_names: list[str],
+        jem_config: JEMConfig | None,
+        service_config: ServiceConfig,
+        *,
+        placement_kind: str,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.id = int(replica_id)
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.store = shared.materialise()  # zero-copy attach
+        mapper = JEMMapper(jem_config, store_kind="columnar")
+        mapper.adopt_store(self.store, subject_names)
+        self.service = MappingService(
+            mapper,
+            service_config,
+            faults=faults,
+            retry=retry,
+            metrics_labels={
+                "replica": str(self.id),
+                "placement": placement_kind,
+                "key_range": f"[{self.lo:#010x}, {self.hi:#010x})",
+            },
+        )
+
+    def healthz(self) -> dict:
+        health = self.service.healthz()
+        health["replica"] = self.id
+        health["key_range"] = [self.lo, self.hi]
+        return health
+
+
+class ReplicaSet:
+    """N placement-assigned mapping workers behind one ``submit`` door."""
+
+    def __init__(
+        self,
+        store: ColumnarSketchStore,
+        subject_names: list[str],
+        jem_config: JEMConfig | None = None,
+        *,
+        placement: PlacementPolicy,
+        service_config: ServiceConfig | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        if not isinstance(store, ColumnarSketchStore):
+            # sharding and column export are columnar-only; repack once
+            store = ColumnarSketchStore.from_table(store.as_table())
+        self.placement = placement
+        self.config = (
+            service_config if service_config is not None else ServiceConfig()
+        )
+        self._store = store
+        self._subject_names = list(subject_names)
+        self._drained = False
+        shards = placement.plan(store)
+        if placement.kind == ReplicatedPlacement.kind:
+            # one segment, every replica attaches it: memory stays ~1 copy
+            shared = share_store(store, "columnar")
+            shared_per_replica = [shared] * placement.n_replicas
+        else:
+            shared_per_replica = [share_store(s.store, "columnar") for s in shards]
+        self._segments = sorted({s.ref.name for s in shared_per_replica})
+        self.replicas = [
+            Replica(
+                i, shared_per_replica[i], shards[i].lo, shards[i].hi,
+                self._subject_names, jem_config, self.config,
+                placement_kind=placement.kind,
+                # replicate: faults strike a replica's own dispatch path;
+                # scatter: faults strike the lookup lanes instead (below)
+                faults=faults if placement.kind == ReplicatedPlacement.kind else None,
+                retry=retry,
+            )
+            for i in range(placement.n_replicas)
+        ]
+        self._lanes: list[LookupLane] = []
+        self._frontdoor: MappingService | None = None
+        self.scatter_stats = None
+        if isinstance(placement, ScatterPlacement):
+            self._lanes = [
+                LookupLane(
+                    r.id, r.store,
+                    breaker=r.service.breaker,
+                    metrics=r.service.metrics,
+                    capacity=self.config.queue_capacity,
+                    faults=faults,
+                    retry=retry,
+                )
+                for r in self.replicas
+            ]
+            virtual = ScatterGatherStore(self._lanes, placement, store)
+            self.scatter_stats = virtual.stats
+            central = JEMMapper(jem_config, store_kind="columnar")
+            central.adopt_store(virtual, self._subject_names)
+            # the central service votes over the virtual store inline; a
+            # process pool cannot ship a virtual store, and lane faults
+            # already model the failure surface
+            self._frontdoor = MappingService(
+                central,
+                replace(self.config, processes=1),
+                metrics_labels={"replica": "front", "placement": placement.kind},
+            )
+        self._cursor = 0
+        self._cursor_lock = threading.Lock()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_engine(
+        cls,
+        engine,
+        placement: PlacementPolicy,
+        service_config: ServiceConfig | None = None,
+        **kwargs,
+    ) -> "ReplicaSet":
+        """Replica set over a :class:`MappingEngine`'s (jem) index."""
+        mapper = engine.mapper
+        if not isinstance(mapper, JEMMapper):
+            raise ServiceError("netserve requires a JEMMapper index")
+        kwargs.setdefault("faults", engine.pipeline.fault_plan())
+        store = mapper.table
+        if not isinstance(store, ColumnarSketchStore):
+            store = ColumnarSketchStore.from_table(store.as_table())
+        return cls(
+            store, mapper.subject_names, mapper.config,
+            placement=placement, service_config=service_config, **kwargs,
+        )
+
+    # -- request path --------------------------------------------------------
+
+    @property
+    def subject_names(self) -> list[str]:
+        return self._subject_names
+
+    def _route_order(self) -> list[int]:
+        """Round-robin order for this read, healthy replicas first.
+
+        A replica with an open breaker answers from its degraded
+        single-trial path, so it is only used when *every* breaker is
+        open — one sick replica degrades alone, the set stays exact.
+        """
+        n = len(self.replicas)
+        with self._cursor_lock:
+            start = self._cursor
+            self._cursor = (self._cursor + 1) % n
+        order = [(start + j) % n for j in range(n)]
+        healthy = [
+            i for i in order if self.replicas[i].service.breaker.state != OPEN
+        ]
+        return healthy if healthy else order
+
+    def submit(
+        self,
+        name: str,
+        sequence: str | np.ndarray,
+        *,
+        deadline_s: float | None = None,
+    ) -> MapFuture:
+        """Admit one read through the placement-appropriate door."""
+        if self._frontdoor is not None:
+            return self._frontdoor.submit(name, sequence, deadline_s=deadline_s)
+        last: ServiceOverloadError | None = None
+        for i in self._route_order():
+            try:
+                return self.replicas[i].service.submit(
+                    name, sequence, deadline_s=deadline_s
+                )
+            except ServiceOverloadError as exc:  # failover before rejecting
+                last = exc
+        assert last is not None
+        raise last
+
+    def map_reads(
+        self, reads: SequenceSet, *, timeout: float | None = None
+    ) -> MappingResult:
+        """Blocking convenience with :meth:`MappingService.map_reads` layout."""
+        futures: list[MapFuture] = []
+        for i in range(len(reads)):
+            while True:
+                try:
+                    futures.append(self.submit(reads.names[i], reads.codes_of(i)))
+                    break
+                except ServiceOverloadError as exc:
+                    time.sleep(exc.retry_after)
+        names: list[str] = []
+        infos: list[SegmentInfo] = []
+        subjects = np.empty(2 * len(reads), dtype=np.int64)
+        hit_counts = np.empty(2 * len(reads), dtype=np.int64)
+        for i, future in enumerate(futures):
+            mapping = future.result(timeout)
+            names.extend(mapping.segment_names)
+            infos.append(SegmentInfo(read_index=i, kind=PREFIX))
+            infos.append(SegmentInfo(read_index=i, kind=SUFFIX))
+            subjects[2 * i], subjects[2 * i + 1] = mapping.subject
+            hit_counts[2 * i], hit_counts[2 * i + 1] = mapping.hit_count
+        return MappingResult(
+            segment_names=names, subject=subjects, hit_count=hit_counts, infos=infos
+        )
+
+    # -- health, metrics, lifecycle ------------------------------------------
+
+    def healthz(self) -> dict:
+        """Set-level health: the set is ready while it can serve exactly.
+
+        ``scatter``: the central service must be ready (sick owners only
+        cost fallback CPU).  ``replicate``: at least one replica must be
+        ready.  Per-replica detail rides in ``replicas``.
+        """
+        reps = [r.healthz() for r in self.replicas]
+        if self._frontdoor is not None:
+            front = self._frontdoor.healthz()
+            ready = front["ready"]
+            live = front["live"]
+        else:
+            front = None
+            ready = any(h["ready"] for h in reps)
+            live = any(h["live"] for h in reps)
+        health = {
+            "live": live,
+            "ready": ready,
+            "placement": self.placement.describe(),
+            "replicas_ready": sum(1 for h in reps if h["ready"]),
+            "replicas": reps,
+        }
+        if front is not None:
+            health["front"] = front
+        if self.scatter_stats is not None:
+            health["scatter"] = {
+                "scattered": self.scatter_stats.scattered,
+                "fallbacks": self.scatter_stats.fallbacks,
+            }
+        return health
+
+    def metrics_registries(self) -> list:
+        regs = [r.service.metrics for r in self.replicas]
+        if self._frontdoor is not None:
+            regs.append(self._frontdoor.metrics)
+        return regs
+
+    def metrics_snapshot(self) -> dict:
+        """Aggregated view plus each labelled per-replica snapshot."""
+        regs = self.metrics_registries()
+        return {
+            "aggregate": aggregate_metrics(regs),
+            "replicas": [m.snapshot() for m in regs],
+        }
+
+    @property
+    def drained(self) -> bool:
+        return self._drained
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Stop admission, finish accepted work, release the shared index.
+
+        Order matters: the central door drains first (no new lookups),
+        then the lanes, then the replica services, and only then are the
+        shm segments released — the attached stores are zero-copy views
+        into them and must not outlive the unlink.
+        """
+        if self._drained:
+            return
+        if self._frontdoor is not None:
+            self._frontdoor.drain(timeout)
+        for lane in self._lanes:
+            lane.close()
+        for replica in self.replicas:
+            replica.service.drain(timeout)
+        for name in self._segments:
+            release(name)
+        self._drained = True
+
+    close = drain
+
+    def __enter__(self) -> "ReplicaSet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.drain()

@@ -9,8 +9,22 @@ result cache keyed by query-sketch content, and live metrics.  See
 
 from .cache import SketchCacheEntry, SketchLRUCache, read_content_key
 from .config import ServiceConfig
-from .metrics import Counter, Gauge, LatencyHistogram, ServiceMetrics
-from .protocol import ClientStats, ServeStats, serve_loop, stream_reads
+from .metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    ServiceMetrics,
+    aggregate_metrics,
+)
+from .protocol import (
+    ClientStats,
+    PipeTransport,
+    ServeStats,
+    SocketTransport,
+    run_session,
+    serve_loop,
+    stream_reads,
+)
 from .queue import AdmissionQueue, MapFuture
 from .scheduler import MicroBatchScheduler
 from .service import MappingService, ReadMapping
@@ -20,6 +34,7 @@ __all__ = [
     "ReadMapping",
     "ServiceConfig",
     "ServiceMetrics",
+    "aggregate_metrics",
     "Counter",
     "Gauge",
     "LatencyHistogram",
@@ -31,6 +46,9 @@ __all__ = [
     "MicroBatchScheduler",
     "serve_loop",
     "stream_reads",
+    "run_session",
+    "PipeTransport",
+    "SocketTransport",
     "ServeStats",
     "ClientStats",
 ]

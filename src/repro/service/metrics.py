@@ -15,13 +15,26 @@ from __future__ import annotations
 import json
 import threading
 from collections import deque
+from collections.abc import Sequence
 
 import numpy as np
 
-__all__ = ["Counter", "Gauge", "LatencyHistogram", "ServiceMetrics"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "aggregate_metrics",
+]
 
 #: Quantiles every histogram reports, in snapshot key order.
 QUANTILES = ((50, "p50"), (95, "p95"), (99, "p99"))
+
+#: How each gauge combines across replicas in :func:`aggregate_metrics`.
+#: Levels add up (total queued work is the sum of per-replica queues) except
+#: readiness, where the set is only as ready as its least-ready member, and
+#: breaker state, where any open breaker is worth surfacing.
+GAUGE_AGGREGATION = {"ready": min, "breaker_open": max}
 
 
 class Counter:
@@ -97,6 +110,45 @@ class LatencyHistogram:
         with self._lock:
             return self._count
 
+    def _state(self) -> tuple[int, float, float, float, list[float]]:
+        """Consistent (count, sum, min, max, reservoir) under the lock."""
+        with self._lock:
+            return (self._count, self._sum, self._min, self._max,
+                    list(self._recent))
+
+    @staticmethod
+    def merged_snapshot(histograms: Sequence["LatencyHistogram"]) -> dict:
+        """One snapshot over the pooled observations of many histograms.
+
+        count/sum/min/max stay exact (they are exact per histogram);
+        quantiles come from the concatenated reservoirs, which is the
+        true pooled distribution as long as each reservoir still holds
+        its full stream — and the usual recent-window approximation
+        otherwise.  Aggregating live histograms instead of their
+        pre-computed snapshots is what makes the pooled p99 honest: a
+        mean of per-replica p99s is not a p99.
+        """
+        states = [h._state() for h in histograms]
+        count = sum(s[0] for s in states)
+        if count == 0:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    **{key: 0.0 for _, key in QUANTILES}}
+        total = sum(s[1] for s in states)
+        lo = min(s[2] for s in states if s[0])
+        hi = max(s[3] for s in states if s[0])
+        pooled = np.sort(np.concatenate(
+            [np.asarray(s[4], dtype=np.float64) for s in states if s[4]]
+        ))
+        quantiles = {key: float(np.percentile(pooled, q)) for q, key in QUANTILES}
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count,
+            "min": lo,
+            "max": hi,
+            **quantiles,
+        }
+
     def snapshot(self) -> dict:
         with self._lock:
             count = self._count
@@ -142,9 +194,32 @@ class ServiceMetrics:
         ``queue_wait`` (submit → batch pickup), ``map_latency`` (batch
         compute), ``request_latency`` (submit → response), ``batch_size``
         (reads per dispatched batch).
+
+    ``labels`` identify *whose* numbers these are once several registries
+    coexist (one per replica in a :class:`~repro.netserve.ReplicaSet`);
+    they ride along in every snapshot and :func:`aggregate_metrics` folds
+    labelled registries into one fleet-wide view.
     """
 
-    def __init__(self, *, window: int = 4096) -> None:
+    COUNTERS = (
+        "requests_total", "responses_total", "rejected_total", "errors_total",
+        "cache_hits_total", "cache_misses_total", "batches_total",
+        "reads_mapped_total", "shed_total", "degraded_total",
+        "breaker_open_total", "recovered_total", "pool_rebuilds_total",
+    )
+    GAUGES = ("queue_depth", "inflight", "cache_size", "ready", "breaker_open")
+    #: attribute name -> snapshot key (histograms carry their unit suffix).
+    HISTOGRAMS = (
+        ("queue_wait", "queue_wait_seconds"),
+        ("map_latency", "map_latency_seconds"),
+        ("request_latency", "request_latency_seconds"),
+        ("batch_size", "batch_size_reads"),
+    )
+
+    def __init__(
+        self, *, window: int = 4096, labels: dict[str, str] | None = None
+    ) -> None:
+        self.labels = dict(labels or {})
         self.requests_total = Counter()
         self.responses_total = Counter()
         self.rejected_total = Counter()
@@ -177,37 +252,58 @@ class ServiceMetrics:
 
     def snapshot(self) -> dict:
         """The whole registry as one JSON-serialisable dict."""
-        return {
+        snap = {
             "counters": {
-                "requests_total": self.requests_total.value,
-                "responses_total": self.responses_total.value,
-                "rejected_total": self.rejected_total.value,
-                "errors_total": self.errors_total.value,
-                "cache_hits_total": self.cache_hits_total.value,
-                "cache_misses_total": self.cache_misses_total.value,
-                "batches_total": self.batches_total.value,
-                "reads_mapped_total": self.reads_mapped_total.value,
-                "shed_total": self.shed_total.value,
-                "degraded_total": self.degraded_total.value,
-                "breaker_open_total": self.breaker_open_total.value,
-                "recovered_total": self.recovered_total.value,
-                "pool_rebuilds_total": self.pool_rebuilds_total.value,
+                name: getattr(self, name).value for name in self.COUNTERS
             },
-            "gauges": {
-                "queue_depth": self.queue_depth.value,
-                "inflight": self.inflight.value,
-                "cache_size": self.cache_size.value,
-                "ready": self.ready.value,
-                "breaker_open": self.breaker_open.value,
-            },
+            "gauges": {name: getattr(self, name).value for name in self.GAUGES},
             "cache_hit_ratio": self.cache_hit_ratio,
             "histograms": {
-                "queue_wait_seconds": self.queue_wait.snapshot(),
-                "map_latency_seconds": self.map_latency.snapshot(),
-                "request_latency_seconds": self.request_latency.snapshot(),
-                "batch_size_reads": self.batch_size.snapshot(),
+                key: getattr(self, attr).snapshot()
+                for attr, key in self.HISTOGRAMS
             },
         }
+        if self.labels:
+            snap["labels"] = dict(self.labels)
+        return snap
 
     def to_json(self, **dumps_kwargs) -> str:
         return json.dumps(self.snapshot(), **dumps_kwargs)
+
+
+def aggregate_metrics(registries: Sequence[ServiceMetrics]) -> dict:
+    """Fold many (labelled) registries into one snapshot-shaped dict.
+
+    Counters sum; gauges sum except where :data:`GAUGE_AGGREGATION` says
+    otherwise (``ready`` = min, ``breaker_open`` = max); histograms pool
+    their live reservoirs via :meth:`LatencyHistogram.merged_snapshot` so
+    the fleet-wide quantiles are computed over actual observations, not
+    averaged per-replica quantiles.  The result carries a ``replicas``
+    list with each member's labels so readers can tell who contributed.
+    """
+    if not registries:
+        raise ValueError("aggregate_metrics needs at least one registry")
+    counters = {
+        name: sum(getattr(m, name).value for m in registries)
+        for name in ServiceMetrics.COUNTERS
+    }
+    gauges = {
+        name: GAUGE_AGGREGATION.get(name, sum)(
+            [getattr(m, name).value for m in registries]
+        )
+        for name in ServiceMetrics.GAUGES
+    }
+    hits = counters["cache_hits_total"]
+    lookups = hits + counters["cache_misses_total"]
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "cache_hit_ratio": hits / lookups if lookups else 0.0,
+        "histograms": {
+            key: LatencyHistogram.merged_snapshot(
+                [getattr(m, attr) for m in registries]
+            )
+            for attr, key in ServiceMetrics.HISTOGRAMS
+        },
+        "replicas": [dict(m.labels) for m in registries],
+    }

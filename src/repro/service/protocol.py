@@ -29,8 +29,8 @@ may pipeline as many requests as it likes, but must read concurrently.
 from __future__ import annotations
 
 import json
+import socket
 import subprocess
-import sys
 import threading
 import time
 from dataclasses import dataclass, field
@@ -39,7 +39,16 @@ from ..errors import ReproError, ServiceOverloadError
 from ..seq.records import SequenceSet
 from .service import MappingService
 
-__all__ = ["serve_loop", "ServeStats", "stream_reads", "ClientStats"]
+__all__ = [
+    "serve_loop",
+    "ServeStats",
+    "stream_reads",
+    "run_session",
+    "response_for_mapping",
+    "PipeTransport",
+    "SocketTransport",
+    "ClientStats",
+]
 
 #: Map requests kept in flight before the serve loop flushes responses.
 #: Bounds server memory while still letting batches fill.
@@ -56,13 +65,13 @@ class ServeStats:
     drained: bool = False
 
 
-def _response_for(entry) -> dict:
-    """Render one pending (header, future) pair as a response object."""
-    header, future = entry
-    try:
-        mapping = future.result()
-    except ReproError as exc:
-        return {**header, "error": str(exc)}
+def response_for_mapping(header: dict, mapping) -> dict:
+    """Render one completed mapping as its wire response object.
+
+    The single formatting path for every session style — the pipe serve
+    loop and the network front-end both call it, so a read's response
+    bytes are identical whichever door it came through.
+    """
     response = {
         **header,
         "results": [
@@ -75,6 +84,16 @@ def _response_for(entry) -> dict:
     if mapping.degraded:
         response["degraded"] = True
     return response
+
+
+def _response_for(entry) -> dict:
+    """Render one pending (header, future) pair as a response object."""
+    header, future = entry
+    try:
+        mapping = future.result()
+    except ReproError as exc:
+        return {**header, "error": str(exc)}
+    return response_for_mapping(header, mapping)
 
 
 def serve_loop(service: MappingService, in_stream, out_stream) -> ServeStats:
@@ -172,6 +191,68 @@ def serve_loop(service: MappingService, in_stream, out_stream) -> ServeStats:
     return stats
 
 
+class PipeTransport:
+    """Client transport over a ``jem serve`` subprocess's stdio pipes.
+
+    The transport layer is the only difference between pipe mode and
+    ``jem client --connect``: both run the same :func:`run_session` over
+    either this or :class:`SocketTransport`, so protocol behaviour
+    (pipelining, backpressure retries, drain) cannot drift between them.
+    """
+
+    def __init__(self, proc: subprocess.Popen) -> None:
+        self._proc = proc
+
+    def lines(self):
+        """Iterable of response lines (the session's reader consumes it)."""
+        return self._proc.stdout
+
+    def send_line(self, line: str) -> None:
+        self._proc.stdin.write(line + "\n")
+        self._proc.stdin.flush()
+
+    def close_send(self) -> None:
+        """Signal EOF on the request direction (implicit drain server-side)."""
+        self._proc.stdin.close()
+
+    def close(self) -> None:  # the Popen's lifetime belongs to the caller
+        pass
+
+
+class SocketTransport:
+    """Client transport over a TCP connection to ``jem serve --listen``."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._rfile = sock.makefile("r", encoding="utf-8", newline="\n")
+
+    @classmethod
+    def connect(
+        cls, host: str, port: int, *, timeout: float = 10.0
+    ) -> "SocketTransport":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        # connect-timeout only: an established session may legitimately
+        # idle while the server coalesces a batch.
+        sock.settimeout(None)
+        return cls(sock)
+
+    def lines(self):
+        return self._rfile
+
+    def send_line(self, line: str) -> None:
+        self._sock.sendall((line + "\n").encode("utf-8"))
+
+    def close_send(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass  # already gone; the reader will see EOF regardless
+
+    def close(self) -> None:
+        self._rfile.close()
+        self._sock.close()
+
+
 @dataclass
 class ClientStats:
     """Outcome of one client run against a serve session."""
@@ -189,23 +270,25 @@ class ClientStats:
         return sum(1 for r in self.responses if "error" in r)
 
 
-def stream_reads(
+def run_session(
     reads: SequenceSet,
-    proc: subprocess.Popen,
+    transport,
     *,
     max_retries: int = 64,
     poll_s: float = 0.02,
     timeout: float = 600.0,
 ) -> ClientStats:
-    """Drive a ``jem serve`` subprocess: pipeline reads, honour backpressure.
+    """Drive one serve session over ``transport``: pipeline, honour backpressure.
 
-    A reader thread collects responses concurrently (the server writes in
-    request order; without it both sides could block on full pipe
-    buffers).  ``overloaded`` rejections are resubmitted after sleeping
-    out the server's ``retry_after`` hint; periodic ``ping``\\ s force the
-    server to flush whatever batches have completed.  Ends with a
-    ``drain`` and returns every map response in read order plus the
-    drained summary.
+    The single session implementation behind both pipe mode
+    (:func:`stream_reads` over a subprocess) and ``jem client --connect``
+    (a :class:`SocketTransport`).  A reader thread collects responses
+    concurrently (the server writes in request order; without it both
+    sides could block on full buffers).  ``overloaded`` rejections are
+    resubmitted after sleeping out the server's ``retry_after`` hint;
+    periodic ``ping``\\ s force the server to flush whatever batches have
+    completed.  Ends with a ``drain`` and returns every map response in
+    read order plus the drained summary.
     """
     stats = ClientStats()
     results: dict[int, dict] = {}
@@ -213,7 +296,7 @@ def stream_reads(
     session_done = threading.Event()
 
     def reader() -> None:
-        for line in proc.stdout:
+        for line in transport.lines():
             try:
                 message = json.loads(line)
             except json.JSONDecodeError:
@@ -229,8 +312,7 @@ def stream_reads(
     threading.Thread(target=reader, daemon=True).start()
 
     def send(obj: dict) -> None:
-        proc.stdin.write(json.dumps(obj) + "\n")
-        proc.stdin.flush()
+        transport.send_line(json.dumps(obj))
 
     def send_read(i: int) -> None:
         send({"op": "map", "id": i, "name": reads.names[i],
@@ -239,7 +321,10 @@ def stream_reads(
     for i in range(len(reads)):
         send_read(i)
     pending = set(range(len(reads)))
-    retries_left = max_retries
+    # the retry budget is per read, not per session: under a tight quota a
+    # pipelined burst rejects almost every read at once, and a shared
+    # budget would be spent before any read converged on a slot
+    retries_left = dict.fromkeys(pending, max_retries)
     deadline = time.monotonic() + timeout
     while pending and time.monotonic() < deadline:
         send({"op": "ping"})  # forces the server to flush completed batches
@@ -247,8 +332,8 @@ def stream_reads(
         with lock:
             arrived = {i: results[i] for i in pending if i in results}
         for i, message in arrived.items():
-            if message.get("error") == "overloaded" and retries_left > 0:
-                retries_left -= 1
+            if message.get("error") == "overloaded" and retries_left[i] > 0:
+                retries_left[i] -= 1
                 stats.retries += 1
                 time.sleep(float(message.get("retry_after", poll_s)))
                 with lock:
@@ -257,8 +342,24 @@ def stream_reads(
             else:
                 pending.discard(i)
     send({"op": "drain"})
-    proc.stdin.close()
+    transport.close_send()
     session_done.wait(timeout=timeout)
     stats.responses = [results.get(i, {"id": i, "error": "no response"})
                        for i in range(len(reads))]
+    transport.close()
     return stats
+
+
+def stream_reads(
+    reads: SequenceSet,
+    proc: subprocess.Popen,
+    *,
+    max_retries: int = 64,
+    poll_s: float = 0.02,
+    timeout: float = 600.0,
+) -> ClientStats:
+    """Pipe-mode convenience: :func:`run_session` over a serve subprocess."""
+    return run_session(
+        reads, PipeTransport(proc),
+        max_retries=max_retries, poll_s=poll_s, timeout=timeout,
+    )

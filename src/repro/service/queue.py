@@ -25,25 +25,50 @@ T = TypeVar("T")
 
 
 class MapFuture:
-    """Completion handle for one submitted read (threading-based)."""
+    """Completion handle for one submitted read (threading-based).
 
-    __slots__ = ("_event", "_result", "_exception")
+    Besides the blocking :meth:`result`, callers may attach done
+    callbacks — the bridge the asyncio front-end uses to complete an
+    ``asyncio.Future`` (via ``call_soon_threadsafe``) without parking an
+    executor thread per in-flight request.  A callback added after
+    completion runs immediately on the adding thread; callbacks added
+    before run on the completing thread, outside the lock.
+    """
+
+    __slots__ = ("_event", "_result", "_exception", "_lock", "_callbacks")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._result = None
         self._exception: BaseException | None = None
+        self._lock = threading.Lock()
+        self._callbacks: list = []
 
     def done(self) -> bool:
         return self._event.is_set()
 
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(self)`` once the future completes (never under the lock)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    def _complete(self) -> None:
+        with self._lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
     def set_result(self, result) -> None:
         self._result = result
-        self._event.set()
+        self._complete()
 
     def set_exception(self, exc: BaseException) -> None:
         self._exception = exc
-        self._event.set()
+        self._complete()
 
     def exception(self, timeout: float | None = None) -> BaseException | None:
         if not self._event.wait(timeout):
@@ -63,7 +88,13 @@ class AdmissionQueue(Generic[T]):
 
     ``retry_after`` passed to :meth:`put` rides on the rejection error so
     the caller (the service, which knows its recent per-read service
-    time) controls the hint without the queue knowing about timing.
+    time) controls the hint without the queue knowing about timing.  It
+    may be a plain float or a ``depth -> seconds`` callable; the callable
+    form is evaluated *under the queue lock* with the true current depth,
+    so concurrent producers (many network connections submitting at once)
+    always get a hint derived from the depth at the moment of their own
+    rejection — a float computed before ``put`` is stale by the time the
+    lock is taken whenever another producer slipped in between.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -85,16 +116,28 @@ class AdmissionQueue(Generic[T]):
         with self._lock:
             return len(self._items)
 
-    def put(self, item: T, *, retry_after: float = 0.0) -> int:
-        """Admit ``item`` or reject; returns the queue depth after admission."""
+    def put(
+        self, item: T, *, retry_after: float | Callable[[int], float] = 0.0
+    ) -> int:
+        """Admit ``item`` or reject; returns the queue depth after admission.
+
+        A callable ``retry_after`` receives the current depth (taken under
+        the lock, so it is exact even with concurrent producers) and
+        returns the hint in seconds.
+        """
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is draining; no new requests accepted")
             if len(self._items) >= self.capacity:
+                hint = (
+                    retry_after(len(self._items))
+                    if callable(retry_after)
+                    else float(retry_after)
+                )
                 raise ServiceOverloadError(
                     f"admission queue full ({self.capacity} requests); "
-                    f"retry in ~{retry_after:.3f}s",
-                    retry_after=retry_after,
+                    f"retry in ~{hint:.3f}s",
+                    retry_after=hint,
                 )
             self._items.append(item)
             self._not_empty.notify()

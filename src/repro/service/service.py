@@ -26,6 +26,7 @@ Public usage::
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -131,6 +132,7 @@ class MappingService:
         faults: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
         auto_start: bool = True,
+        metrics_labels: dict[str, str] | None = None,
     ) -> None:
         self._table = mapper.table  # raises MappingError when not indexed
         self._mapper = mapper
@@ -139,7 +141,9 @@ class MappingService:
         self._family = mapper.config.hash_family()
         self._faults = faults
         self._retry = retry
-        self.metrics = ServiceMetrics(window=self.config.metrics_window)
+        self.metrics = ServiceMetrics(
+            window=self.config.metrics_window, labels=metrics_labels
+        )
         self.cache = SketchLRUCache(self.config.cache_capacity)
         self._queue: AdmissionQueue[_MapRequest] = AdmissionQueue(
             self.config.queue_capacity
@@ -152,6 +156,7 @@ class MappingService:
             on_batch_error=self._fail_batch,
         )
         self._ewma_read_seconds = _INITIAL_READ_SECONDS
+        self._ewma_lock = threading.Lock()
         self._drained = False
         self._breaker = CircuitBreaker(
             window=self.config.breaker_window,
@@ -352,8 +357,17 @@ class MappingService:
 
     # -- request path --------------------------------------------------------
 
-    def _retry_after(self) -> float:
-        return max((self._queue.depth + 1) * self._ewma_read_seconds, 1e-3)
+    def _retry_after(self, depth: int) -> float:
+        """Retry hint for a rejection observed at queue ``depth``.
+
+        Called by the admission queue *under its lock* with the exact
+        depth at the moment of rejection, and reads the EWMA under its
+        own lock — safe for any number of concurrent producers (the
+        network front-end submits from many connections at once).
+        """
+        with self._ewma_lock:
+            ewma = self._ewma_read_seconds
+        return max((depth + 1) * ewma, 1e-3)
 
     def submit(
         self,
@@ -387,7 +401,7 @@ class MappingService:
         key = read_content_key(codes[: min(ell, n)], codes[max(0, n - ell):])
         request = _MapRequest(name, codes, key, deadline_s)
         try:
-            depth = self._queue.put(request, retry_after=self._retry_after())
+            depth = self._queue.put(request, retry_after=self._retry_after)
         except ServiceOverloadError:
             self.metrics.rejected_total.inc()
             raise
@@ -643,4 +657,5 @@ class MappingService:
         elapsed = time.perf_counter() - t0
         alpha = 0.3
         per_read = elapsed / len(batch)
-        self._ewma_read_seconds += alpha * (per_read - self._ewma_read_seconds)
+        with self._ewma_lock:
+            self._ewma_read_seconds += alpha * (per_read - self._ewma_read_seconds)

@@ -164,6 +164,70 @@ def test_shard_bounds_empty_store():
     assert (np.diff(bounds) >= 0).all()
 
 
+def test_shard_bounds_duplicate_boundaries_from_skewed_values():
+    """All entries share one value: interior bounds collapse onto it, some
+    shards own an empty range, and the partitioned lookup still matches."""
+    values = np.full(60, 7, dtype=np.uint64)
+    subjects = np.arange(60, dtype=np.uint64) % 9
+    keys = [np.unique((values << np.uint64(32)) | subjects)]
+    store = ColumnarSketchStore.from_trial_keys(keys, 9)
+    bounds = shard_bounds(store, 4)
+    assert (np.diff(bounds) >= 0).all()
+    assert (bounds[1:-1] == 7).all()  # every interior bound is the hot value
+    shards = store.shard(4)
+    assert sum(s.store.total_entries for s in shards) == store.total_entries
+    assert sum(1 for s in shards if s.store.total_entries == 0) >= 2
+    queries = np.array([0, 6, 7, 8, (1 << 32) - 1], dtype=np.uint64)
+    want = store.lookup_trial(0, queries)
+    got = lookup_trial_sharded(shards, 0, queries)
+    assert np.array_equal(want.query_index, got.query_index)
+    assert np.array_equal(want.subjects, got.subjects)
+
+
+def test_more_shards_than_distinct_values(rng):
+    """n_shards exceeding the distinct-value count leaves empty shards but
+    loses no entries and changes no answers."""
+    values = rng.integers(0, 3, size=40, dtype=np.uint64)  # ≤ 3 distinct
+    subjects = rng.integers(0, 5, size=40, dtype=np.uint64)
+    keys = [np.unique((values << np.uint64(32)) | subjects) for _ in range(2)]
+    store = ColumnarSketchStore.from_trial_keys(keys, 5)
+    shards = store.shard(6)
+    assert len(shards) == 6
+    assert sum(s.store.total_entries for s in shards) == store.total_entries
+    queries = np.arange(8, dtype=np.uint64)
+    for t in range(2):
+        want = store.lookup_trial(t, queries)
+        got = lookup_trial_sharded(shards, t, queries)
+        assert np.array_equal(want.query_index, got.query_index)
+        assert np.array_equal(want.subjects, got.subjects)
+
+
+def test_single_trial_store_sharding(rng):
+    """The T=1 degenerate store shards and stitches like any other."""
+    values = rng.integers(0, 200, size=150, dtype=np.uint64)
+    subjects = rng.integers(0, N_SUBJECTS, size=150, dtype=np.uint64)
+    keys = [np.unique((values << np.uint64(32)) | subjects)]
+    store = ColumnarSketchStore.from_trial_keys(keys, N_SUBJECTS)
+    assert store.trials == 1
+    bounds = shard_bounds(store, 3)
+    assert bounds.shape == (4,)
+    shards = store.shard(3)
+    queries = rng.integers(0, 250, size=60, dtype=np.uint64)
+    want = store.lookup_trial(0, queries)
+    got = lookup_trial_sharded(shards, 0, queries)
+    assert np.array_equal(want.query_index, got.query_index)
+    assert np.array_equal(want.subjects, got.subjects)
+
+
+def test_empty_store_shards_answer_nothing():
+    empty = [np.empty(0, dtype=np.uint64) for _ in range(2)]
+    store = ColumnarSketchStore.from_trial_keys(empty, 1)
+    shards = store.shard(3)
+    queries = np.arange(10, dtype=np.uint64)
+    hits = lookup_trial_sharded(shards, 0, queries)
+    assert len(hits.query_index) == 0 and len(hits.subjects) == 0
+
+
 def test_unknown_kind_rejected(trial_keys):
     with pytest.raises(SketchError):
         build_store("btree", trial_keys, N_SUBJECTS)

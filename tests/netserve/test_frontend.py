@@ -1,0 +1,310 @@
+"""Asyncio TCP front-end: concurrent sessions, quotas, protocol parity.
+
+The front-end runs in a background thread's event loop while test-side
+clients drive real TCP connections through the same
+:func:`~repro.service.protocol.run_session` the CLI uses — so these
+tests exercise the exact client/server pairing shipped to users.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import JEMConfig, JEMMapper
+from repro.netserve import NetFrontend, ReplicaSet, make_placement, parse_hostport
+from repro.errors import ReproError
+from repro.service import ServiceConfig
+from repro.service.protocol import SocketTransport, run_session
+from repro.service.queue import MapFuture
+
+CONFIG = JEMConfig(k=12, w=20, ell=500, trials=6, seed=99)
+
+SERVICE = ServiceConfig(max_batch_size=8, max_wait_ms=1.0)
+
+
+class TestParseHostport:
+    def test_forms(self):
+        assert parse_hostport("0.0.0.0:9000") == ("0.0.0.0", 9000)
+        assert parse_hostport(":9000") == ("127.0.0.1", 9000)
+        assert parse_hostport("9000") == ("127.0.0.1", 9000)
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ReproError, match="bad listen address"):
+            parse_hostport("localhost:http")
+
+
+@contextlib.contextmanager
+def serving(backend, **kwargs):
+    """Run a NetFrontend on a fresh loop in a thread; yield its address."""
+    loop = asyncio.new_event_loop()
+    frontend = NetFrontend(backend, port=0, **kwargs)
+    started = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def main() -> None:
+            await frontend.start()
+            started.set()
+            await frontend.serve_forever()
+
+        loop.run_until_complete(main())
+        loop.close()
+
+    thread = threading.Thread(target=run, name="jem-net-test", daemon=True)
+    thread.start()
+    assert started.wait(10.0), "frontend failed to start"
+    try:
+        yield frontend.address
+    finally:
+        asyncio.run_coroutine_threadsafe(frontend.stop(), loop).result(timeout=30.0)
+        thread.join(timeout=30.0)
+
+
+def connect_lines(address):
+    """A raw NDJSON socket session: (send, readline, close)."""
+    sock = socket.create_connection(address, timeout=30.0)
+    rfile = sock.makefile("r", encoding="utf-8", newline="\n")
+
+    def send(obj: dict) -> None:
+        sock.sendall((json.dumps(obj) + "\n").encode("utf-8"))
+
+    def readline() -> dict:
+        return json.loads(rfile.readline())
+
+    def close() -> None:
+        rfile.close()
+        sock.close()
+
+    return send, readline, close
+
+
+def wait_until(predicate, timeout: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+def map_replies(stats):
+    """The order-book view of a session: id/name/results per response."""
+    return [
+        {k: r.get(k) for k in ("id", "name", "results")} for r in stats.responses
+    ]
+
+
+class TestEndToEnd:
+    @pytest.fixture
+    def backend(self, tiling_contigs):
+        mapper = JEMMapper(CONFIG, store_kind="columnar")
+        mapper.index(tiling_contigs)
+        replica_set = ReplicaSet(
+            mapper.table, mapper.subject_names, CONFIG,
+            placement=make_placement("scatter", 3), service_config=SERVICE,
+        )
+        yield replica_set
+        replica_set.drain()
+
+    def test_concurrent_clients_bit_identical_to_single_session(
+        self, backend, tiling_contigs, clean_reads
+    ):
+        """Two racing TCP clients each see exactly the pipe-mode transcript."""
+        import io
+
+        from repro.service import MappingService, serve_loop
+
+        # the single-session reference: one pipe-mode serve_loop
+        with MappingService.from_contigs(
+            tiling_contigs, CONFIG, SERVICE
+        ) as service:
+            requests = "".join(
+                json.dumps({"op": "map", "id": i, "name": clean_reads.names[i],
+                            "seq": clean_reads[i].sequence}) + "\n"
+                for i in range(len(clean_reads))
+            )
+            out = io.StringIO()
+            serve_loop(service, io.StringIO(requests), out)
+        reference = [
+            {k: r.get(k) for k in ("id", "name", "results")}
+            for r in map(json.loads, out.getvalue().splitlines())
+            if "results" in r
+        ]
+
+        with serving(backend) as address:
+            outcomes: dict[int, object] = {}
+
+            def client(slot: int) -> None:
+                transport = SocketTransport.connect(*address)
+                outcomes[slot] = run_session(clean_reads, transport)
+
+            threads = [
+                threading.Thread(target=client, args=(slot,)) for slot in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120.0)
+
+        assert set(outcomes) == {0, 1}
+        for stats in outcomes.values():
+            assert stats.drained_reply is not None
+            assert stats.errors == 0
+            assert map_replies(stats) == reference
+
+    def test_health_is_answered_immediately(self, backend):
+        with serving(backend) as address:
+            send, readline, close = connect_lines(address)
+            send({"op": "health"})
+            reply = readline()
+            close()
+        assert reply["op"] == "health"
+        assert reply["ready"] and reply["live"]
+        assert reply["placement"]["kind"] == "scatter"
+
+    def test_metrics_op_returns_aggregate_and_replicas(
+        self, backend, clean_reads
+    ):
+        with serving(backend) as address:
+            send, readline, close = connect_lines(address)
+            send({"op": "map", "id": 0, "name": clean_reads.names[0],
+                  "seq": clean_reads[0].sequence})
+            send({"op": "metrics"})
+            first = readline()   # the map: metrics is ordered behind it
+            second = readline()
+            close()
+        assert "results" in first
+        assert second["op"] == "metrics"
+        assert "aggregate" in second and "replicas" in second
+        labels = [s["labels"]["replica"] for s in second["replicas"]]
+        assert labels == ["0", "1", "2", "front"]
+
+    def test_drain_reports_session_summary(self, backend, clean_reads):
+        with serving(backend) as address:
+            transport = SocketTransport.connect(*address)
+            stats = run_session(clean_reads, transport)
+        assert stats.drained_reply["mapped"] == len(clean_reads)
+        assert stats.drained_reply["rejected"] == 0
+        assert "aggregate" in stats.drained_reply["metrics"]
+
+    def test_unknown_op_is_in_band(self, backend):
+        with serving(backend) as address:
+            send, readline, close = connect_lines(address)
+            send({"op": "teleport"})
+            reply = readline()
+            close()
+        assert "unknown op" in reply["error"]
+
+
+class StubMapping:
+    segment_names = ["read.pre"]
+    subject_names = ["contig_0"]
+    hit_count = [5]
+    cached = False
+    degraded = False
+
+
+class StubBackend:
+    """Futures the test completes by hand — exposes ordering and quotas."""
+
+    def __init__(self) -> None:
+        self.futures: list[MapFuture] = []
+        self.names: list[str] = []
+
+    def submit(self, name, seq, *, deadline_s=None) -> MapFuture:
+        future: MapFuture = MapFuture()
+        self.futures.append(future)
+        self.names.append(name)
+        return future
+
+    def healthz(self) -> dict:
+        return {"live": True, "ready": True}
+
+    def metrics_snapshot(self) -> dict:
+        return {"aggregate": {}, "replicas": []}
+
+
+class TestTenantQuota:
+    def test_quota_rejects_excess_in_band(self):
+        backend = StubBackend()
+        with serving(backend, tenant_quota=1) as address:
+            send, readline, close = connect_lines(address)
+            send({"op": "map", "id": 0, "seq": "ACGT", "tenant": "acme"})
+            send({"op": "map", "id": 1, "seq": "ACGT", "tenant": "acme"})
+            # the first is admitted; the second must be rejected without
+            # ever reaching the backend
+            assert wait_until(lambda: backend.futures)
+            assert len(backend.futures) == 1
+            backend.futures[0].set_result(StubMapping())
+            first = readline()
+            second = readline()
+            send({"op": "drain"})
+            summary = readline()
+            close()
+        assert first["id"] == 0 and "results" in first
+        assert second["id"] == 1 and second["error"] == "overloaded"
+        assert second["retry_after"] > 0
+        assert second["tenant"] == "acme"
+        assert summary["op"] == "drained" and summary["rejected"] == 1
+
+    def test_quota_is_per_tenant_not_global(self):
+        backend = StubBackend()
+        with serving(backend, tenant_quota=1) as address:
+            send, readline, close = connect_lines(address)
+            send({"op": "map", "id": 0, "seq": "ACGT", "tenant": "acme"})
+            send({"op": "map", "id": 1, "seq": "ACGT", "tenant": "other"})
+            assert wait_until(lambda: len(backend.futures) == 2)
+            # different tenants are both admitted under the same quota
+            backend.futures[0].set_result(StubMapping())
+            backend.futures[1].set_result(StubMapping())
+            assert "results" in readline()
+            assert "results" in readline()
+            close()
+
+    def test_quota_frees_as_responses_drain(self):
+        backend = StubBackend()
+        with serving(backend, tenant_quota=1) as address:
+            send, readline, close = connect_lines(address)
+            send({"op": "map", "id": 0, "seq": "ACGT", "tenant": "acme"})
+            assert wait_until(lambda: backend.futures)
+            backend.futures[0].set_result(StubMapping())
+            assert "results" in readline()  # response written → quota freed
+            send({"op": "map", "id": 1, "seq": "ACGT", "tenant": "acme"})
+            assert wait_until(lambda: len(backend.futures) == 2)
+            backend.futures[1].set_result(StubMapping())
+            assert "results" in readline()
+            close()
+
+
+class TestFairness:
+    def test_firehose_cannot_starve_a_trickle_client(self):
+        """A trickle client's read is admitted and answered while a
+        firehose connection holds 64 unresolved in-flight maps."""
+        backend = StubBackend()
+        with serving(backend, fair_chunk=1) as address:
+            hose_send, _hose_read, hose_close = connect_lines(address)
+            for i in range(64):
+                hose_send({"op": "map", "id": i, "name": f"hose-{i}",
+                           "seq": "ACGT"})
+            trickle_send, trickle_read, trickle_close = connect_lines(address)
+            trickle_send({"op": "map", "id": 999, "name": "trickle",
+                          "seq": "ACGT"})
+            assert wait_until(lambda: "trickle" in backend.names)
+            backend.futures[backend.names.index("trickle")].set_result(
+                StubMapping()
+            )
+            reply = trickle_read()
+            assert reply["id"] == 999 and "results" in reply
+            for i, future in enumerate(backend.futures):
+                if backend.names[i] != "trickle":
+                    future.set_result(StubMapping())
+            trickle_close()
+            hose_close()

@@ -1,0 +1,193 @@
+"""ReplicaSet behaviour: placement parity, fault isolation, observability.
+
+The load-bearing claim from the serving design: for either placement
+policy, any replica count, seeded fault plans, and even a sick replica
+with an open breaker, the set's results are bit-identical to a
+sequential :class:`JEMMapper` over the same reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import JEMConfig, JEMMapper
+from repro.errors import ServiceClosedError
+from repro.netserve import ReplicaSet, make_placement
+from repro.parallel.faults import FaultPlan
+from repro.service import ServiceConfig
+from repro.service.health import OPEN
+
+CONFIG = JEMConfig(k=12, w=20, ell=500, trials=6, seed=99)
+
+SERVICE = ServiceConfig(max_batch_size=8, max_wait_ms=1.0)
+
+
+@pytest.fixture
+def indexed(tiling_contigs):
+    mapper = JEMMapper(CONFIG, store_kind="columnar")
+    mapper.index(tiling_contigs)
+    return mapper
+
+
+@pytest.fixture
+def sequential(indexed, clean_reads):
+    return indexed.map_reads(clean_reads)
+
+
+def make_set(indexed, kind, n, **kwargs):
+    kwargs.setdefault("service_config", SERVICE)
+    return ReplicaSet(
+        indexed.table, indexed.subject_names, CONFIG,
+        placement=make_placement(kind, n), **kwargs,
+    )
+
+
+def assert_same_mapping(actual, expected):
+    assert actual.segment_names == expected.segment_names
+    assert np.array_equal(actual.subject, expected.subject)
+    assert np.array_equal(actual.hit_count, expected.hit_count)
+
+
+class TestPlacementParity:
+    @pytest.mark.parametrize("kind", ["scatter", "replicate"])
+    @pytest.mark.parametrize("n", [1, 3])
+    def test_bit_identical_to_sequential(
+        self, indexed, clean_reads, sequential, kind, n
+    ):
+        with make_set(indexed, kind, n) as replica_set:
+            result = replica_set.map_reads(clean_reads)
+        assert_same_mapping(result, sequential)
+
+    @pytest.mark.parametrize("kind", ["scatter", "replicate"])
+    def test_bit_identical_under_seeded_fault_plan(
+        self, indexed, clean_reads, sequential, kind
+    ):
+        for seed in (1, 2, 3):
+            plan = FaultPlan.seeded(seed, 3, delay=0.001)
+            with make_set(indexed, kind, 3, faults=plan) as replica_set:
+                result = replica_set.map_reads(clean_reads)
+            assert_same_mapping(result, sequential)
+
+    def test_scatter_actually_scatters(self, indexed, clean_reads, sequential):
+        with make_set(indexed, "scatter", 3) as replica_set:
+            result = replica_set.map_reads(clean_reads)
+            stats = replica_set.scatter_stats
+            assert stats is not None and stats.scattered > 0
+            assert stats.fallbacks == 0  # all owners healthy
+        assert_same_mapping(result, sequential)
+
+    def test_replicate_spreads_reads_across_replicas(
+        self, indexed, clean_reads, sequential
+    ):
+        with make_set(indexed, "replicate", 3) as replica_set:
+            result = replica_set.map_reads(clean_reads)
+            served = [
+                r.service.metrics.snapshot()["counters"]["requests_total"]
+                for r in replica_set.replicas
+            ]
+        assert_same_mapping(result, sequential)
+        assert all(count > 0 for count in served)  # round-robin reached all
+        assert sum(served) == len(clean_reads)
+
+
+class TestSickReplicaIsolation:
+    BREAKER = ServiceConfig(
+        max_batch_size=8, max_wait_ms=1.0,
+        breaker_failures=1, breaker_cooldown_batches=10_000,
+    )
+
+    def test_scatter_with_one_breaker_open_stays_exact(
+        self, indexed, clean_reads, sequential
+    ):
+        with make_set(
+            indexed, "scatter", 3, service_config=self.BREAKER
+        ) as replica_set:
+            sick = replica_set.replicas[1].service.breaker
+            sick.record_failure()
+            assert sick.state == OPEN
+            result = replica_set.map_reads(clean_reads)
+            assert replica_set.scatter_stats.fallbacks > 0
+            health = replica_set.healthz()
+            assert health["ready"]  # the set still serves exactly
+        assert_same_mapping(result, sequential)
+
+    def test_replicate_routes_around_open_breaker(
+        self, indexed, clean_reads, sequential
+    ):
+        with make_set(
+            indexed, "replicate", 3, service_config=self.BREAKER
+        ) as replica_set:
+            sick = replica_set.replicas[0].service.breaker
+            sick.record_failure()
+            assert sick.state == OPEN
+            result = replica_set.map_reads(clean_reads)
+            served = [
+                r.service.metrics.snapshot()["counters"]["requests_total"]
+                for r in replica_set.replicas
+            ]
+        assert_same_mapping(result, sequential)
+        # the sick replica would answer degraded, so it must see no reads
+        assert served[0] == 0
+        assert served[1] + served[2] == len(clean_reads)
+
+
+class TestObservability:
+    def test_metrics_are_labelled_by_replica(self, indexed):
+        with make_set(indexed, "scatter", 2) as replica_set:
+            snaps = [m.snapshot() for m in replica_set.metrics_registries()]
+        labels = [s["labels"] for s in snaps]
+        assert [l["replica"] for l in labels] == ["0", "1", "front"]
+        assert all(l["placement"] == "scatter" for l in labels)
+        # shard replicas advertise their owned key range
+        for label in labels[:2]:
+            assert label["key_range"].startswith("[0x")
+
+    def test_aggregate_sums_across_replicas(self, indexed, clean_reads):
+        with make_set(indexed, "replicate", 3) as replica_set:
+            replica_set.map_reads(clean_reads)
+            snapshot = replica_set.metrics_snapshot()
+        aggregate = snapshot["aggregate"]
+        per_replica = snapshot["replicas"]
+        assert len(per_replica) == 3
+        total = sum(
+            s["counters"]["responses_total"] for s in per_replica
+        )
+        assert aggregate["counters"]["responses_total"] == total == len(clean_reads)
+        # contributors are identifiable from the aggregate alone
+        assert [r["replica"] for r in aggregate["replicas"]] == ["0", "1", "2"]
+
+    def test_healthz_reports_placement_and_replicas(self, indexed):
+        with make_set(indexed, "scatter", 3) as replica_set:
+            health = replica_set.healthz()
+        assert health["live"] and health["ready"]
+        assert health["placement"] == {"kind": "scatter", "replicas": 3}
+        assert health["replicas_ready"] == 3
+        assert [h["replica"] for h in health["replicas"]] == [0, 1, 2]
+        ranges = [h["key_range"] for h in health["replicas"]]
+        assert ranges[0][0] == 0 and ranges[-1][1] == 1 << 32
+        assert all(lo <= hi for lo, hi in ranges)
+        assert health["scatter"] == {"scattered": 0, "fallbacks": 0}
+
+
+class TestLifecycle:
+    def test_drain_is_idempotent_and_closes_admission(
+        self, indexed, clean_reads
+    ):
+        replica_set = make_set(indexed, "scatter", 2)
+        replica_set.map_reads(clean_reads)
+        replica_set.drain()
+        assert replica_set.drained
+        replica_set.drain()  # second drain is a no-op, not an error
+        with pytest.raises(ServiceClosedError):
+            replica_set.submit("r", "ACGT" * 300)
+
+    def test_replicate_drain_releases_shared_segment_once(self, indexed):
+        replica_set = make_set(indexed, "replicate", 3)
+        assert len(replica_set._segments) == 1  # one segment, three attachments
+        replica_set.drain()
+
+    def test_scatter_has_one_segment_per_shard(self, indexed):
+        replica_set = make_set(indexed, "scatter", 3)
+        assert len(replica_set._segments) == 3
+        replica_set.drain()

@@ -1,0 +1,180 @@
+"""Scatter/gather routing: stitching parity and sick-owner isolation.
+
+The contract under test: ``ScatterGatherStore.lookup_trial`` equals the
+root store's ``lookup_trial`` bit for bit — whatever the shard layout,
+however many owners are sick, and for every edge the placement can
+produce (empty shards, duplicate boundaries, single-trial stores).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.store import ColumnarSketchStore
+from repro.errors import ServiceError
+from repro.netserve import ScatterGatherStore, ScatterPlacement
+from repro.netserve.router import LookupLane
+from repro.parallel.faults import FaultPlan, FaultSpec
+from repro.service.health import OPEN, CircuitBreaker
+from repro.service.metrics import ServiceMetrics
+
+N_SUBJECTS = 20
+
+
+def make_store(rng, *, trials=4, per_trial=250, value_span=1 << 14):
+    keys = []
+    for _ in range(trials):
+        values = rng.integers(0, value_span, size=per_trial, dtype=np.uint64)
+        subjects = rng.integers(0, N_SUBJECTS, size=per_trial, dtype=np.uint64)
+        keys.append(np.unique((values << np.uint64(32)) | subjects))
+    return ColumnarSketchStore.from_trial_keys(keys, N_SUBJECTS)
+
+
+def make_router(store, n_replicas, *, faults=None, breakers=None):
+    placement = ScatterPlacement(n_replicas)
+    shards = placement.plan(store)
+    lanes = [
+        LookupLane(
+            i, shards[i].store,
+            breaker=(
+                breakers[i] if breakers is not None
+                else CircuitBreaker(failure_threshold=0)
+            ),
+            metrics=ServiceMetrics(window=64),
+            capacity=64,
+            faults=faults,
+        )
+        for i in range(n_replicas)
+    ]
+    return ScatterGatherStore(lanes, placement, store), lanes
+
+
+def assert_lookup_parity(virtual, store, queries):
+    for t in range(store.trials):
+        want = store.lookup_trial(t, queries)
+        got = virtual.lookup_trial(t, queries)
+        assert np.array_equal(want.query_index, got.query_index)
+        assert np.array_equal(want.subjects, got.subjects)
+
+
+class TestStitchingParity:
+    @pytest.mark.parametrize("n_replicas", [1, 2, 3, 5])
+    def test_scatter_equals_unsharded_lookup(self, rng, n_replicas):
+        store = make_store(rng)
+        queries = rng.integers(0, 1 << 15, size=120, dtype=np.uint64)
+        virtual, lanes = make_router(store, n_replicas)
+        try:
+            assert_lookup_parity(virtual, store, queries)
+        finally:
+            for lane in lanes:
+                lane.close()
+
+    def test_misses_and_empty_query_batches(self, rng):
+        store = make_store(rng, value_span=1 << 10)
+        virtual, lanes = make_router(store, 3)
+        try:
+            # a batch with no hits anywhere
+            misses = np.arange(1 << 20, (1 << 20) + 50, dtype=np.uint64)
+            hits = virtual.lookup_trial(0, misses)
+            assert len(hits.query_index) == 0 and len(hits.subjects) == 0
+            # the empty batch
+            empty = np.empty(0, dtype=np.uint64)
+            hits = virtual.lookup_trial(1, empty)
+            assert len(hits.query_index) == 0
+        finally:
+            for lane in lanes:
+                lane.close()
+
+    def test_duplicate_boundaries_and_empty_shards(self, rng):
+        """One hot value collapses the split; parity must survive it."""
+        values = np.full(80, 1234, dtype=np.uint64)
+        subjects = np.arange(80, dtype=np.uint64) % N_SUBJECTS
+        keys = [np.unique((values << np.uint64(32)) | subjects)]
+        store = ColumnarSketchStore.from_trial_keys(keys, N_SUBJECTS)
+        virtual, lanes = make_router(store, 4)
+        try:
+            queries = np.array([0, 1233, 1234, 1235, 9999], dtype=np.uint64)
+            assert_lookup_parity(virtual, store, queries)
+        finally:
+            for lane in lanes:
+                lane.close()
+
+    def test_single_trial_store(self, rng):
+        store = make_store(rng, trials=1)
+        queries = rng.integers(0, 1 << 15, size=60, dtype=np.uint64)
+        virtual, lanes = make_router(store, 3)
+        try:
+            assert_lookup_parity(virtual, store, queries)
+        finally:
+            for lane in lanes:
+                lane.close()
+
+    def test_lane_count_must_match_placement(self, rng):
+        store = make_store(rng)
+        placement = ScatterPlacement(3)
+        placement.plan(store)
+        with pytest.raises(ServiceError, match="lanes"):
+            ScatterGatherStore([], placement, store)
+
+
+class TestSickOwnerIsolation:
+    def test_open_breaker_owner_falls_back_inline(self, rng):
+        """An open breaker quarantines one lane; answers stay identical."""
+        store = make_store(rng)
+        breakers = [
+            CircuitBreaker(failure_threshold=1, cooldown_batches=10_000)
+            for _ in range(3)
+        ]
+        virtual, lanes = make_router(store, 3, breakers=breakers)
+        try:
+            breakers[1].record_failure()
+            assert breakers[1].state == OPEN
+            queries = rng.integers(0, 1 << 15, size=100, dtype=np.uint64)
+            assert_lookup_parity(virtual, store, queries)
+            assert virtual.stats.fallbacks > 0
+            assert virtual.stats.scattered > 0
+        finally:
+            for lane in lanes:
+                lane.close()
+
+    def test_closed_lane_falls_back_inline(self, rng):
+        store = make_store(rng)
+        virtual, lanes = make_router(store, 3)
+        lanes[0].close()  # submit now raises ServiceClosedError
+        try:
+            queries = rng.integers(0, 1 << 15, size=100, dtype=np.uint64)
+            assert_lookup_parity(virtual, store, queries)
+            assert virtual.stats.fallbacks > 0
+        finally:
+            for lane in lanes[1:]:
+                lane.close()
+
+    def test_permanent_fault_exhausts_retries_then_falls_back(self, rng):
+        """A fault the retry budget cannot clear still costs no correctness."""
+        store = make_store(rng)
+        plan = FaultPlan([
+            FaultSpec(kind="crash", phase="map", block=2, times=None),
+        ])
+        virtual, lanes = make_router(store, 3, faults=plan)
+        try:
+            queries = rng.integers(0, 1 << 15, size=100, dtype=np.uint64)
+            assert_lookup_parity(virtual, store, queries)
+            assert virtual.stats.fallbacks > 0
+        finally:
+            for lane in lanes:
+                lane.close()
+
+    def test_recoverable_fault_is_retried_without_fallback(self, rng):
+        store = make_store(rng)
+        plan = FaultPlan([
+            FaultSpec(kind="crash", phase="map", block=1, times=1),
+        ])
+        virtual, lanes = make_router(store, 3, faults=plan)
+        try:
+            queries = rng.integers(0, 1 << 15, size=100, dtype=np.uint64)
+            assert_lookup_parity(virtual, store, queries)
+            assert virtual.stats.fallbacks == 0  # retry_call absorbed it
+        finally:
+            for lane in lanes:
+                lane.close()

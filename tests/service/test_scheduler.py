@@ -37,6 +37,64 @@ class TestAdmissionQueue:
         assert exc_info.value.retry_after == pytest.approx(0.25)
         assert q.depth == 2  # rejected item was not admitted
 
+    def test_callable_retry_after_sees_depth_at_rejection(self):
+        """The hint callable runs under the queue lock with the true depth."""
+        q = AdmissionQueue(4)
+        for i in range(4):
+            q.put(i)
+        seen = []
+
+        def hint(depth: int) -> float:
+            seen.append(depth)
+            return (depth + 1) * 0.01
+
+        with pytest.raises(ServiceOverloadError) as exc_info:
+            q.put("x", retry_after=hint)
+        assert seen == [4]
+        assert exc_info.value.retry_after == pytest.approx(0.05)
+
+    def test_callable_retry_after_exact_under_concurrent_producers(self):
+        """Regression: with many producers racing a consumer, every
+        rejection's hint must be computed from the depth at the moment of
+        *that* rejection (always == capacity, since rejections only
+        happen at full) — a pre-computed float would be stale whenever
+        another producer or the consumer slipped in between."""
+        q = AdmissionQueue(4)
+        stop = threading.Event()
+        depths: list[int] = []
+        hints: list[float] = []
+
+        def hint(depth: int) -> float:
+            depths.append(depth)  # list.append is atomic under the GIL
+            return (depth + 1) * 0.001
+
+        def produce():
+            while not stop.is_set():
+                try:
+                    q.put(0, retry_after=hint)
+                except ServiceOverloadError as exc:
+                    hints.append(exc.retry_after)
+                except ServiceClosedError:  # close() racing the last put
+                    return
+
+        def consume():
+            while not stop.is_set():
+                q.take_batch(2, 0.0)
+                time.sleep(0.0005)
+
+        workers = [threading.Thread(target=produce) for _ in range(4)]
+        workers.append(threading.Thread(target=consume))
+        for w in workers:
+            w.start()
+        time.sleep(0.3)
+        stop.set()
+        q.close()  # unblock a consumer parked in take_batch
+        for w in workers:
+            w.join(timeout=10.0)
+        assert depths, "no rejection was ever provoked"
+        assert set(depths) == {4}  # the exact depth, never a stale read
+        assert all(h == pytest.approx(0.005) for h in hints)
+
     def test_drain_vs_shutdown_race_never_hangs_or_drops(self):
         """Producers race close() mid-drain: every put() resolves — either a
         depth (and the item is drained) or a typed rejection — and the
