@@ -130,6 +130,31 @@ def test_bench_end_to_end_mapping(benchmark, contigs, reads):
     assert result.n_mapped > 0.9 * len(result)
 
 
+def test_bench_fused_map(benchmark, contigs, reads):
+    """Fused native S4 over the columnar store: sketch → lookup → vote in
+    one C pass; compare against test_bench_fused_map_numpy_fallback."""
+    mapper = JEMMapper(CFG, store_kind="columnar")
+    mapper.index(contigs)
+    segments, _ = extract_end_segments(reads, CFG.ell)
+    result = benchmark.pedantic(
+        mapper.map_segments, args=(segments,), rounds=3, iterations=1
+    )
+    assert result.n_mapped > 0
+
+
+def test_bench_fused_map_numpy_fallback(benchmark, contigs, reads, monkeypatch):
+    """The same mapping with the kill switch on — the numpy parity-oracle
+    path the fused kernel must stay bit-identical to."""
+    monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+    mapper = JEMMapper(CFG, store_kind="columnar")
+    mapper.index(contigs)
+    segments, _ = extract_end_segments(reads, CFG.ell)
+    result = benchmark.pedantic(
+        mapper.map_segments, args=(segments,), rounds=3, iterations=1
+    )
+    assert result.n_mapped > 0
+
+
 def test_bench_hit_counting(benchmark, contigs, reads, family):
     mapper = JEMMapper(CFG)
     table = mapper.index(contigs)

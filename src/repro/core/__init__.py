@@ -10,8 +10,13 @@ from .engine import (
     read_sequences,
     register_mapper,
 )
-from .hitcounter import BestHits, count_hits_lazy, count_hits_vectorised
-from .mapper import JEMMapper, MappingResult
+from .hitcounter import (
+    BestHits,
+    count_hits_fused,
+    count_hits_lazy,
+    count_hits_vectorised,
+)
+from .mapper import JEMMapper, MappingResult, map_segment_batch
 from .paf import paf_records, write_paf
 from .persist import load_index, save_index
 from .segments import PREFIX, SUFFIX, SegmentInfo, extract_end_segments
@@ -31,6 +36,7 @@ from .topx import TopHits, count_hits_topx
 __all__ = [
     "JEMConfig",
     "JEMMapper",
+    "map_segment_batch",
     "MappingResult",
     "MappingEngine",
     "PipelineConfig",
@@ -46,6 +52,7 @@ __all__ = [
     "STORE_KINDS",
     "DEFAULT_STORE_KIND",
     "BestHits",
+    "count_hits_fused",
     "count_hits_lazy",
     "count_hits_vectorised",
     "TopHits",

@@ -57,6 +57,7 @@ __all__ = [
     "build_mapper",
     "MappingEngine",
     "EngineRun",
+    "native_summary",
     "read_sequences",
 ]
 
@@ -235,6 +236,23 @@ def read_sequences(path: str, *, on_error: str = "raise") -> SequenceSet:
 # -- the engine --------------------------------------------------------------
 
 
+def native_summary() -> str:
+    """One token describing the native-kernel state, for timing lines.
+
+    ``native=fused,threads=N`` when the compiled fast path is loaded,
+    ``native=off(<reason>)`` otherwise — the reason being the kill switch
+    or the recorded compile failure, so a pasted timing line is enough to
+    tell which backend produced a run and why.
+    """
+    from ..sketch import _native
+
+    info = _native.availability()
+    if info["available"]:
+        return f"native=fused,threads={info['threads']}"
+    reason = info["error"] or "unavailable"
+    return f"native=off({reason.splitlines()[0][:60]})"
+
+
 @dataclass
 class EngineRun:
     """One :meth:`MappingEngine.map_queries` batch and its telemetry.
@@ -256,10 +274,15 @@ class EngineRun:
     report: "RecoveryReport | None" = None
 
     def timing_line(self) -> str:
-        """The ``#``-comment timing summary the CLI writes above the TSV."""
+        """The ``#``-comment timing summary the CLI writes above the TSV.
+
+        Ends with the native-kernel state (``native=fused,threads=N`` or
+        ``native=off(<reason>)``) so a TSV header always records whether
+        the fused C path or the numpy fallback produced the run.
+        """
         if self.mode == "saved-index":
-            return f"# jem (saved index): {self.elapsed:.3f}s wall"
-        if self.mode == "simulated":
+            line = f"# jem (saved index): {self.elapsed:.3f}s wall"
+        elif self.mode == "simulated":
             assert self.steps is not None
             line = (
                 f"# parallel p={self.processes}: modelled time "
@@ -268,8 +291,7 @@ class EngineRun:
             )
             if self.steps.recovery_time > 0:
                 line += f", recovery {self.steps.recovery_time:.3f}s"
-            return line
-        if self.mode == "process":
+        elif self.mode == "process":
             assert self.report is not None
             line = (
                 f"# process backend p={self.processes} "
@@ -280,8 +302,9 @@ class EngineRun:
                     f", recovery {self.report.recovery_seconds:.3f}s "
                     f"({self.report.redispatches} re-dispatches)"
                 )
-            return line
-        return f"# {self.mapper_name}: {self.elapsed:.3f}s wall"
+        else:
+            line = f"# {self.mapper_name}: {self.elapsed:.3f}s wall"
+        return f"{line} [{native_summary()}]"
 
 
 class MappingEngine:

@@ -1,6 +1,6 @@
 """Best-hit selection from per-trial collisions (Algorithm 2, lines 5-8).
 
-Two interchangeable implementations:
+Three interchangeable implementations:
 
 * :func:`count_hits_lazy` — the paper's lazy-update counter array A[1..n] of
   ⟨u, v⟩ tuples: queries are processed one at a time; the counter of a
@@ -8,8 +8,13 @@ Two interchangeable implementations:
   current query (Section III-C, implementation notes).
 * :func:`count_hits_vectorised` — a groupby over packed (query, subject)
   pairs; processes the entire query set at once.
+* :func:`count_hits_fused` — the fused native path: hands the *pre-sketch*
+  minimizer block to :meth:`ColumnarSketchStore.lookup_fused`, which runs
+  sketch → per-trial binary search → lazy-update vote in one multi-threaded
+  C pass.  Available only for columnar stores with the compiled kernels
+  loaded; returns ``None`` otherwise so callers fall back.
 
-Both return identical results (a unit test enforces parity); ties on the
+All return identical results (unit tests enforce parity); ties on the
 maximum hit count are broken toward the smallest subject id so output is
 deterministic.
 """
@@ -27,7 +32,7 @@ from .sketch_table import TrialHits
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .store import SketchStore
 
-__all__ = ["BestHits", "count_hits_lazy", "count_hits_vectorised"]
+__all__ = ["BestHits", "count_hits_fused", "count_hits_lazy", "count_hits_vectorised"]
 
 #: Subject id reported for unmapped queries.
 UNMAPPED = -1
@@ -107,6 +112,54 @@ def count_hits_lazy(
         if top_count >= min_hits:
             best_subject[j] = top_subject
             best_count[j] = top_count
+    return BestHits(best_subject, best_count)
+
+
+def count_hits_fused(
+    table: "SketchStore",
+    minimizer_values: np.ndarray,
+    segment_starts: np.ndarray,
+    family,
+    *,
+    min_hits: int = 1,
+    n_queries: int | None = None,
+    nonempty: np.ndarray | None = None,
+    threads: int | None = None,
+) -> BestHits | None:
+    """Fused native best-hit selection, or ``None`` when unsupported.
+
+    ``minimizer_values``/``segment_starts`` describe the query block
+    *before sketching* (concatenated minimizer ranks of the non-empty
+    segments + per-segment offsets); the store's fused kernel does the
+    per-trial sketch itself.  ``nonempty`` maps the block's rows back to
+    query indices in a batch of ``n_queries`` (segments outside it had no
+    minimizers and are reported unmapped, exactly like a ``query_mask``).
+
+    ``None`` is returned — and the caller must take the numpy path — when
+    the store has no fused entry point (dict/packed stores, scatter-gather
+    lanes) or the native library is unavailable (no compiler,
+    ``REPRO_NO_NATIVE``).  When a result is returned it is bit-identical
+    to :func:`count_hits_vectorised` over the same batch.
+    """
+    lookup_fused = getattr(table, "lookup_fused", None)
+    if lookup_fused is None:
+        return None
+    fused = lookup_fused(
+        minimizer_values, segment_starts, family,
+        min_hits=min_hits, threads=threads,
+    )
+    if fused is None:
+        return None
+    subject, count = fused
+    if nonempty is None and n_queries is None:
+        return BestHits(subject, count)
+    if n_queries is None:
+        raise MappingError("count_hits_fused: nonempty requires n_queries")
+    best_subject = np.full(n_queries, UNMAPPED, dtype=np.int64)
+    best_count = np.zeros(n_queries, dtype=np.int64)
+    rows = np.arange(subject.size) if nonempty is None else np.asarray(nonempty)
+    best_subject[rows] = subject
+    best_count[rows] = count
     return BestHits(best_subject, best_count)
 
 

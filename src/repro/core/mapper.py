@@ -21,14 +21,19 @@ import numpy as np
 from ..errors import MappingError
 from ..seq.records import SequenceSet
 from ..sketch.hashing import HashFamily
-from ..sketch.jem import query_sketch_values, subject_sketch_pairs
+from ..sketch.jem import (
+    query_kernel,
+    query_minimizer_concat,
+    query_sketch_values,
+    subject_sketch_pairs,
+)
 from .config import JEMConfig
-from .hitcounter import BestHits, count_hits_vectorised
+from .hitcounter import BestHits, count_hits_fused, count_hits_vectorised
 from .segments import SegmentInfo, extract_end_segments
 from .sketch_table import SketchTable
 from .store import DEFAULT_STORE_KIND, SketchStore, build_store, store_from_table
 
-__all__ = ["JEMMapper", "MappingResult"]
+__all__ = ["JEMMapper", "MappingResult", "map_segment_batch"]
 
 
 @dataclass
@@ -79,6 +84,44 @@ class MappingResult:
             hit_count=hits.count,
             infos=list(infos) if infos is not None else [],
         )
+
+
+def map_segment_batch(
+    table: SketchStore,
+    segments: SequenceSet,
+    config: JEMConfig,
+    family: HashFamily,
+    infos: list[SegmentInfo] | None = None,
+) -> MappingResult:
+    """Algorithm 2 over one segment batch — the S4 hot path, shared.
+
+    The one place sketch + lookup + vote happens: :class:`JEMMapper`, the
+    parallel driver's per-block S4 stage and the service's inline path all
+    call this, so every frontend takes the same route.  When the store is
+    columnar and the compiled kernels are loaded, the whole pipeline runs
+    as one fused multi-threaded C pass
+    (:func:`~repro.core.hitcounter.count_hits_fused`); otherwise the numpy
+    path — batched sketch kernel feeding
+    :func:`~repro.core.hitcounter.count_hits_vectorised` — runs on the
+    *same* pre-extracted minimizer block, so the fallback never re-extracts
+    minimizers.  Both routes are bit-identical (the parity oracle contract;
+    ``REPRO_NO_NATIVE=1`` forces the numpy route).
+    """
+    has, nonempty, values, starts = query_minimizer_concat(
+        segments, config.k, config.w
+    )
+    hits = count_hits_fused(
+        table, values, starts, family,
+        min_hits=config.min_hits, n_queries=len(segments), nonempty=nonempty,
+    )
+    if hits is None:
+        sketch_values = np.zeros((family.size, len(segments)), dtype=np.uint64)
+        if nonempty.size:
+            sketch_values[:, nonempty] = query_kernel(values, starts, family)
+        hits = count_hits_vectorised(
+            table, sketch_values, min_hits=config.min_hits, query_mask=has
+        )
+    return MappingResult.from_best_hits(segments.names, hits, infos)
 
 
 class JEMMapper:
@@ -163,14 +206,15 @@ class JEMMapper:
     # -- mapping (Algorithm 2) ----------------------------------------------
 
     def map_segments(self, segments: SequenceSet, infos: list[SegmentInfo] | None = None) -> MappingResult:
-        """Map pre-extracted query segments against the index."""
-        table = self.table
-        cfg = self.config
-        sketches = query_sketch_values(segments, cfg.k, cfg.w, self._family)
-        hits = count_hits_vectorised(
-            table, sketches.values, min_hits=cfg.min_hits, query_mask=sketches.has
+        """Map pre-extracted query segments against the index.
+
+        Routes through :func:`map_segment_batch`: the fused native pass
+        when the store is columnar and the compiled kernels are loaded,
+        the batched numpy path otherwise — bit-identical either way.
+        """
+        return map_segment_batch(
+            self.table, segments, self.config, self._family, infos
         )
-        return MappingResult.from_best_hits(segments.names, hits, infos)
 
     def map_reads(self, reads: SequenceSet) -> MappingResult:
         """Extract prefix/suffix end segments of length ℓ and map them."""

@@ -223,7 +223,7 @@ class ColumnarSketchStore:
     ready for zero-copy publication in shared memory.
     """
 
-    __slots__ = ("values", "subjects", "n_subjects", "_table")
+    __slots__ = ("values", "subjects", "n_subjects", "_table", "_flat")
 
     def __init__(
         self,
@@ -242,6 +242,7 @@ class ColumnarSketchStore:
                 raise SketchError("value columns must be sorted")
         self.n_subjects = int(n_subjects)
         self._table: SketchTable | None = None
+        self._flat: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     @classmethod
     def from_trial_keys(
@@ -288,6 +289,80 @@ class ColumnarSketchStore:
             out.append(v)
             out.append(s)
         return out
+
+    def flat_columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The fused kernel's view: all trials in two flat arrays.
+
+        Returns ``(values, subjects, offsets)`` where trial ``t`` occupies
+        ``values[offsets[t]:offsets[t+1]]`` (and the same slice of
+        ``subjects``) — :meth:`export_columns` concatenated once and cached,
+        so repeated fused map calls pay zero copies after the first.
+        """
+        if self._flat is None:
+            offsets = np.zeros(self.trials + 1, dtype=np.int64)
+            np.cumsum([v.size for v in self.values], out=offsets[1:])
+            self._flat = (
+                np.ascontiguousarray(
+                    np.concatenate(self.values)
+                    if self.total_entries
+                    else np.empty(0, dtype=np.uint32)
+                ),
+                np.ascontiguousarray(
+                    np.concatenate(self.subjects)
+                    if self.total_entries
+                    else np.empty(0, dtype=np.uint32)
+                ),
+                offsets,
+            )
+        return self._flat
+
+    def lookup_fused(
+        self,
+        query_values: np.ndarray,
+        query_starts: np.ndarray,
+        family,
+        *,
+        min_hits: int = 1,
+        threads: int | None = None,
+    ) -> "tuple[np.ndarray, np.ndarray] | None":
+        """Fused native S4: sketch → lookup → vote in one C pass.
+
+        ``query_values``/``query_starts`` are the concatenated minimizer
+        ranks and per-segment offsets of a query block (the
+        :func:`~repro.sketch.jem.query_kernel` layout — *pre-sketch*, so
+        the native kernel hashes, binary-searches the value columns and
+        runs the paper's lazy-update vote without ever materialising the
+        (T, n) sketch matrix in Python).  Returns per-segment
+        ``(best_subject, best_count)`` int64 arrays (-1/0 unmapped),
+        bit-identical to sketching with :func:`query_kernel` and voting
+        with :func:`~repro.core.hitcounter.count_hits_vectorised`; or
+        ``None`` when the native library is unavailable (callers fall
+        back to the numpy path).
+        """
+        from ..sketch import _native
+
+        native = _native.load()
+        if native is None:
+            return None
+        if family.size != self.trials:
+            raise SketchError(
+                f"{family.size} hash trials vs store with {self.trials}"
+            )
+        query_values = np.ascontiguousarray(query_values, dtype=np.uint64)
+        if query_values.size and int(query_values.max()) >> 32:
+            raise SketchError("sketch values must fit in 32 bits (k <= 16)")
+        flat_values, flat_subjects, offsets = self.flat_columns()
+        return native.map_block(
+            query_values,
+            np.ascontiguousarray(query_starts, dtype=np.int64),
+            family,
+            flat_values,
+            flat_subjects,
+            offsets,
+            self.n_subjects,
+            min_hits=min_hits,
+            threads=threads,
+        )
 
     # -- protocol ----------------------------------------------------------
 

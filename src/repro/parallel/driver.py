@@ -44,13 +44,12 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..core.config import JEMConfig
-from ..core.hitcounter import count_hits_vectorised
-from ..core.mapper import MappingResult
+from ..core.mapper import MappingResult, map_segment_batch
 from ..core.segments import SegmentInfo, extract_end_segments
 from ..core.store import DEFAULT_STORE_KIND, SketchStore, build_store
 from ..errors import CommError, FaultError, PartialResultError
 from ..seq.records import SequenceSet
-from ..sketch.jem import query_sketch_values, subject_sketch_pairs
+from ..sketch.jem import subject_sketch_pairs
 from .comm import MAX_GATHER_ATTEMPTS, Communicator, spmd_run
 from .costmodel import CostModel, StepTimes
 from .faults import FaultPlan, PartialResult, inject_compute_faults
@@ -232,12 +231,8 @@ def map_partitioned_queries(
                     [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), []
                 )
             segments, infos = extract_end_segments(read_parts[b], config.ell)
-            sketches = query_sketch_values(segments, config.k, config.w, family)
-            hits = count_hits_vectorised(
-                table, sketches.values, min_hits=config.min_hits,
-                query_mask=sketches.has,
-            )
-            return MappingResult.from_best_hits(segments.names, hits, infos)
+            # fused native when the table is columnar, numpy otherwise
+            return map_segment_batch(table, segments, config, family, infos)
 
         return _run
 
@@ -545,12 +540,7 @@ def run_parallel_jem_threaded(
                     [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), []
                 )
             segments, infos = extract_end_segments(my_reads, config.ell)
-            sketches = query_sketch_values(segments, config.k, config.w, family)
-            hits = count_hits_vectorised(
-                table, sketches.values, min_hits=config.min_hits,
-                query_mask=sketches.has,
-            )
-            return MappingResult.from_best_hits(segments.names, hits, infos)
+            return map_segment_batch(table, segments, config, family, infos)
 
         result, _, _ = retry_call(attempt_map, policy=policy, stream=p + r)
         return result

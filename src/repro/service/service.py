@@ -35,7 +35,7 @@ import numpy as np
 
 from ..core.config import JEMConfig
 from ..core.hitcounter import count_hits_vectorised
-from ..core.mapper import JEMMapper, MappingResult
+from ..core.mapper import JEMMapper, MappingResult, map_segment_batch
 from ..core.segments import PREFIX, SUFFIX, SegmentInfo, extract_end_segments
 from ..core.sketch_table import SketchTable
 from ..errors import (
@@ -324,12 +324,17 @@ class MappingService:
         )
         self.metrics.ready.set(1.0 if ready else 0.0)
         self.metrics.breaker_open.set(1.0 if breaker_state == OPEN else 0.0)
+        from ..sketch import _native
+
         health: dict = {
             "live": not self._drained,
             "ready": ready,
             "draining": self.draining,
             "breaker": breaker_state,
             "queue_depth": self._queue.depth,
+            # whether the fused/native map path is actually in effect, its
+            # thread count, and the load failure when it is not
+            "native": _native.availability(),
         }
         if self._pool is not None:
             health["pool"] = {
@@ -567,12 +572,8 @@ class MappingService:
         cfg = self.jem_config
         if self.config.processes == 1 and self._faults is None:
             segments, _ = extract_end_segments(reads, cfg.ell)
-            sketches = query_sketch_values(segments, cfg.k, cfg.w, self._family)
-            hits = count_hits_vectorised(
-                self._table, sketches.values, min_hits=cfg.min_hits,
-                query_mask=sketches.has,
-            )
-            result = MappingResult.from_best_hits(segments.names, hits)
+            # fused native when the resident store is columnar
+            result = map_segment_batch(self._table, segments, cfg, self._family)
             return [(e, None) for e in self._entries_from_result(result, len(requests))]
         p = max(1, min(self.config.processes, len(reads)))
         read_parts = partition_set(reads, p)

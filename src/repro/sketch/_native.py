@@ -13,7 +13,14 @@ do exactly that:
 * ``jem_subject_kernel`` — per trial, the same Barrett hash plus an O(n)
   monotone-deque sliding-window minimum over the ℓ-interval ends
   (replacing the O(n log n) sparse table), emitting the packed
-  ``(value << 32) | subject`` key row ready for the batched dedupe.
+  ``(value << 32) | subject`` key row ready for the batched dedupe;
+* ``jem_map_kernel`` — the whole S4 query pipeline fused: per segment and
+  per trial, sketch (Barrett hash + packed-key minimum), branchless binary
+  search over the columnar store's sorted per-trial value columns, and the
+  paper's lazy-update vote counter A[1..n] — one C pass from minimizer
+  ranks to per-segment best hits, with an optional pthread loop over
+  contiguous segment blocks (``REPRO_NATIVE_THREADS``).  Segments are
+  independent, so the output is bit-identical for any thread count.
 
 Both are **bit-identical** to the numpy kernels and the per-trial
 reference paths: Barrett reduction computes the exact ``x mod p`` (one
@@ -35,11 +42,12 @@ import os
 import subprocess
 import tempfile
 import threading
+import warnings
 from pathlib import Path
 
 import numpy as np
 
-__all__ = ["load", "NativeKernels"]
+__all__ = ["load", "load_error", "thread_count", "availability", "NativeKernels"]
 
 _SOURCE = r"""
 #include <stdint.h>
@@ -123,11 +131,417 @@ void jem_subject_kernel(const uint64_t *values, const int64_t *ends,
         }
     }
 }
+
+/* ---- fused S4 map kernel: sketch -> lookup -> vote ---------------------- */
+
+#include <pthread.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* Branchless lower bound over a sorted uint32 column: first index whose
+   value is >= key.  The classic half-interval form — the conditional add
+   compiles to a cmov, so the loop has no unpredictable branch. */
+static inline int64_t lower_bound_u32(const uint32_t *arr, int64_t n,
+                                      uint32_t key) {
+    int64_t lo = 0;
+    while (n > 1) {
+        const int64_t half = n >> 1;
+        if (arr[lo + half - 1] < key) lo += half;
+        n -= half;
+    }
+    if (n == 1 && arr[lo] < key) lo++;
+    return lo;
+}
+
+/* First index whose value is > key (upper bound). */
+static inline int64_t upper_bound_u32(const uint32_t *arr, int64_t n,
+                                      uint32_t key) {
+    int64_t lo = 0;
+    while (n > 1) {
+        const int64_t half = n >> 1;
+        if (arr[lo + half - 1] <= key) lo += half;
+        n -= half;
+    }
+    if (n == 1 && arr[lo] <= key) lo++;
+    return lo;
+}
+
+/* Segments per phase block: the (trials x MAP_BLOCK) sketch matrix stays
+   L1/L2-resident, and the trial-outer sketch phase touches one hashed row
+   at a time for a whole block of segments. */
+#define MAP_BLOCK 128
+
+/* One-Barrett LCG for 32-bit inputs: a * (x mod p) + b ≡ a * x + b
+   (mod p), and with a < p < 2^31 and x < 2^32 the product a * x + b
+   stays below 2^64, where the single-correction Barrett estimate is
+   still exact — so this equals lcg_hash bit for bit at half the cost. */
+static inline uint64_t lcg_hash32(uint64_t x, uint64_t a, uint64_t b,
+                                  uint64_t p, uint64_t m) {
+    return barrett_mod(a * x + b, p, m);
+}
+
+/* LSD radix sort of packed (value << 32) | index keys by the four value
+   bytes; stable, so ties keep ascending-index order.  Returns whichever
+   scratch holds the sorted data.  Passes where every key shares the same
+   byte (common for narrow key spaces) are skipped. */
+static uint64_t *radix_sort_packed(uint64_t *src, uint64_t *dst, int64_t n) {
+    for (int pass = 0; pass < 4; pass++) {
+        const int sh = 32 + pass * 8;
+        int64_t count[256];
+        memset(count, 0, sizeof(count));
+        for (int64_t i = 0; i < n; i++) count[(src[i] >> sh) & 0xff]++;
+        int uniform = 0;
+        for (int b = 0; b < 256; b++)
+            if (count[b] == n) { uniform = 1; break; }
+        if (uniform) continue;
+        int64_t offs[256];
+        int64_t acc = 0;
+        for (int b = 0; b < 256; b++) { offs[b] = acc; acc += count[b]; }
+        for (int64_t i = 0; i < n; i++)
+            dst[offs[(src[i] >> sh) & 0xff]++] = src[i];
+        uint64_t *tmp = src; src = dst; dst = tmp;
+    }
+    return src;
+}
+
+/* Dedupe the query block: fill uniq with the sorted distinct values and
+   inverse with each occurrence's slot in it.  Returns n_uniq, or -1 when
+   any value overflows 32 bits (caller hashes inline instead). */
+static int64_t dedupe_values(const uint64_t *qvalues, int64_t n,
+                             uint64_t *uniq, int32_t *inverse,
+                             uint64_t *scratch_a, uint64_t *scratch_b) {
+    uint64_t seen = 0;
+    for (int64_t i = 0; i < n; i++) {
+        seen |= qvalues[i];
+        scratch_a[i] = (qvalues[i] << 32) | (uint64_t)i;
+    }
+    if (seen >> 32) return -1;
+    const uint64_t *sorted = radix_sort_packed(scratch_a, scratch_b, n);
+    int64_t uid = -1;
+    uint64_t prev = 0;
+    for (int64_t k = 0; k < n; k++) {
+        const uint64_t v = sorted[k] >> 32;
+        if (uid < 0 || v != prev) { prev = v; uniq[++uid] = v; }
+        inverse[sorted[k] & 0xffffffffu] = (int32_t)uid;
+    }
+    return uid + 1;
+}
+
+/* Per-trial 256-bucket index over the sorted value column: bucket
+   b = value >> bucket_shift[t] of trial t covers rows [bk[b], bk[b+1])
+   with bk = bucket_lo + t * 257.  The shift is sized to the column's max
+   value so narrow key spaces (small k) still spread across buckets; a
+   binary search then probes ~clen/256 entries instead of clen. */
+static void build_bucket_index(const uint32_t *col_values,
+                               const int64_t *col_offsets, int64_t trials,
+                               int64_t *bucket_lo, int64_t *bucket_shift) {
+    for (int64_t t = 0; t < trials; t++) {
+        const int64_t base = col_offsets[t];
+        const int64_t clen = col_offsets[t + 1] - base;
+        const uint32_t *cv = col_values + base;
+        int64_t *bk = bucket_lo + t * 257;
+        int64_t shift = 0;
+        if (clen > 0) {
+            const uint32_t maxv = cv[clen - 1];
+            while ((maxv >> shift) > 255) shift++;
+        }
+        bucket_shift[t] = shift;
+        int64_t count[257];
+        memset(count, 0, sizeof(count));
+        for (int64_t i = 0; i < clen; i++) count[(cv[i] >> shift) + 1]++;
+        bk[0] = 0;
+        for (int b = 1; b <= 256; b++) bk[b] = bk[b - 1] + count[b];
+    }
+}
+
+typedef struct {
+    const uint64_t *qvalues;     /* concatenated minimizer ranks          */
+    int64_t n;                   /* total minimizers                      */
+    const int64_t *starts;       /* per-segment offsets into qvalues      */
+    int64_t nseg;
+    const uint64_t *a, *b, *p;   /* hash family rows                      */
+    const uint64_t *m;           /* precomputed Barrett constants         */
+    int64_t trials;
+    const uint32_t *col_values;  /* flattened sorted value columns        */
+    const uint32_t *col_subjects;/* flattened parallel contig-id columns  */
+    const int64_t *col_offsets;  /* trials + 1 offsets into the flats     */
+    int64_t n_subjects;
+    int64_t min_hits;
+    const uint32_t *hashed_uniq; /* (trials, n_uniq) precomputed hashes,  */
+    const int32_t *inverse;      /* rank -> uniq row index; NULL = direct */
+    int64_t n_uniq;
+    const int64_t *bucket_lo;    /* (trials, 257) bucket run starts       */
+    const int64_t *bucket_shift; /* per-trial bucket shift                */
+    int64_t seg_lo, seg_hi;      /* this worker's block of segments       */
+    int64_t *best_subject;       /* out: (nseg,)                          */
+    int64_t *best_count;         /* out: (nseg,)                          */
+    int rc;                      /* 0 ok, 1 allocation failure            */
+} map_task;
+
+/* Sketch phase over one block of segments, trial-outer: per trial, per
+   segment, the minimizer minimising (hash << 32) | index — the same
+   packed tie-break as jem_query_kernel.  With a dedupe table the hash is
+   a gather from the trial's precomputed row (overlapping read segments
+   repeat minimizer values heavily, so each distinct value is hashed once
+   per trial instead of once per occurrence); without, it is computed
+   inline.  An empty segment leaves UINT64_MAX (sketch values fit 32
+   bits, so that can never collide with a real one). */
+static void sketch_block(const map_task *task, int64_t blk_lo, int64_t blk_hi,
+                         uint64_t *sketch) {
+    for (int64_t t = 0; t < task->trials; t++) {
+        uint64_t *row = sketch + t * MAP_BLOCK;
+        if (task->inverse != NULL) {
+            const uint32_t *hu = task->hashed_uniq + t * task->n_uniq;
+            for (int64_t j = blk_lo; j < blk_hi; j++) {
+                const int64_t lo = task->starts[j];
+                const int64_t hi =
+                    (j + 1 < task->nseg) ? task->starts[j + 1] : task->n;
+                uint64_t best = UINT64_MAX;
+                for (int64_t i = lo; i < hi; i++) {
+                    const uint64_t key =
+                        ((uint64_t)hu[task->inverse[i]] << 32) | (uint64_t)i;
+                    if (key < best) best = key;
+                }
+                row[j - blk_lo] =
+                    (hi > lo) ? task->qvalues[best & 0xffffffffu] : UINT64_MAX;
+            }
+        } else {
+            const uint64_t at = task->a[t], bt = task->b[t];
+            const uint64_t pt = task->p[t], mt = task->m[t];
+            for (int64_t j = blk_lo; j < blk_hi; j++) {
+                const int64_t lo = task->starts[j];
+                const int64_t hi =
+                    (j + 1 < task->nseg) ? task->starts[j + 1] : task->n;
+                uint64_t best = UINT64_MAX;
+                for (int64_t i = lo; i < hi; i++) {
+                    const uint64_t key =
+                        (lcg_hash(task->qvalues[i], at, bt, pt, mt) << 32)
+                        | (uint64_t)i;
+                    if (key < best) best = key;
+                }
+                row[j - blk_lo] =
+                    (hi > lo) ? task->qvalues[best & 0xffffffffu] : UINT64_MAX;
+            }
+        }
+    }
+}
+
+/* The paper's Algorithm 2 with the lazy-update counter array A[1..n]
+   (Section III-C): counters are never cleared between queries — a stale
+   entry is detected by its stored query id and re-seeded to (1, j).  Ties
+   on the maximum count break toward the smallest subject id, matching
+   count_hits_lazy / count_hits_vectorised bit for bit. */
+static void map_segment_range(map_task *task) {
+    const int64_t n_subjects = task->n_subjects;
+    int64_t *counter_u = (int64_t *)malloc((size_t)n_subjects * sizeof(int64_t));
+    int64_t *counter_v = (int64_t *)malloc((size_t)n_subjects * sizeof(int64_t));
+    uint64_t *sketch =
+        (uint64_t *)malloc((size_t)task->trials * MAP_BLOCK * sizeof(uint64_t));
+    if (((counter_u == NULL || counter_v == NULL) && n_subjects > 0) ||
+        sketch == NULL) {
+        free(counter_u);
+        free(counter_v);
+        free(sketch);
+        task->rc = 1;
+        return;
+    }
+    /* all-ones bytes == -1 in two's complement: no query id matches */
+    if (n_subjects > 0)
+        memset(counter_v, 0xff, (size_t)n_subjects * sizeof(int64_t));
+    for (int64_t blk_lo = task->seg_lo; blk_lo < task->seg_hi;
+         blk_lo += MAP_BLOCK) {
+        const int64_t blk_hi = (blk_lo + MAP_BLOCK < task->seg_hi)
+                                   ? blk_lo + MAP_BLOCK
+                                   : task->seg_hi;
+        sketch_block(task, blk_lo, blk_hi, sketch);
+        for (int64_t j = blk_lo; j < blk_hi; j++) {
+            int64_t top_count = 0, top_subject = -1;
+            for (int64_t t = 0; t < task->trials; t++) {
+                const uint64_t sk = sketch[t * MAP_BLOCK + (j - blk_lo)];
+                if (sk == UINT64_MAX) continue; /* empty segment */
+                const uint32_t key = (uint32_t)sk;
+                /* lookup: narrow to the key's bucket, then binary search
+                   the run of matching entries in trial t's column */
+                const int64_t base = task->col_offsets[t];
+                if (task->col_offsets[t + 1] == base) continue;
+                const uint32_t *cv = task->col_values + base;
+                const uint64_t bidx = (uint64_t)key >> task->bucket_shift[t];
+                if (bidx > 255) continue; /* above every stored value */
+                const int64_t *bk = task->bucket_lo + t * 257;
+                const int64_t blo = bk[bidx], bhi = bk[bidx + 1];
+                if (blo == bhi) continue;
+                const int64_t run_lo =
+                    blo + lower_bound_u32(cv + blo, bhi - blo, key);
+                if (run_lo >= bhi || cv[run_lo] != key) continue;
+                const int64_t run_hi =
+                    run_lo + upper_bound_u32(cv + run_lo, bhi - run_lo, key);
+                const uint32_t *cs = task->col_subjects + base;
+                /* vote: lazy-update counters over the colliding subjects */
+                for (int64_t r = run_lo; r < run_hi; r++) {
+                    const int64_t s = (int64_t)cs[r];
+                    if (counter_v[s] != j) {
+                        counter_v[s] = j;
+                        counter_u[s] = 0;
+                    }
+                    const int64_t u = ++counter_u[s];
+                    if (u > top_count || (u == top_count && s < top_subject)) {
+                        top_count = u;
+                        top_subject = s;
+                    }
+                }
+            }
+            if (top_count >= task->min_hits && top_count > 0) {
+                task->best_subject[j] = top_subject;
+                task->best_count[j] = top_count;
+            } else {
+                task->best_subject[j] = -1;
+                task->best_count[j] = 0;
+            }
+        }
+    }
+    free(counter_u);
+    free(counter_v);
+    free(sketch);
+    task->rc = 0;
+}
+
+static void *map_thread_main(void *arg) {
+    map_segment_range((map_task *)arg);
+    return NULL;
+}
+
+/* Entry point: fused sketch -> lookup -> vote over all segments, split
+   into contiguous blocks across nthreads POSIX threads (inline when
+   nthreads <= 1).  Before the segment loop runs, two shared read-only
+   accelerations are built once: a 256-bucket index per trial column, and
+   a hash-once dedupe table — the query block's distinct values (radix
+   sorted) hashed once per trial, turning the sketch phase into gathers.
+   Dedupe is skipped for tiny blocks, 33-bit values, low duplication
+   (< 1/4 of occurrences) or allocation failure; inline hashing is always
+   correct, just slower.  Returns 0 on success, 1 on allocation failure. */
+int64_t jem_map_kernel(const uint64_t *qvalues, int64_t n,
+                       const int64_t *starts, int64_t nseg,
+                       const uint64_t *a, const uint64_t *b,
+                       const uint64_t *p, int64_t trials,
+                       const uint32_t *col_values,
+                       const uint32_t *col_subjects,
+                       const int64_t *col_offsets,
+                       int64_t n_subjects, int64_t min_hits,
+                       int64_t nthreads,
+                       int64_t *best_subject, int64_t *best_count) {
+    uint64_t *m = (uint64_t *)malloc((size_t)trials * sizeof(uint64_t));
+    int64_t *bucket_lo =
+        (int64_t *)malloc((size_t)trials * 257 * sizeof(int64_t));
+    int64_t *bucket_shift =
+        (int64_t *)malloc((size_t)trials * sizeof(int64_t));
+    if ((m == NULL || bucket_lo == NULL || bucket_shift == NULL)
+        && trials > 0) {
+        free(m);
+        free(bucket_lo);
+        free(bucket_shift);
+        return 1;
+    }
+    for (int64_t t = 0; t < trials; t++)
+        m[t] = (uint64_t)((((u128)1) << 64) / p[t]);
+    build_bucket_index(col_values, col_offsets, trials, bucket_lo,
+                       bucket_shift);
+    uint32_t *hu = NULL;
+    int32_t *inverse = NULL;
+    int64_t n_uniq = 0;
+    if (n >= 64 && n < ((int64_t)1 << 31)) {
+        uint64_t *sa = (uint64_t *)malloc((size_t)n * sizeof(uint64_t));
+        uint64_t *sb = (uint64_t *)malloc((size_t)n * sizeof(uint64_t));
+        uint64_t *uniq = (uint64_t *)malloc((size_t)n * sizeof(uint64_t));
+        inverse = (int32_t *)malloc((size_t)n * sizeof(int32_t));
+        if (sa != NULL && sb != NULL && uniq != NULL && inverse != NULL) {
+            const int64_t nu = dedupe_values(qvalues, n, uniq, inverse, sa, sb);
+            if (nu > 0 && nu <= n - (n >> 2)) {
+                hu = (uint32_t *)malloc((size_t)trials * (size_t)nu
+                                        * sizeof(uint32_t));
+                if (hu != NULL) {
+                    for (int64_t t = 0; t < trials; t++) {
+                        const uint64_t at = a[t], bt = b[t];
+                        const uint64_t pt = p[t], mt = m[t];
+                        uint32_t *row = hu + t * nu;
+                        for (int64_t u = 0; u < nu; u++)
+                            row[u] =
+                                (uint32_t)lcg_hash32(uniq[u], at, bt, pt, mt);
+                    }
+                    n_uniq = nu;
+                }
+            }
+        }
+        free(sa);
+        free(sb);
+        free(uniq);
+        if (n_uniq == 0) {
+            free(inverse);
+            inverse = NULL;
+            free(hu);
+            hu = NULL;
+        }
+    }
+    if (nthreads > nseg) nthreads = nseg;
+    if (nthreads < 1) nthreads = 1;
+    map_task proto = {qvalues, n, starts, nseg, a, b, p, m, trials,
+                      col_values, col_subjects, col_offsets, n_subjects,
+                      min_hits, hu, inverse, n_uniq, bucket_lo, bucket_shift,
+                      0, nseg, best_subject, best_count, 0};
+    int64_t rc = 0;
+    if (nthreads == 1) {
+        map_segment_range(&proto);
+        rc = proto.rc;
+    } else {
+        map_task *tasks = (map_task *)malloc((size_t)nthreads * sizeof(map_task));
+        pthread_t *threads =
+            (pthread_t *)malloc((size_t)nthreads * sizeof(pthread_t));
+        if (tasks == NULL || threads == NULL) {
+            free(tasks);
+            free(threads);
+            free(hu);
+            free(inverse);
+            free(bucket_lo);
+            free(bucket_shift);
+            free(m);
+            return 1;
+        }
+        const int64_t block = (nseg + nthreads - 1) / nthreads;
+        int64_t spawned = 0;
+        for (int64_t k = 0; k < nthreads; k++) {
+            tasks[k] = proto;
+            tasks[k].seg_lo = k * block;
+            tasks[k].seg_hi = (k + 1) * block < nseg ? (k + 1) * block : nseg;
+            if (tasks[k].seg_lo >= tasks[k].seg_hi) break;
+            if (pthread_create(&threads[k], NULL, map_thread_main, &tasks[k])) {
+                /* fall back to running the remainder inline */
+                tasks[k].seg_hi = nseg;
+                map_segment_range(&tasks[k]);
+                if (tasks[k].rc) rc = tasks[k].rc;
+                spawned = k;
+                break;
+            }
+            spawned = k + 1;
+        }
+        for (int64_t k = 0; k < spawned; k++) {
+            pthread_join(threads[k], NULL);
+            if (tasks[k].rc) rc = tasks[k].rc;
+        }
+        free(tasks);
+        free(threads);
+    }
+    free(hu);
+    free(inverse);
+    free(bucket_lo);
+    free(bucket_shift);
+    free(m);
+    return rc;
+}
 """
 
 _lock = threading.Lock()
 _lib: "NativeKernels | None" = None
 _tried = False
+_load_error: str | None = None
 
 
 def _cache_dir() -> Path:
@@ -161,7 +575,10 @@ def _compile() -> Path:
     tmp = cache / f".jem_kernels_{digest}.{os.getpid()}.so"
     compiler = os.environ.get("CC", "cc")
     subprocess.run(
-        [compiler, "-O3", "-shared", "-fPIC", "-o", os.fspath(tmp), os.fspath(c_path)],
+        [
+            compiler, "-O3", "-shared", "-fPIC", "-pthread",
+            "-o", os.fspath(tmp), os.fspath(c_path),
+        ],
         check=True,
         capture_output=True,
         timeout=120,
@@ -176,6 +593,7 @@ class NativeKernels:
     def __init__(self, dll: ctypes.CDLL) -> None:
         self._dll = dll
         u64p = ctypes.POINTER(ctypes.c_uint64)
+        u32p = ctypes.POINTER(ctypes.c_uint32)
         i64p = ctypes.POINTER(ctypes.c_int64)
         i64 = ctypes.c_int64
         dll.jem_query_kernel.argtypes = [u64p, i64, i64p, i64, u64p, u64p, u64p, i64, u64p]
@@ -184,6 +602,14 @@ class NativeKernels:
             u64p, i64p, i64, u64p, u64p, u64p, u64p, i64, u64p, u64p,
         ]
         dll.jem_subject_kernel.restype = None
+        dll.jem_map_kernel.argtypes = [
+            u64p, i64, i64p, i64,          # qvalues, n, starts, nseg
+            u64p, u64p, u64p, i64,         # a, b, p, trials
+            u32p, u32p, i64p,              # col_values, col_subjects, col_offsets
+            i64, i64, i64,                 # n_subjects, min_hits, nthreads
+            i64p, i64p,                    # best_subject, best_count
+        ]
+        dll.jem_map_kernel.restype = ctypes.c_int64
 
     @staticmethod
     def _ptr(arr: np.ndarray, dtype, ctype):
@@ -234,15 +660,75 @@ class NativeKernels:
         )
         return out
 
+    def map_block(
+        self,
+        values: np.ndarray,
+        starts: np.ndarray,
+        family,
+        col_values: np.ndarray,
+        col_subjects: np.ndarray,
+        col_offsets: np.ndarray,
+        n_subjects: int,
+        *,
+        min_hits: int = 1,
+        threads: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused S4 over one query block: sketch → lookup → vote in C.
+
+        ``values``/``starts`` are the concatenated minimizer ranks and
+        per-segment offsets (the :func:`query_kernel` layout); the three
+        column arrays are the columnar store's flattened per-trial sorted
+        value/subject columns with ``col_offsets`` (trials + 1) marking the
+        trial boundaries.  Returns per-segment ``(best_subject, best_count)``
+        int64 arrays (-1/0 for unmapped).  ``threads`` defaults to
+        :func:`thread_count`; ctypes releases the GIL for the call, and the
+        pthread block loop inside the extension is real parallelism.
+
+        Overlapping read segments repeat minimizer values heavily, so the
+        kernel radix-sorts the block's values and hashes each distinct one
+        once per trial (a gather table) instead of once per occurrence,
+        and probes each trial column through a 256-bucket index rather
+        than a full-width binary search.
+        """
+        u64, u32, i64 = np.uint64, np.uint32, np.int64
+        nseg = starts.size
+        best_subject = np.empty(nseg, dtype=i64)
+        best_count = np.empty(nseg, dtype=i64)
+        nthreads = thread_count() if threads is None else max(int(threads), 1)
+        rc = self._dll.jem_map_kernel(
+            self._ptr(values, u64, ctypes.c_uint64),
+            ctypes.c_int64(values.size),
+            self._ptr(starts, i64, ctypes.c_int64),
+            ctypes.c_int64(nseg),
+            self._ptr(family.a, u64, ctypes.c_uint64),
+            self._ptr(family.b, u64, ctypes.c_uint64),
+            self._ptr(family.p, u64, ctypes.c_uint64),
+            ctypes.c_int64(family.size),
+            self._ptr(col_values, u32, ctypes.c_uint32),
+            self._ptr(col_subjects, u32, ctypes.c_uint32),
+            self._ptr(col_offsets, i64, ctypes.c_int64),
+            ctypes.c_int64(n_subjects),
+            ctypes.c_int64(min_hits),
+            ctypes.c_int64(nthreads),
+            self._ptr(best_subject, i64, ctypes.c_int64),
+            self._ptr(best_count, i64, ctypes.c_int64),
+        )
+        if rc != 0:  # pragma: no cover - only on malloc failure
+            raise MemoryError("jem_map_kernel: allocation failure")
+        return best_subject, best_count
+
 
 def load() -> NativeKernels | None:
     """The compiled kernels, or ``None`` when unavailable or disabled.
 
     ``REPRO_NO_NATIVE`` (any non-empty value) is honoured per call so tests
     can force the numpy path without reloading modules.  Compilation is
-    attempted once per process; failures are remembered as "unavailable".
+    attempted once per process; failures are remembered as "unavailable",
+    the cause is kept (see :func:`load_error`) and surfaced once as a
+    :class:`RuntimeWarning` — a silent fallback to numpy used to hide
+    broken toolchains until someone wondered where the speedup went.
     """
-    global _lib, _tried
+    global _lib, _tried, _load_error
     if os.environ.get("REPRO_NO_NATIVE"):
         return None
     if _tried:
@@ -251,7 +737,62 @@ def load() -> NativeKernels | None:
         if not _tried:
             try:
                 _lib = NativeKernels(ctypes.CDLL(os.fspath(_compile())))
-            except Exception:
+            except subprocess.CalledProcessError as exc:
+                stderr = (exc.stderr or b"").decode(errors="replace").strip()
+                _load_error = f"compile failed ({exc.cmd[0]}): {stderr or exc}"
                 _lib = None
+            except Exception as exc:
+                _load_error = f"{type(exc).__name__}: {exc}"
+                _lib = None
+            if _lib is None:
+                warnings.warn(
+                    f"repro native kernels unavailable, using the numpy "
+                    f"fallback — {_load_error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             _tried = True
     return _lib
+
+
+def load_error() -> str | None:
+    """Why the native library failed to load (None before/without failure)."""
+    return _load_error
+
+
+def thread_count() -> int:
+    """Threads for the fused map kernel's pthread loop.
+
+    ``REPRO_NATIVE_THREADS`` overrides (clamped to >= 1, junk ignored);
+    the default is the machine's CPU count.  Read per call so tests and
+    operators can change it without reloading modules.
+    """
+    raw = os.environ.get("REPRO_NATIVE_THREADS")
+    if raw:
+        try:
+            return max(int(raw), 1)
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def availability() -> dict:
+    """Operational snapshot for telemetry (timing lines, healthz).
+
+    ``available`` says whether the fused/native path will actually be
+    taken right now (kill switch included); ``threads`` is the fused
+    kernel's thread count and ``error`` the recorded load failure, or the
+    kill switch, when unavailable.
+    """
+    if os.environ.get("REPRO_NO_NATIVE"):
+        return {
+            "available": False,
+            "threads": thread_count(),
+            "error": "disabled via REPRO_NO_NATIVE",
+        }
+    lib = load()
+    return {
+        "available": lib is not None,
+        "threads": thread_count(),
+        "error": None if lib is not None else _load_error,
+    }

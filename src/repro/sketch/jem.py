@@ -48,6 +48,7 @@ __all__ = [
     "query_sketch_values_reference",
     "query_kernel",
     "query_kernel_reference",
+    "query_minimizer_concat",
     "QuerySketches",
 ]
 
@@ -336,6 +337,12 @@ def _query_minimizer_concat(
     if values.size >> 32:
         raise SketchError("too many minimizers for packed-key argmin")  # pragma: no cover
     return has, nonempty, values, starts
+
+
+#: Public name for the query-side setup: the fused map path needs the
+#: *pre-sketch* minimizer block (values + segment starts) so the native
+#: kernel can hash, search and vote in one pass without a (T, n) matrix.
+query_minimizer_concat = _query_minimizer_concat
 
 
 def query_sketch_values(

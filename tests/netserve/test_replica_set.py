@@ -91,6 +91,26 @@ class TestPlacementParity:
         assert sum(served) == len(clean_reads)
 
 
+class TestFusedPathParity:
+    """The fused native kernel inside shard workers must not change bytes.
+
+    Scatter placement reassembles per-shard partial votes in the
+    gather stage; replicate placement serves whole reads per replica.
+    Both must produce the same mapping whether the workers run the fused
+    C kernel or the numpy oracle (REPRO_NO_NATIVE)."""
+
+    @pytest.mark.parametrize("kind", ["scatter", "replicate"])
+    def test_fused_and_numpy_workers_bit_identical(
+        self, indexed, clean_reads, kind, monkeypatch
+    ):
+        with make_set(indexed, kind, 3) as replica_set:
+            fused = replica_set.map_reads(clean_reads)
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        with make_set(indexed, kind, 3) as replica_set:
+            oracle = replica_set.map_reads(clean_reads)
+        assert_same_mapping(fused, oracle)
+
+
 class TestSickReplicaIsolation:
     BREAKER = ServiceConfig(
         max_batch_size=8, max_wait_ms=1.0,

@@ -199,10 +199,17 @@ class TestHealthSurface:
     def test_healthz_lifecycle(self, tiling_contigs):
         service = MappingService.from_contigs(tiling_contigs, CONFIG)
         health = service.healthz()
+        native = health.pop("native")
         assert health == {
             "live": True, "ready": True, "draining": False,
             "breaker": CLOSED, "queue_depth": 0,
         }
+        # the fused-kernel surface: availability, thread count, and a
+        # recorded reason whenever the native path is off
+        assert set(native) == {"available", "threads", "error"}
+        assert native["threads"] >= 1
+        if not native["available"]:
+            assert native["error"]
         assert service.metrics.ready.value == 1.0
         service.drain()
         health = service.healthz()
