@@ -1164,6 +1164,128 @@ def exp_store(ctx: BenchContext, *, repeats: int = 5) -> ExperimentOutput:
     return _finish(ctx, ExperimentOutput("store", text, data))
 
 
+def exp_mutation(ctx: BenchContext, *, repeats: int = 3) -> ExperimentOutput:
+    """Online-mutation cost: lookup latency per index shape + compaction.
+
+    Seeds a mutable LSM index from most of one dataset's contigs, streams
+    the rest in online, and sweeps the full query batch against each
+    resident shape the index passes through: the clean seed segment, the
+    memtable-resident adds, four flushed delta segments, and the
+    compacted fold.  Times the compaction itself, and checks the headline
+    invariant twice — after all adds, and again after a removal +
+    compaction, the packed keys are **bit-identical** to a monolithic
+    rebuild over the live contigs.
+    """
+    from ..core.lsm import MutableSketchStore
+    from ..core.mapper import JEMMapper
+    from ..seq.records import SequenceSet
+    from ..sketch.jem import query_sketch_values
+
+    name = ctx.pick(("e_coli",))[0]
+    ds = ctx.dataset(name)
+    cfg = ctx.config
+    segments, _ = extract_end_segments(ds.reads, cfg.ell)
+    sketches = query_sketch_values(segments, cfg.k, cfg.w, cfg.hash_family())
+    queries = [sketches.values[t, sketches.has] for t in range(cfg.trials)]
+    n_lookups = cfg.trials * int(sketches.has.sum())
+
+    def subset(indices) -> SequenceSet:
+        return SequenceSet.from_records([ds.contigs[int(i)] for i in indices])
+
+    n = len(ds.contigs)
+    hold = max(4, n // 5)  # contigs streamed in online, in 4 batches
+    batches = np.array_split(np.arange(n - hold, n), 4)
+    base = subset(range(n - hold))
+    seed_mapper = JEMMapper(cfg, store_kind="columnar")
+    seed_mapper.index(base)
+    handle = MutableSketchStore.in_memory(
+        cfg, base_store=seed_mapper.table, subject_names=base.names
+    )
+
+    def sweep() -> float:
+        store = handle.current
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for t, qv in enumerate(queries):
+                store.lookup_trial(t, qv)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    def shape_row(label: str) -> dict:
+        gen = handle.current
+        seconds = sweep()
+        return {
+            "shape": label,
+            "segments": len(gen.segments),
+            "memtable_entries": int(gen.memtable_entries),
+            "seconds": seconds,
+            "lookups_per_s": n_lookups / seconds if seconds > 0 else float("inf"),
+        }
+
+    shapes = [shape_row("clean seed")]
+    handle.add_contigs(subset(batches[0]))
+    shapes.append(shape_row("memtable adds"))
+    handle.flush()
+    for batch in batches[1:]:
+        handle.add_contigs(subset(batch))
+        handle.flush()
+    shapes.append(shape_row("4 delta segments"))
+
+    full_mapper = JEMMapper(cfg, store_kind="columnar")
+    full_mapper.index(ds.contigs)
+    parity_full = all(
+        np.array_equal(handle.trial_keys(t), full_mapper.table.trial_keys(t))
+        for t in range(cfg.trials)
+    )
+
+    t0 = time.perf_counter()
+    handle.compact()
+    compact_seconds = time.perf_counter() - t0
+    shapes.append(shape_row("compacted"))
+
+    # removal parity: drop the final batch; survivor ids stay contiguous,
+    # so a monolithic rebuild over the survivors allocates identical ids
+    handle.remove_contigs([ds.contigs.names[int(i)] for i in batches[-1]])
+    handle.compact()
+    survivors = subset(range(n - len(batches[-1])))
+    live_mapper = JEMMapper(cfg, store_kind="columnar")
+    live_mapper.index(survivors)
+    parity_removed = all(
+        np.array_equal(handle.trial_keys(t), live_mapper.table.trial_keys(t))
+        for t in range(cfg.trials)
+    )
+
+    clean_s = shapes[0]["seconds"]
+    rows = [
+        [s["shape"], str(s["segments"]), str(s["memtable_entries"]),
+         f"{s['seconds']:.4f}", f"{s['lookups_per_s']:,.0f}",
+         f"{s['seconds'] / clean_s:.2f}x" if clean_s > 0 else "-"]
+        for s in shapes
+    ]
+    text = render_table(
+        f"Mutable-index shapes — {DATASETS[name].organism}, T={cfg.trials} "
+        f"(scale={ctx.scale:g}, min of {repeats} sweeps); compaction "
+        f"{compact_seconds:.3f}s, parity "
+        f"{'yes' if parity_full and parity_removed else 'NO'}",
+        ["shape", "segments", "memtable", "sweep (s)", "lookups/s", "vs clean"],
+        rows,
+    )
+    data = {
+        "dataset": name,
+        "trials": cfg.trials,
+        "n_contigs": n,
+        "online_added": int(hold),
+        "n_lookups": n_lookups,
+        "shapes": shapes,
+        "compact_seconds": compact_seconds,
+        "final_generation": handle.generation,
+        "parity": parity_full,
+        "parity_after_removal": parity_removed,
+    }
+    return _finish(ctx, ExperimentOutput("mutation", text, data))
+
+
 #: Experiment registry for the CLI.
 EXPERIMENTS = {
     "table1": exp_table1,
@@ -1178,4 +1300,5 @@ EXPERIMENTS = {
     "serve": exp_serve,
     "serve_concurrent": exp_serve_concurrent,
     "store": exp_store,
+    "mutation": exp_mutation,
 }

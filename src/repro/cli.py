@@ -6,6 +6,8 @@ Subcommands:
 * ``map``      — map long reads (FASTA/FASTQ) to contigs (FASTA) and write
   a TSV of ⟨segment, contig, hits⟩ (mapper: jem / mashmap / minhash;
   ``-p`` > 1 runs the simulated-SPMD parallel driver);
+* ``store-stats`` — inspect a saved index (bundle or mutable directory):
+  generation, segments, memtable, tombstones, byte breakdown;
 * ``serve``    — long-lived mapping service over stdin/stdout NDJSON
   (index resident, micro-batched, cached; see ``docs/service.md``);
 * ``client``   — drive a ``serve`` process from a FASTA/FASTQ file and
@@ -143,7 +145,15 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
                              "mapping (0 = breaker disabled, default)")
     parser.add_argument("--watchdog-interval-ms", type=float, default=0.0,
                         help="self-healing watchdog period (orphaned-shm sweep, "
-                             "pool rebuild); 0 = disabled (default)")
+                             "pool rebuild, scheduled index compaction); "
+                             "0 = disabled (default)")
+    parser.add_argument("--memtable-flush-entries", type=int, default=0,
+                        help="auto-flush the mutable index's memtable once an "
+                             "online add leaves this many entries in it "
+                             "(0 = disabled, default)")
+    parser.add_argument("--compact-segments", type=int, default=0,
+                        help="watchdog compacts the mutable index once it holds "
+                             "this many segments (0 = disabled, default)")
 
 
 def _service_config_from(args: argparse.Namespace):
@@ -158,6 +168,8 @@ def _service_config_from(args: argparse.Namespace):
         strict=args.strict,
         breaker_failures=getattr(args, "breaker_failures", 0),
         watchdog_interval_ms=getattr(args, "watchdog_interval_ms", 0.0),
+        memtable_flush_entries=getattr(args, "memtable_flush_entries", 0),
+        compact_segments=getattr(args, "compact_segments", 0),
     )
 
 
@@ -177,13 +189,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_index = sub.add_parser("index", help="build and save a JEM index from contigs")
     p_index.add_argument("-s", "--subjects", help="contigs FASTA")
-    p_index.add_argument("-o", "--output", help="index file (.npz)")
+    p_index.add_argument("-o", "--output", help="index file (.npz) or, with any "
+                                               "mutable-index flag, a v4 directory")
     p_index.add_argument("--shards", type=int, default=1,
                          help="sketch the contigs in this many checkpointable "
                               "shards (bit-identical to a one-shot build)")
+    p_index.add_argument("--mutable", action="store_true",
+                         help="write a mutable (format v4) index directory "
+                              "instead of a .npz bundle; -o names the directory")
+    p_index.add_argument("--from-index", default=None, metavar="BUNDLE",
+                         help="seed the mutable directory at -o from an existing "
+                              ".npz bundle (one-shot v3 -> v4 migration)")
+    p_index.add_argument("--append", default=None, metavar="FASTA",
+                         help="add these contigs to the mutable index at -o "
+                              "(WAL-logged, crash-safe)")
+    p_index.add_argument("--remove", default=None, metavar="NAMES",
+                         help="comma list of contig names to tombstone in the "
+                              "mutable index at -o")
+    p_index.add_argument("--flush", action="store_true",
+                         help="seal the mutable index's memtable into an "
+                              "immutable on-disk segment")
+    p_index.add_argument("--compact", action="store_true",
+                         help="fold the mutable index into one clean segment "
+                              "(drops tombstoned entries, restores the fused "
+                              "lookup path)")
     _add_checkpoint_args(p_index)
     _add_config_args(p_index)
     _add_store_arg(p_index)
+
+    p_stats = sub.add_parser(
+        "store-stats",
+        help="inspect a saved index: generation, segments, memtable, tombstones",
+    )
+    p_stats.add_argument("--index", required=True,
+                         help="index bundle (.npz) or mutable index directory")
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the stats block as JSON instead of text")
 
     p_map = sub.add_parser("map", help="map long reads to contigs")
     p_map.add_argument("-q", "--queries", help="long reads FASTA/FASTQ")
@@ -354,6 +395,9 @@ def _cmd_index(args: argparse.Namespace) -> int:
     from .core.persist import save_index
 
     args = _apply_resume(args, "index")
+    if (args.mutable or args.from_index or args.append or args.remove
+            or args.flush or args.compact):
+        return _cmd_index_mutable(args)
     if args.subjects is None or args.output is None:
         print("error: index requires -s/--subjects and -o/--output", file=sys.stderr)
         return 2
@@ -380,6 +424,98 @@ def _cmd_index(args: argparse.Namespace) -> int:
     path = save_index(mapper, args.output)
     print(f"indexed {len(subjects)} contigs in {time.perf_counter() - t0:.2f}s: "
           f"{table.total_entries:,} sketch entries ({table.nbytes / 1e6:.1f} MB) -> {path}")
+    return 0
+
+
+def _format_store_stats(stats: dict) -> str:
+    nbytes = stats["nbytes"]
+    lines = [
+        f"generation      : {stats['generation']}",
+        f"segments        : {stats['segments']} "
+        f"(entries: {', '.join(str(n) for n in stats['segment_entries']) or '-'})",
+        f"memtable entries: {stats['memtable_entries']}",
+        f"tombstones      : {stats['tombstones']}",
+        f"contigs         : {stats['live_subjects']} live / "
+        f"{stats['n_subjects']} allocated",
+        f"total entries   : {stats['total_entries']:,}",
+        f"bytes           : {nbytes['total']:,} "
+        f"(segments {nbytes['segments']:,} + memtable {nbytes['memtable']:,})",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_index_mutable(args: argparse.Namespace) -> int:
+    """``jem index`` with any mutable-index flag: operate on a v4 directory."""
+    from .core.lsm import MANIFEST_NAME, MutableSketchStore, store_stats
+
+    if args.output is None:
+        print("error: mutable index operations require -o/--output DIR",
+              file=sys.stderr)
+        return 2
+    run_dir = args.output
+    t0 = time.perf_counter()
+    actions: list[str] = []
+    if os.path.exists(os.path.join(run_dir, MANIFEST_NAME)):
+        handle = MutableSketchStore.open(run_dir)
+    elif args.from_index:
+        handle = MutableSketchStore.from_bundle(args.from_index, run_dir=run_dir)
+        actions.append(f"migrated {args.from_index} -> v4 directory")
+    elif args.subjects:
+        config = _config_from(args)
+        subjects = read_fasta(args.subjects)
+        mapper = JEMMapper(config, store_kind=args.store)
+        mapper.index(subjects)
+        handle = MutableSketchStore.create(
+            run_dir, config, base_store=mapper.table,
+            subject_names=subjects.names,
+        )
+        actions.append(f"indexed {len(subjects)} contig(s)")
+    else:
+        print(f"error: no mutable index at {run_dir!r}; seed it with "
+              "-s contigs.fasta or --from-index bundle.npz", file=sys.stderr)
+        return 2
+    with handle:
+        if args.append:
+            extra = read_fasta(args.append)
+            handle.add_contigs(extra)
+            actions.append(f"appended {len(extra)} contig(s)")
+        if args.remove:
+            names = [n.strip() for n in args.remove.split(",") if n.strip()]
+            handle.remove_contigs(names)
+            actions.append(f"removed {len(names)} contig(s)")
+        if args.flush:
+            handle.flush()
+            actions.append("flushed memtable")
+        if args.compact:
+            handle.compact()
+            actions.append("compacted")
+        stats = store_stats(handle)
+    did = "; ".join(actions) if actions else "no changes"
+    print(f"{run_dir}: {did} in {time.perf_counter() - t0:.2f}s "
+          f"(generation {stats['generation']}, {stats['segments']} segment(s), "
+          f"{stats['memtable_entries']} memtable entries, "
+          f"{stats['tombstones']} tombstone(s), "
+          f"{stats['total_entries']:,} total entries)")
+    return 0
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.lsm import MutableSketchStore, store_stats
+    from .core.persist import load_index
+
+    if os.path.isdir(args.index):
+        with MutableSketchStore.open(args.index) as handle:
+            stats = store_stats(handle)
+    else:
+        mapper = load_index(args.index)
+        stats = store_stats(mapper.table)
+    if args.json:
+        print(json.dumps(stats, indent=2))
+    else:
+        print(f"index           : {args.index}")
+        print(_format_store_stats(stats))
     return 0
 
 
@@ -806,6 +942,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "index": _cmd_index,
+        "store-stats": _cmd_store_stats,
         "map": _cmd_map,
         "serve": _cmd_serve,
         "client": _cmd_client,

@@ -16,6 +16,7 @@ from .hitcounter import (
     count_hits_lazy,
     count_hits_vectorised,
 )
+from .lsm import IndexGeneration, MutableSketchStore, store_stats
 from .mapper import JEMMapper, MappingResult, map_segment_batch
 from .paf import paf_records, write_paf
 from .persist import load_index, save_index
@@ -59,6 +60,9 @@ __all__ = [
     "count_hits_topx",
     "save_index",
     "load_index",
+    "IndexGeneration",
+    "MutableSketchStore",
+    "store_stats",
     "paf_records",
     "write_paf",
     "map_file",

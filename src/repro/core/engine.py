@@ -339,7 +339,13 @@ class MappingEngine:
         )
 
     def use_index(self, path: str) -> "MappingEngine":
-        """Use a persisted index bundle (jem only; config comes from disk)."""
+        """Use a persisted index (jem only; config comes from disk).
+
+        ``path`` may be a v2/v3 single-file bundle or a format-v4 mutable
+        index *directory* (manifest + segments + WAL, see
+        :mod:`repro.core.lsm`); directories replay their WAL suffix on
+        load, so the mapper sees every durably applied mutation.
+        """
         if self.pipeline.mapper != "jem":
             raise MappingError(
                 f"saved indexes are jem-only; pipeline requests {self.pipeline.mapper!r}"

@@ -47,8 +47,11 @@ from .store import (
 __all__ = ["save_index", "load_index", "INDEX_FORMAT_VERSION"]
 
 #: Bumped on any incompatible change to the on-disk layout.
-#: v3 stores columnar (2, n) uint32 trial columns; v2 (packed uint64 keys,
-#: content checksum) is auto-migrated on load; v1 bundles must be rebuilt.
+#: v4 is the *mutable* layout — a directory holding a manifest of segment
+#: files (per-segment CRCs) plus a WAL (see :mod:`repro.core.lsm`);
+#: :func:`load_index` dispatches on a directory path.  Single-file bundles
+#: stay at v3 (columnar (2, n) uint32 trial columns); v2 (packed uint64
+#: keys, content checksum) is auto-migrated on load; v1 must be rebuilt.
 INDEX_FORMAT_VERSION = 3
 
 #: Oldest version :func:`load_index` can still migrate.
@@ -154,6 +157,16 @@ def load_index(
     memory.
     """
     path = os.fspath(path)
+    if os.path.isdir(path):
+        # format v4: a mutable-index directory (manifest + segments + WAL).
+        # The resident store is the generational handle itself — the
+        # ``store`` kind is fixed by the layout, so the argument is ignored.
+        from .lsm import MutableSketchStore
+
+        handle = MutableSketchStore.open(path)
+        mapper = JEMMapper(handle.config)
+        mapper.adopt_store(handle, handle.subject_names)
+        return mapper
     if not os.path.exists(path) and os.path.exists(path + ".npz"):
         path = path + ".npz"
     try:

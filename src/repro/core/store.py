@@ -132,7 +132,13 @@ class DictSketchStore:
                 )
                 for i in range(starts.size - 1):
                     lo, hi = int(starts[i]), int(starts[i + 1])
-                    mapping[int(values[lo])] = subjects[lo:hi]
+                    run = subjects[lo:hi]
+                    # hits must come back in sorted-subject order (the merge
+                    # contract the LSM layer and the columnar store share),
+                    # not merely as a set — sort the rare unsorted run
+                    if run.size > 1 and (run[1:] < run[:-1]).any():
+                        run = np.sort(run)
+                    mapping[int(values[lo])] = run
             self._maps.append(mapping)
 
     @classmethod

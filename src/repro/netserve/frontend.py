@@ -36,7 +36,12 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import ReproError, ServiceOverloadError
-from ..service.protocol import MAX_PENDING, response_for_mapping
+from ..service.protocol import (
+    MAX_PENDING,
+    MUTATION_OPS,
+    mutation_response,
+    response_for_mapping,
+)
 from ..service.queue import MapFuture
 
 __all__ = ["NetFrontend", "parse_hostport"]
@@ -70,7 +75,7 @@ class _Connection:
     writer: asyncio.StreamWriter
     intake: deque = field(default_factory=deque)
     #: ordered responses: ("map", header, afut, tenant) | ("ready", dict)
-    #: | ("metrics",) | ("drain",)
+    #: | ("metrics",) | ("mutation", afut) | ("drain",)
     pending: asyncio.Queue = field(default_factory=asyncio.Queue)
     outstanding: int = 0  # dispatched maps not yet written
     resume_read: asyncio.Event = field(default_factory=asyncio.Event)
@@ -210,7 +215,7 @@ class NetFrontend:
                 conn.intake.append(("drain",))
                 self._dispatch_wake.set()
                 return
-            elif op in ("map", "ping", "metrics"):
+            elif op in ("map", "ping", "metrics") or op in MUTATION_OPS:
                 conn.intake.append(("msg", message))
                 self._dispatch_wake.set()
             else:
@@ -257,6 +262,17 @@ class NetFrontend:
         if op == "metrics":
             # snapshot taken at *write* time, after earlier maps resolved
             conn.pending.put_nowait(("metrics",))
+            return
+        if op in MUTATION_OPS:
+            # blocking work (sketching, segment rebuild, shm re-publish)
+            # runs off the loop; the reply stays in this connection's
+            # response order.  Maps already in flight keep the generation
+            # they captured — a mid-flight mutation never mixes into them.
+            loop = asyncio.get_running_loop()
+            afut = loop.run_in_executor(
+                None, mutation_response, self.backend, op, message
+            )
+            conn.pending.put_nowait(("mutation", afut))
             return
         header = {"id": message.get("id"), "name": message.get("name", "")}
         tenant = str(message.get("tenant", ""))
@@ -333,6 +349,8 @@ class NetFrontend:
                 conn.send_json(entry[1])
             elif entry[0] == "metrics":
                 conn.send_json({"op": "metrics", **self.backend.metrics_snapshot()})
+            elif entry[0] == "mutation":
+                conn.send_json(await entry[1])
             else:
                 _kind, header, afut, tenant = entry
                 try:
@@ -372,6 +390,8 @@ class NetFrontend:
                 conn.send_json(
                     {"op": "metrics", **self.backend.metrics_snapshot()}
                 )
+            elif leftover[0] == "mutation":
+                conn.send_json(await leftover[1])
         conn.send_json({
             "op": "drained",
             "mapped": conn.mapped,

@@ -34,6 +34,7 @@ from dataclasses import replace
 import numpy as np
 
 from ..core.config import JEMConfig
+from ..core.lsm import MutableSketchStore, store_stats
 from ..core.mapper import JEMMapper, MappingResult
 from ..core.segments import PREFIX, SUFFIX, SegmentInfo
 from ..core.store import ColumnarSketchStore
@@ -118,6 +119,11 @@ class ReplicaSet:
         )
         self._store = store
         self._subject_names = list(subject_names)
+        self._jem_config = jem_config if jem_config is not None else JEMConfig()
+        self._faults = faults
+        self._retry = retry
+        self._mutable: MutableSketchStore | None = None
+        self._mutation_lock = threading.Lock()
         self._drained = False
         shards = placement.plan(store)
         if placement.kind == ReplicatedPlacement.kind:
@@ -263,6 +269,142 @@ class ReplicaSet:
             segment_names=names, subject=subjects, hit_count=hit_counts, infos=infos
         )
 
+    # -- online index mutation -----------------------------------------------
+
+    @property
+    def index_generation(self) -> int:
+        return self._mutable.generation if self._mutable is not None else 0
+
+    def store_stats(self) -> dict:
+        """Per-generation stats of the set's (shared) index."""
+        target = self._mutable if self._mutable is not None else self._store
+        stats = store_stats(target)
+        stats["generation"] = self.index_generation
+        return stats
+
+    def _ensure_mutable(self) -> MutableSketchStore:
+        """The set-level mutable handle, seeded from the root store once.
+
+        One handle serves every replica: mutations are applied here and
+        the resulting generation is *installed* into the replica services
+        (replicate) or re-sharded behind new lookup lanes (scatter).
+        Called under the mutation lock.
+        """
+        if self._mutable is None:
+            self._mutable = MutableSketchStore.in_memory(
+                self._jem_config,
+                base_store=self._store,
+                subject_names=self._subject_names,
+            )
+        return self._mutable
+
+    def _install_generation(self) -> dict:
+        """Publish the handle's latest generation across the whole set.
+
+        ``replicate``: every replica's service adopts the *same*
+        :class:`~repro.core.lsm.IndexGeneration` object (memory stays ~1
+        copy) — in-flight batches finish on the view they captured.
+
+        ``scatter``: the generation is folded to one columnar store, a
+        fresh placement re-derives the equal-frequency ``shard_bounds``
+        of the *new* key distribution, each shard is re-published over
+        shared memory behind a new :class:`LookupLane` (reusing the
+        replica's breaker and metrics, stamped with the new generation),
+        and a new :class:`ScatterGatherStore` is installed in the front
+        door atomically.  Old lanes are then closed and old segments
+        released: an in-flight batch still holding the previous router
+        sees closed lanes (or a generation mismatch) and falls back to
+        its own generation's root store inline — fail closed, never a
+        mixed-generation answer.  Called under the mutation lock.
+        """
+        handle = self._mutable
+        assert handle is not None
+        generation = handle.current
+        names = list(handle.subject_names)
+        self._subject_names = names
+        if self._frontdoor is None:
+            for replica in self.replicas:
+                replica.store = generation
+                replica.service.install_index(generation, names)
+            old_segments = self._segments
+            self._segments = []
+        else:
+            merged = generation.as_columnar()
+            placement = ScatterPlacement(self.placement.n_replicas)
+            shards = placement.plan(merged)
+            shared_per_replica = [
+                share_store(s.store, "columnar") for s in shards
+            ]
+            new_lanes = []
+            for i, replica in enumerate(self.replicas):
+                replica.store = shared_per_replica[i].materialise()
+                replica.lo, replica.hi = shards[i].lo, shards[i].hi
+                replica.service.install_index(
+                    replica.store, names, generation=generation.generation
+                )
+                new_lanes.append(
+                    LookupLane(
+                        replica.id, replica.store,
+                        breaker=replica.service.breaker,
+                        metrics=replica.service.metrics,
+                        capacity=self.config.queue_capacity,
+                        faults=self._faults,
+                        retry=self._retry,
+                        generation=generation.generation,
+                    )
+                )
+            virtual = ScatterGatherStore(
+                new_lanes, placement, merged,
+                stats=self.scatter_stats,
+                generation=generation.generation,
+            )
+            old_lanes, self._lanes = self._lanes, new_lanes
+            old_segments = self._segments
+            self._segments = sorted({s.ref.name for s in shared_per_replica})
+            self.placement = placement
+            self._frontdoor.install_index(virtual, names)
+            for lane in old_lanes:
+                lane.close()
+        for name in old_segments:
+            # unlink only: attached views in still-draining batches keep
+            # their mappings until those batches finish
+            release(name)
+        return self.store_stats()
+
+    def add_contigs(self, contigs: SequenceSet) -> dict:
+        """Add contigs online across the whole set; returns store stats."""
+        with self._mutation_lock:
+            handle = self._ensure_mutable()
+            handle.add_contigs(contigs)
+            limit = self.config.memtable_flush_entries
+            if limit and handle.current.memtable_entries >= limit:
+                handle.flush()
+            return self._install_generation()
+
+    def remove_contigs(self, names: list[str]) -> dict:
+        """Tombstone contigs across the whole set; returns store stats."""
+        with self._mutation_lock:
+            handle = self._ensure_mutable()
+            handle.remove_contigs(names)
+            return self._install_generation()
+
+    def flush_index(self) -> dict:
+        """Seal the set-level memtable into an immutable segment."""
+        with self._mutation_lock:
+            handle = self._ensure_mutable()
+            before = handle.generation
+            handle.flush()
+            if handle.generation == before:
+                return self.store_stats()
+            return self._install_generation()
+
+    def compact_index(self) -> dict:
+        """Fold the set-level index into one clean segment."""
+        with self._mutation_lock:
+            handle = self._ensure_mutable()
+            handle.compact()
+            return self._install_generation()
+
     # -- health, metrics, lifecycle ------------------------------------------
 
     def healthz(self) -> dict:
@@ -281,11 +423,19 @@ class ReplicaSet:
             front = None
             ready = any(h["ready"] for h in reps)
             live = any(h["live"] for h in reps)
+        generations = [h["index_generation"] for h in reps]
+        if front is not None:
+            generations.append(front["index_generation"])
         health = {
             "live": live,
             "ready": ready,
             "placement": self.placement.describe(),
             "replicas_ready": sum(1 for h in reps if h["ready"]),
+            "index_generation": self.index_generation,
+            # scatter dispatch is refused (fails closed to the root-store
+            # fallback) whenever a lane disagrees with the router, so a
+            # False here costs speedup, never answer correctness
+            "generations_agree": len(set(generations)) <= 1,
             "replicas": reps,
         }
         if front is not None:
@@ -294,6 +444,7 @@ class ReplicaSet:
             health["scatter"] = {
                 "scattered": self.scatter_stats.scattered,
                 "fallbacks": self.scatter_stats.fallbacks,
+                "mismatches": self.scatter_stats.mismatches,
             }
         return health
 

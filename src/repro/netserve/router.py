@@ -80,8 +80,10 @@ class LookupLane:
         capacity: int,
         faults: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
+        generation: int = 0,
     ) -> None:
         self.replica_id = replica_id
+        self.generation = int(generation)
         self._store = store
         self._breaker = breaker
         self._metrics = metrics
@@ -162,12 +164,16 @@ class ScatterStats:
 
     scattered: int = 0  # owner lookups dispatched to lanes
     fallbacks: int = 0  # owner shares answered inline from the root store
+    mismatches: int = 0  # shares refused because the lane's generation differed
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
-    def note(self, *, scattered: int = 0, fallbacks: int = 0) -> None:
+    def note(
+        self, *, scattered: int = 0, fallbacks: int = 0, mismatches: int = 0
+    ) -> None:
         with self._lock:
             self.scattered += scattered
             self.fallbacks += fallbacks
+            self.mismatches += mismatches
 
 
 class ScatterGatherStore:
@@ -187,6 +193,7 @@ class ScatterGatherStore:
         *,
         stats: ScatterStats | None = None,
         lookup_timeout_s: float = LOOKUP_TIMEOUT_S,
+        generation: int = 0,
     ) -> None:
         if len(lanes) != placement.n_replicas:
             raise ServiceError(
@@ -196,6 +203,10 @@ class ScatterGatherStore:
         self._placement = placement
         self._root = root_store
         self._timeout = float(lookup_timeout_s)
+        #: index generation this router serves; lanes stamped differently
+        #: are refused (fail closed to the root fallback) — a mis-wired
+        #: lane would otherwise answer from a different index version
+        self.generation = int(generation)
         self.stats = stats if stats is not None else ScatterStats()
 
     # -- protocol: shape delegates to the root store -------------------------
@@ -248,11 +259,17 @@ class ScatterGatherStore:
             if mine.size == 0:
                 continue
             sub = qv[mine]
-            try:
-                future = lane.submit(t, sub)
-                self.stats.note(scattered=1)
-            except (ServiceOverloadError, ServiceClosedError):
+            if lane.generation != self.generation:
+                # generation disagreement: never mix answers from another
+                # index version into this batch — serve the share inline
+                self.stats.note(mismatches=1)
                 future = None
+            else:
+                try:
+                    future = lane.submit(t, sub)
+                    self.stats.note(scattered=1)
+                except (ServiceOverloadError, ServiceClosedError):
+                    future = None
             shares.append((mine, sub, future))
         idx_chunks: list[np.ndarray] = []
         sub_chunks: list[np.ndarray] = []

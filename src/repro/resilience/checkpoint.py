@@ -177,6 +177,21 @@ class CheckpointLog:
             os.fsync(fh.fileno())
         os.kill(os.getpid(), signal.SIGKILL)
 
+    def reset(self) -> None:
+        """Truncate the log to empty — a durable checkpoint now owns the state.
+
+        The mutable-index layer calls this after rewriting its manifest:
+        every record in the log is incorporated in the manifest snapshot,
+        so replaying them again would be wrong.  The chaos append counter
+        deliberately keeps counting across resets (kill-after-N refers to
+        process-lifetime appends, which keeps crash points reproducible
+        across an entire mutation schedule).
+        """
+        self.close()
+        with open(self.path, "wb") as fh:
+            fh.flush()
+            os.fsync(fh.fileno())
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()

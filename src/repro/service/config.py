@@ -57,8 +57,18 @@ class ServiceConfig:
         the primary path.
     watchdog_interval_ms:
         Period of the self-healing watchdog (orphaned-shm sweep, worker
-        pool ensure, readiness refresh).  ``0`` (the default) disables
-        the watchdog thread.
+        pool ensure, readiness refresh, scheduled index compaction).
+        ``0`` (the default) disables the watchdog thread.
+    memtable_flush_entries:
+        Auto-flush threshold for the mutable index: once an
+        ``add_contigs`` leaves at least this many entries in the
+        memtable, the service flushes it into a sealed segment in the
+        same mutation.  ``0`` (the default) disables auto-flush.
+    compact_segments:
+        Auto-compaction threshold: when the watchdog observes at least
+        this many live segments it folds the index into one compacted
+        segment (restoring the fused read path).  ``0`` (the default)
+        disables scheduled compaction.
     """
 
     max_batch_size: int = 64
@@ -72,6 +82,8 @@ class ServiceConfig:
     breaker_window: int = 16
     breaker_cooldown_batches: int = 2
     watchdog_interval_ms: float = 0.0
+    memtable_flush_entries: int = 0
+    compact_segments: int = 0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -102,6 +114,15 @@ class ServiceConfig:
         if self.watchdog_interval_ms < 0:
             raise ConfigError(
                 f"watchdog_interval_ms must be >= 0, got {self.watchdog_interval_ms}"
+            )
+        if self.memtable_flush_entries < 0:
+            raise ConfigError(
+                "memtable_flush_entries must be >= 0, got "
+                f"{self.memtable_flush_entries}"
+            )
+        if self.compact_segments < 0:
+            raise ConfigError(
+                f"compact_segments must be >= 0, got {self.compact_segments}"
             )
 
     @property

@@ -32,9 +32,11 @@ QUANTILES = ((50, "p50"), (95, "p95"), (99, "p99"))
 
 #: How each gauge combines across replicas in :func:`aggregate_metrics`.
 #: Levels add up (total queued work is the sum of per-replica queues) except
-#: readiness, where the set is only as ready as its least-ready member, and
-#: breaker state, where any open breaker is worth surfacing.
-GAUGE_AGGREGATION = {"ready": min, "breaker_open": max}
+#: readiness, where the set is only as ready as its least-ready member;
+#: breaker state, where any open breaker is worth surfacing; and the index
+#: generation, where the fleet-wide number is the *oldest* generation any
+#: replica still serves (a lagging replica is the operationally relevant one).
+GAUGE_AGGREGATION = {"ready": min, "breaker_open": max, "index_generation": min}
 
 
 class Counter:
@@ -206,8 +208,13 @@ class ServiceMetrics:
         "cache_hits_total", "cache_misses_total", "batches_total",
         "reads_mapped_total", "shed_total", "degraded_total",
         "breaker_open_total", "recovered_total", "pool_rebuilds_total",
+        "mutations_total", "flushes_total", "compactions_total",
     )
-    GAUGES = ("queue_depth", "inflight", "cache_size", "ready", "breaker_open")
+    GAUGES = (
+        "queue_depth", "inflight", "cache_size", "ready", "breaker_open",
+        "index_generation", "memtable_entries", "index_tombstones",
+        "index_segments",
+    )
     #: attribute name -> snapshot key (histograms carry their unit suffix).
     HISTOGRAMS = (
         ("queue_wait", "queue_wait_seconds"),
@@ -233,11 +240,18 @@ class ServiceMetrics:
         self.breaker_open_total = Counter()
         self.recovered_total = Counter()
         self.pool_rebuilds_total = Counter()
+        self.mutations_total = Counter()
+        self.flushes_total = Counter()
+        self.compactions_total = Counter()
         self.queue_depth = Gauge()
         self.inflight = Gauge()
         self.cache_size = Gauge()
         self.ready = Gauge()
         self.breaker_open = Gauge()
+        self.index_generation = Gauge()
+        self.memtable_entries = Gauge()
+        self.index_tombstones = Gauge()
+        self.index_segments = Gauge()
         self.queue_wait = LatencyHistogram(window)
         self.map_latency = LatencyHistogram(window)
         self.request_latency = LatencyHistogram(window)

@@ -15,6 +15,16 @@ One JSON object per line, in both directions.  Requests:
   probes are not blocked behind a slow batch.
 * ``{"op": "metrics"}`` → the full metrics snapshot (pending maps are
   flushed first so the snapshot reflects them).
+* ``{"op": "add_contigs", "names": [...], "seqs": [...]}`` — add contigs
+  to the resident index online; ``{"op": "remove_contigs", "names":
+  [...]}`` tombstones contigs.  Both flush pending maps first (so the
+  mutation is ordered after every previously submitted read of this
+  session) and answer ``{"op": ..., "stats": {...}}`` with the
+  post-mutation per-generation store stats.
+* ``{"op": "flush"}`` / ``{"op": "compact"}`` — seal the memtable into a
+  segment / fold the whole index into one compacted segment.
+* ``{"op": "stats"}`` → the current store stats block (generation,
+  segments, memtable entries, tombstones, nbytes breakdown).
 * ``{"op": "drain"}`` — stop admission, finish everything, answer
   ``{"op": "drained", ...}`` with a final snapshot, and end the session.
   EOF on the input stream is an implicit drain.
@@ -45,10 +55,16 @@ __all__ = [
     "stream_reads",
     "run_session",
     "response_for_mapping",
+    "mutation_response",
+    "MUTATION_OPS",
     "PipeTransport",
     "SocketTransport",
     "ClientStats",
 ]
+
+#: Index-mutation / introspection ops shared by pipe mode and the TCP
+#: front-end; both execute them through :func:`mutation_response`.
+MUTATION_OPS = ("add_contigs", "remove_contigs", "flush", "compact", "stats")
 
 #: Map requests kept in flight before the serve loop flushes responses.
 #: Bounds server memory while still letting batches fill.
@@ -84,6 +100,47 @@ def response_for_mapping(header: dict, mapping) -> dict:
     if mapping.degraded:
         response["degraded"] = True
     return response
+
+
+def mutation_response(backend, op: str, message: dict) -> dict:
+    """Execute one index-mutation/stats op on ``backend``; render the reply.
+
+    ``backend`` is anything with the service mutation surface
+    (``add_contigs`` / ``remove_contigs`` / ``flush_index`` /
+    ``compact_index`` / ``store_stats``) — a
+    :class:`~repro.service.MappingService` or a
+    :class:`~repro.netserve.ReplicaSet`.  The single formatting path for
+    every session style, like :func:`response_for_mapping`.
+    """
+    try:
+        if op == "add_contigs":
+            names = message.get("names") or []
+            seqs = message.get("seqs") or []
+            if not names or len(names) != len(seqs):
+                raise ReproError(
+                    "add_contigs needs parallel non-empty names/seqs lists"
+                )
+            stats = backend.add_contigs(
+                SequenceSet.from_strings(
+                    [(str(n), str(s)) for n, s in zip(names, seqs)]
+                )
+            )
+        elif op == "remove_contigs":
+            names = message.get("names") or []
+            if not names:
+                raise ReproError("remove_contigs needs a non-empty names list")
+            stats = backend.remove_contigs([str(n) for n in names])
+        elif op == "flush":
+            stats = backend.flush_index()
+        elif op == "compact":
+            stats = backend.compact_index()
+        elif op == "stats":
+            stats = backend.store_stats()
+        else:  # pragma: no cover - dispatchers only pass MUTATION_OPS
+            raise ReproError(f"unknown mutation op {op!r}")
+    except ReproError as exc:
+        return {"op": op, "error": str(exc)}
+    return {"op": op, "stats": stats, "generation": stats["generation"]}
 
 
 def _response_for(entry) -> dict:
@@ -171,6 +228,11 @@ def serve_loop(service: MappingService, in_stream, out_stream) -> ServeStats:
             elif op == "metrics":
                 flush_pending()
                 emit({"op": "metrics", "metrics": service.metrics.snapshot()})
+            elif op in MUTATION_OPS:
+                # order the mutation after every read this session already
+                # submitted: those futures resolve on their old generation
+                flush_pending()
+                emit(mutation_response(service, op, message))
             elif op == "drain":
                 break
             else:

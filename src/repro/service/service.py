@@ -35,6 +35,7 @@ import numpy as np
 
 from ..core.config import JEMConfig
 from ..core.hitcounter import count_hits_vectorised
+from ..core.lsm import MutableSketchStore, store_stats
 from ..core.mapper import JEMMapper, MappingResult, map_segment_batch
 from ..core.segments import PREFIX, SUFFIX, SegmentInfo, extract_end_segments
 from ..core.sketch_table import SketchTable
@@ -95,6 +96,29 @@ class ReadMapping:
         return self.subject_names[side], self.hit_count[side]
 
 
+class _IndexView:
+    """One generation's read view: store snapshot + names + cache key prefix.
+
+    A batch captures the service's current view exactly once, at dispatch,
+    and maps/labels/caches entirely through it — so a generation swap that
+    lands mid-batch never mixes into that batch's responses.  ``prefix``
+    namespaces the result cache by generation: entries written by an older
+    generation can never satisfy a newer one (and vice versa), without any
+    locking on the swap path.
+    """
+
+    __slots__ = ("table", "subject_names", "generation", "prefix")
+
+    def __init__(self, table, subject_names: tuple[str, ...], generation: int) -> None:
+        self.table = table
+        self.subject_names = subject_names
+        self.generation = int(generation)
+        self.prefix = self.generation.to_bytes(8, "little")
+
+    def label(self, subject: int) -> str | None:
+        return self.subject_names[subject] if subject >= 0 else None
+
+
 class _MapRequest:
     """One queued read and its completion future.
 
@@ -136,6 +160,12 @@ class MappingService:
     ) -> None:
         self._table = mapper.table  # raises MappingError when not indexed
         self._mapper = mapper
+        self._mutation_lock = threading.Lock()
+        self._view = _IndexView(
+            self._read_table(mapper.table),
+            tuple(mapper.subject_names),
+            getattr(mapper.table, "generation", 0),
+        )
         self.jem_config: JEMConfig = mapper.config
         self.config = service_config if service_config is not None else ServiceConfig()
         self._family = mapper.config.hash_family()
@@ -169,9 +199,21 @@ class MappingService:
             else None
         )
         self._pool: "ResilientWorkerPool | None" = None
-        self._degraded_view: tuple[SketchTable, object] | None = None
+        #: (generation, single-trial table, family slice) — rebuilt on swap
+        self._degraded_view: tuple[int, SketchTable, object] | None = None
+        self._refresh_index_gauges()
         if auto_start:
             self.start()
+
+    @staticmethod
+    def _read_table(table):
+        """The immutable object batches read: a generation for mutable stores.
+
+        Capturing ``MutableSketchStore.current`` (instead of the handle)
+        is what pins a batch to the generation it started on — the handle
+        itself would follow mutations mid-batch.
+        """
+        return table.current if isinstance(table, MutableSketchStore) else table
 
     # -- construction --------------------------------------------------------
 
@@ -306,6 +348,135 @@ class MappingService:
         """Chaos hook: swap the injected fault plan of future batches."""
         self._faults = faults
 
+    # -- online index mutation -----------------------------------------------
+
+    @property
+    def index_generation(self) -> int:
+        return self._view.generation
+
+    def store_stats(self) -> dict:
+        """Per-generation stats of the resident index (see ``jem store-stats``)."""
+        stats = store_stats(self._mapper.table)
+        stats["generation"] = self._view.generation
+        return stats
+
+    def _ensure_mutable(self) -> MutableSketchStore:
+        """The resident index as a mutable handle, wrapping it on first use.
+
+        A static store (plain columnar/dict/packed) becomes the single
+        generation-0 segment of an in-memory :class:`MutableSketchStore`;
+        a handle loaded from a v4 directory is used as-is (durable).
+        Called under the mutation lock.
+        """
+        table = self._mapper.table
+        if isinstance(table, MutableSketchStore):
+            return table
+        handle = MutableSketchStore.in_memory(
+            self.jem_config,
+            base_store=table,
+            subject_names=self._mapper.subject_names,
+        )
+        self._mapper.adopt_store(handle, handle.subject_names)
+        return handle
+
+    def _install_view(self, handle: MutableSketchStore) -> dict:
+        """Atomically publish the handle's latest generation to new batches.
+
+        In-flight batches keep the view they captured; the result cache is
+        generation-namespaced (and cleared here, purely to release
+        memory), and the degraded single-trial view is invalidated so the
+        breaker fallback also reads the new generation.  Called under the
+        mutation lock.
+        """
+        generation = handle.current
+        self._mapper.adopt_store(handle, handle.subject_names)
+        self._table = handle
+        self._view = _IndexView(
+            generation, tuple(handle.subject_names), generation.generation
+        )
+        self._degraded_view = None
+        self.cache.clear()
+        self.metrics.cache_size.set(0)
+        self._refresh_index_gauges()
+        return self.store_stats()
+
+    def _refresh_index_gauges(self) -> None:
+        stats = store_stats(self._mapper.table)
+        self.metrics.index_generation.set(self._view.generation)
+        self.metrics.memtable_entries.set(stats["memtable_entries"])
+        self.metrics.index_tombstones.set(stats["tombstones"])
+        self.metrics.index_segments.set(stats["segments"])
+
+    def add_contigs(self, contigs: SequenceSet) -> dict:
+        """Add contigs online; new batches map against them immediately.
+
+        Returns the post-mutation :meth:`store_stats` block.  When
+        ``memtable_flush_entries`` is configured and the memtable has
+        grown past it, the same mutation also flushes.
+        """
+        with self._mutation_lock:
+            handle = self._ensure_mutable()
+            handle.add_contigs(contigs)
+            self.metrics.mutations_total.inc()
+            limit = self.config.memtable_flush_entries
+            if limit and handle.current.memtable_entries >= limit:
+                handle.flush()
+                self.metrics.flushes_total.inc()
+            return self._install_view(handle)
+
+    def remove_contigs(self, names: list[str]) -> dict:
+        """Tombstone contigs online; they stop matching from the next batch."""
+        with self._mutation_lock:
+            handle = self._ensure_mutable()
+            handle.remove_contigs(names)
+            self.metrics.mutations_total.inc()
+            return self._install_view(handle)
+
+    def flush_index(self) -> dict:
+        """Seal the memtable into an immutable segment (durable when backed)."""
+        with self._mutation_lock:
+            handle = self._ensure_mutable()
+            before = handle.generation
+            handle.flush()
+            if handle.generation != before:
+                self.metrics.flushes_total.inc()
+                return self._install_view(handle)
+            return self.store_stats()
+
+    def compact_index(self) -> dict:
+        """Fold the index into one clean segment (restores the fused path)."""
+        with self._mutation_lock:
+            handle = self._ensure_mutable()
+            handle.compact()
+            self.metrics.compactions_total.inc()
+            return self._install_view(handle)
+
+    def install_index(
+        self, store, subject_names, *, generation: int | None = None
+    ) -> dict:
+        """Swap in an externally managed store as the resident index.
+
+        The generation-swap door used by :class:`~repro.netserve.ReplicaSet`,
+        whose mutable handle lives at the set level: each replica's service
+        gets the already-built generation (or shard) installed rather than
+        mutating its own.  ``generation`` overrides the number stamped on
+        the view when the store itself does not carry one (scatter shards).
+        In-flight batches finish on the view they captured.
+        """
+        with self._mutation_lock:
+            names = list(subject_names)
+            self._mapper.adopt_store(store, names)
+            self._table = store
+            view_table = self._read_table(store)
+            if generation is None:
+                generation = getattr(view_table, "generation", 0)
+            self._view = _IndexView(view_table, tuple(names), generation)
+            self._degraded_view = None
+            self.cache.clear()
+            self.metrics.cache_size.set(0)
+            self._refresh_index_gauges()
+            return self.store_stats()
+
     def healthz(self) -> dict:
         """Liveness/readiness snapshot (also refreshes the ``ready`` gauge).
 
@@ -332,6 +503,7 @@ class MappingService:
             "draining": self.draining,
             "breaker": breaker_state,
             "queue_depth": self._queue.depth,
+            "index_generation": self._view.generation,
             # whether the fused/native map path is actually in effect, its
             # thread count, and the load failure when it is not
             "native": _native.availability(),
@@ -348,6 +520,15 @@ class MappingService:
         sweep_orphan_segments()
         if self._pool is not None and self._pool.ensure():
             self.metrics.pool_rebuilds_total.inc()
+        limit = self.config.compact_segments
+        if limit:
+            table = self._mapper.table
+            if (
+                isinstance(table, MutableSketchStore)
+                and not table.current.is_clean
+                and len(table.current.segments) >= limit
+            ):
+                self.compact_index()
         self.healthz()  # refresh the readiness gauge
 
     def _note_breaker(self, event: str | None) -> None:
@@ -450,13 +631,11 @@ class MappingService:
 
     # -- batch execution (scheduler thread) ----------------------------------
 
-    def _subject_label(self, subject: int) -> str | None:
-        return self._mapper.subject_names[subject] if subject >= 0 else None
-
     def _resolve(
         self,
         request: _MapRequest,
         entry: SketchCacheEntry,
+        view: _IndexView,
         *,
         cached: bool,
         degraded: bool = False,
@@ -466,8 +645,8 @@ class MappingService:
             subject=(entry.prefix_subject, entry.suffix_subject),
             hit_count=(entry.prefix_hits, entry.suffix_hits),
             subject_names=(
-                self._subject_label(entry.prefix_subject),
-                self._subject_label(entry.suffix_subject),
+                view.label(entry.prefix_subject),
+                view.label(entry.suffix_subject),
             ),
             cached=cached,
             degraded=degraded,
@@ -525,12 +704,12 @@ class MappingService:
         return builder.build()
 
     def _map_degraded(
-        self, requests: list[_MapRequest]
+        self, requests: list[_MapRequest], view: _IndexView
     ) -> list[tuple[SketchCacheEntry | None, str | None]]:
         """Best-effort single-trial mapping — the open-breaker fallback.
 
-        Uses trial 0 of the resident store with the matching slice of the
-        hash family (slicing, never regenerating, so the trial is the
+        Uses trial 0 of the batch's index view with the matching slice of
+        the hash family (slicing, never regenerating, so the trial is the
         same one the full mapping uses) and ``min_hits=1``: with a single
         trial a subject can collect at most one hit, so the configured
         multi-trial threshold would unmap everything.  Needs no parallel
@@ -540,15 +719,18 @@ class MappingService:
         """
         reads = self._reads_of(requests)
         cfg = self.jem_config
-        if self._degraded_view is None:
-            self._degraded_view = (
+        degraded = self._degraded_view
+        if degraded is None or degraded[0] != view.generation:
+            degraded = (
+                view.generation,
                 SketchTable(
-                    [np.asarray(self._table.trial_keys(0))],
-                    self._table.n_subjects,
+                    [np.asarray(view.table.trial_keys(0))],
+                    view.table.n_subjects,
                 ),
                 self._family.trial_slice(0, 1),
             )
-        table, family = self._degraded_view
+            self._degraded_view = degraded
+        _, table, family = degraded
         segments, _ = extract_end_segments(reads, cfg.ell)
         sketches = query_sketch_values(segments, cfg.k, cfg.w, family)
         hits = count_hits_vectorised(
@@ -558,7 +740,7 @@ class MappingService:
         return [(e, None) for e in self._entries_from_result(result, len(requests))]
 
     def _map_misses(
-        self, requests: list[_MapRequest]
+        self, requests: list[_MapRequest], view: _IndexView
     ) -> list[tuple[SketchCacheEntry | None, str | None]]:
         """Map uncached reads; one (entry, failure-cause) pair per request.
 
@@ -572,14 +754,15 @@ class MappingService:
         cfg = self.jem_config
         if self.config.processes == 1 and self._faults is None:
             segments, _ = extract_end_segments(reads, cfg.ell)
-            # fused native when the resident store is columnar
-            result = map_segment_batch(self._table, segments, cfg, self._family)
+            # fused native when the view's store is columnar (or a clean
+            # single-segment generation, which delegates to its segment)
+            result = map_segment_batch(view.table, segments, cfg, self._family)
             return [(e, None) for e in self._entries_from_result(result, len(requests))]
         p = max(1, min(self.config.processes, len(reads)))
         read_parts = partition_set(reads, p)
         bounds = partition_bounds(reads.offsets, p)
         outcome = map_partitioned_queries(
-            self._table, read_parts, cfg, self._family,
+            view.table, read_parts, cfg, self._family,
             faults=self._faults, retry=self._retry,
         )
         # strict mode raises here -> the scheduler's error hook fails the batch
@@ -614,10 +797,14 @@ class MappingService:
         self.metrics.batch_size.observe(len(batch))
         for request in batch:
             self.metrics.queue_wait.observe(t0 - request.t_submit)
+        # the whole batch runs against one index generation, captured here:
+        # lookups, labels, and cache traffic all go through this view, so a
+        # concurrent mutation never mixes generations within a response
+        view = self._view
         hits: list[tuple[_MapRequest, SketchCacheEntry]] = []
         misses: list[_MapRequest] = []
         for request in batch:
-            entry = self.cache.get(request.key)
+            entry = self.cache.get(view.prefix + request.key)
             if entry is not None:
                 self.metrics.cache_hits_total.inc()
                 hits.append((request, entry))
@@ -629,22 +816,22 @@ class MappingService:
         if misses:
             if self._breaker.decide() == "degraded":
                 degraded = True
-                mapped = self._map_degraded(misses)
+                mapped = self._map_degraded(misses, view)
                 self.metrics.degraded_total.inc(len(misses))
             else:
                 # a strict-mode failure propagates to _fail_batch, which
                 # records the breaker failure for this batch
-                mapped = self._map_misses(misses)
+                mapped = self._map_misses(misses, view)
                 if any(entry is None for entry, _ in mapped):
                     self._note_breaker(self._breaker.record_failure())
                 else:
                     self._note_breaker(self._breaker.record_success())
                 for request, (entry, _cause) in zip(misses, mapped):
                     if entry is not None:
-                        self.cache.put(request.key, entry)
+                        self.cache.put(view.prefix + request.key, entry)
         self.metrics.map_latency.observe(time.perf_counter() - t0)
         for request, entry in hits:
-            self._resolve(request, entry, cached=True)
+            self._resolve(request, entry, view, cached=True)
         for request, (entry, cause) in zip(misses, mapped):
             if entry is None:
                 self._fail(
@@ -652,7 +839,7 @@ class MappingService:
                     ServiceError(f"read {request.name!r} lost to faults: {cause}"),
                 )
             else:
-                self._resolve(request, entry, cached=False, degraded=degraded)
+                self._resolve(request, entry, view, cached=False, degraded=degraded)
         self.metrics.batches_total.inc()
         self.metrics.cache_size.set(len(self.cache))
         elapsed = time.perf_counter() - t0

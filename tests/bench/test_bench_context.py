@@ -8,7 +8,7 @@ from repro.bench import ALL_EXPERIMENTS, BenchContext, EXPERIMENTS, ThreadScalin
 def test_registry_covers_every_artifact():
     assert set(EXPERIMENTS) == {
         "table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "faults",
-        "serve", "serve_concurrent", "kernels", "store",
+        "serve", "serve_concurrent", "kernels", "store", "mutation",
     }
     for name in (
         "ablation_topx", "ablation_segments", "ablation_window",

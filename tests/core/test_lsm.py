@@ -1,0 +1,488 @@
+"""LSM mutable index: mutate ≡ rebuild parity, durability, chaos recovery.
+
+The load-bearing claim of the log-structured layer: for any schedule of
+``add_contigs`` / ``remove_contigs`` / ``flush`` / ``compact``, the
+resident index is **bit-identical** — same packed keys, same lookups,
+same mapping — to a monolithic :class:`JEMMapper` rebuild over the live
+contigs with the same subject ids.  That holds on the numpy oracle and
+the fused native path alike, across a close/reopen of the durable form
+(manifest + WAL-suffix replay), and across a SIGKILL at any WAL record
+boundary drawn by a seeded :class:`ChaosPlan`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro import JEMConfig, JEMMapper, load_index, save_index
+from repro.core.lsm import (
+    MANIFEST_NAME,
+    IndexGeneration,
+    MutableSketchStore,
+    store_stats,
+)
+from repro.core.sketch_table import SketchTable
+from repro.core.store import DictSketchStore
+from repro.errors import MappingError
+from repro.resilience.chaos import ChaosPlan
+from repro.seq.records import SequenceSet
+from repro.sketch.jem import subject_sketch_pairs
+
+CONFIG = JEMConfig(k=12, w=20, ell=300, trials=5, seed=17)
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _dna(rng, n: int) -> str:
+    return "".join("ACGT"[c] for c in rng.integers(0, 4, size=n))
+
+
+def _contig_pairs(rng, count: int, length: int = 900, prefix: str = "c"):
+    return [(f"{prefix}{i}", _dna(rng, length)) for i in range(count)]
+
+
+class Model:
+    """Test-side mirror of id allocation: names in add order, removed ids.
+
+    Subject ids are allocation order and never reused — the invariant the
+    reference below leans on to predict the exact packed keys.
+    """
+
+    def __init__(self) -> None:
+        self.contigs: list[tuple[str, str]] = []
+        self.removed: set[int] = set()
+
+    def add(self, pairs) -> None:
+        self.contigs.extend(pairs)
+
+    def remove(self, name: str) -> None:
+        for i, (n, _) in enumerate(self.contigs):
+            if n == name and i not in self.removed:
+                self.removed.add(i)
+                return
+        raise AssertionError(f"model: {name} not live")
+
+    def live(self):
+        return [
+            (i, n, s)
+            for i, (n, s) in enumerate(self.contigs)
+            if i not in self.removed
+        ]
+
+    def live_names(self):
+        return [n for _, n, _ in self.live()]
+
+
+def expected_trial_keys(model: Model, cfg: JEMConfig = CONFIG) -> list[np.ndarray]:
+    """Ground truth: per-contig sketches at the allocated ids, merged sorted."""
+    family = cfg.hash_family()
+    per_trial: list[list[np.ndarray]] = [[] for _ in range(cfg.trials)]
+    for sid, name, seq in model.live():
+        pairs = subject_sketch_pairs(
+            SequenceSet.from_strings([(name, seq)]),
+            cfg.k, cfg.w, cfg.ell, family, subject_id_offset=sid,
+        )
+        for t, arr in enumerate(pairs):
+            per_trial[t].append(arr)
+    return [
+        np.sort(np.concatenate(chunks)) if chunks else np.empty(0, np.uint64)
+        for chunks in per_trial
+    ]
+
+
+def assert_key_parity(handle: MutableSketchStore, model: Model) -> None:
+    want = expected_trial_keys(model)
+    for t in range(CONFIG.trials):
+        assert np.array_equal(handle.trial_keys(t), want[t]), f"trial {t} diverged"
+    assert handle.live_subject_names == model.live_names()
+
+
+def assert_mapping_parity(handle: MutableSketchStore, model: Model, reads) -> None:
+    """Map through the handle vs a monolithic rebuild; compare by name."""
+    live = model.live()
+    if not live:
+        return
+    adopted = JEMMapper(CONFIG)
+    adopted.adopt_store(handle, handle.subject_names)
+    got = adopted.map_reads(reads)
+    rebuilt = JEMMapper(CONFIG)
+    rebuilt.index(SequenceSet.from_strings([(n, s) for _, n, s in live]))
+    want = rebuilt.map_reads(reads)
+    got_names = [
+        adopted.subject_names[s] if s >= 0 else None for s in got.subject
+    ]
+    want_names = [
+        rebuilt.subject_names[s] if s >= 0 else None for s in want.subject
+    ]
+    assert got_names == want_names
+    assert np.array_equal(got.hit_count, want.hit_count)
+
+
+def seeded_handle(rng, count: int = 4):
+    """An in-memory handle wrapping a statically built base index."""
+    pairs = _contig_pairs(rng, count)
+    base = SequenceSet.from_strings(pairs)
+    mapper = JEMMapper(CONFIG, store_kind="columnar")
+    mapper.index(base)
+    handle = MutableSketchStore.in_memory(
+        CONFIG, base_store=mapper.table, subject_names=base.names
+    )
+    model = Model()
+    model.add(pairs)
+    return handle, model
+
+
+def reads_over(model: Model, rng, extra: int = 2) -> SequenceSet:
+    """Reads whose ends land on live contigs, plus unmappable noise."""
+    pairs = [(f"r_{n}", s) for _, n, s in model.live()]
+    pairs += [(f"noise{i}", _dna(rng, 700)) for i in range(extra)]
+    return SequenceSet.from_strings(pairs)
+
+
+class TestMutateEqualsRebuild:
+    """Satellite 3: random schedules, bit-identical on both lookup paths."""
+
+    @pytest.mark.parametrize("no_native", [False, True])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_schedule_parity(self, seed, no_native, monkeypatch):
+        if no_native:
+            monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        rng = np.random.default_rng(seed)
+        handle, model = seeded_handle(rng)
+        next_id = 0
+        for _ in range(10):
+            op = rng.choice(["add", "remove", "flush", "compact"])
+            if op == "add":
+                pairs = _contig_pairs(rng, 1, prefix=f"x{seed}_{next_id}_")
+                next_id += 1
+                handle.add_contigs(SequenceSet.from_strings(pairs))
+                model.add(pairs)
+            elif op == "remove":
+                live = model.live_names()
+                if len(live) > 1:
+                    victim = live[int(rng.integers(0, len(live)))]
+                    handle.remove_contigs([victim])
+                    model.remove(victim)
+            elif op == "flush":
+                handle.flush()
+            else:
+                handle.compact()
+            assert_key_parity(handle, model)
+        assert_mapping_parity(handle, model, reads_over(model, rng))
+
+    def test_incremental_adds_equal_monolithic_index(self, rng):
+        """Adding one contig at a time from empty ≡ indexing the whole set."""
+        pairs = _contig_pairs(rng, 5)
+        handle = MutableSketchStore.in_memory(CONFIG)
+        for pair in pairs:
+            handle.add_contigs(SequenceSet.from_strings([pair]))
+        mapper = JEMMapper(CONFIG)
+        mapper.index(SequenceSet.from_strings(pairs))
+        for t in range(CONFIG.trials):
+            assert np.array_equal(handle.trial_keys(t), mapper.table.trial_keys(t))
+        assert handle.subject_names == [n for n, _ in pairs]
+
+    def test_remove_then_compact_drops_entries(self, rng):
+        handle, model = seeded_handle(rng)
+        before = store_stats(handle)
+        handle.remove_contigs(["c1"])
+        model.remove("c1")
+        mid = store_stats(handle)
+        assert mid["tombstones"] == 1
+        assert mid["live_subjects"] == before["live_subjects"] - 1
+        assert_key_parity(handle, model)
+        handle.compact()
+        after = store_stats(handle)
+        assert after["tombstones"] == 0
+        assert after["segments"] == 1
+        assert after["total_entries"] < before["total_entries"]
+        # removal is permanent: folding the tombstones away at compaction
+        # must not resurrect the subject in the liveness count
+        assert after["live_subjects"] == before["live_subjects"] - 1
+        assert handle.current.is_clean
+        assert_key_parity(handle, model)
+
+    def test_generations_are_immutable_snapshots(self, rng):
+        """A captured generation keeps answering from its own state."""
+        handle, model = seeded_handle(rng)
+        old = handle.current
+        old_keys = [old.trial_keys(t).copy() for t in range(CONFIG.trials)]
+        handle.remove_contigs(["c0"])
+        handle.add_contigs(
+            SequenceSet.from_strings(_contig_pairs(rng, 1, prefix="late"))
+        )
+        handle.compact()
+        assert handle.generation > old.generation
+        for t in range(CONFIG.trials):
+            assert np.array_equal(old.trial_keys(t), old_keys[t])
+        assert isinstance(handle.current, IndexGeneration)
+
+    def test_duplicate_and_missing_names_rejected(self, rng):
+        handle, _ = seeded_handle(rng)
+        with pytest.raises(MappingError, match="already in the index"):
+            handle.add_contigs(
+                SequenceSet.from_strings([("c0", _dna(rng, 900))])
+            )
+        with pytest.raises(MappingError, match="not in the index"):
+            handle.remove_contigs(["ghost"])
+
+    def test_removed_name_is_reusable_with_fresh_id(self, rng):
+        handle, model = seeded_handle(rng)
+        handle.remove_contigs(["c2"])
+        model.remove("c2")
+        replacement = [("c2", _dna(rng, 900))]
+        handle.add_contigs(SequenceSet.from_strings(replacement))
+        model.add(replacement)
+        assert handle.subject_names.count("c2") == 2  # old id stays allocated
+        assert_key_parity(handle, model)
+
+
+class TestStoreStats:
+    def test_plain_store_reports_single_segment(self, rng):
+        mapper = JEMMapper(CONFIG)
+        mapper.index(SequenceSet.from_strings(_contig_pairs(rng, 3)))
+        stats = store_stats(mapper.table)
+        assert stats["generation"] == 0
+        assert stats["segments"] == 1
+        assert stats["memtable_entries"] == 0
+        assert stats["total_entries"] == mapper.table.total_entries
+
+    def test_mutable_store_reports_shape(self, rng):
+        handle, _ = seeded_handle(rng)
+        handle.add_contigs(
+            SequenceSet.from_strings(_contig_pairs(rng, 1, prefix="m"))
+        )
+        stats = store_stats(handle)
+        assert stats["generation"] == 1
+        assert stats["memtable_entries"] > 0
+        assert stats["nbytes"]["total"] >= stats["nbytes"]["segments"]
+
+
+class TestDictStoreOrder:
+    def test_unsorted_subject_run_comes_back_sorted(self):
+        """Satellite 1: lookups honour the sorted-subject merge contract.
+
+        Packed-key sorting makes unsorted runs unrepresentable through
+        normal construction, so build the table without validation — the
+        dict store must still normalise the run, because the LSM merge
+        (concat + lexsort) and the columnar layout both assume it.
+        """
+        table = SketchTable.__new__(SketchTable)
+        table.keys = [
+            np.array([(5 << 32) | 9, (5 << 32) | 2, (7 << 32) | 4], dtype=np.uint64)
+        ]
+        table.n_subjects = 10
+        store = DictSketchStore(table)
+        hits = store.lookup_trial(0, np.array([5, 7], dtype=np.uint64))
+        assert np.array_equal(hits.query_index, [0, 0, 1])
+        assert np.array_equal(hits.subjects, [2, 9, 4])
+
+
+class TestDurability:
+    def seeded_durable(self, rng, tmp_path):
+        pairs = _contig_pairs(rng, 4)
+        base = SequenceSet.from_strings(pairs)
+        mapper = JEMMapper(CONFIG, store_kind="columnar")
+        mapper.index(base)
+        run_dir = str(tmp_path / "idx")
+        handle = MutableSketchStore.create(
+            run_dir, CONFIG, base_store=mapper.table, subject_names=base.names
+        )
+        model = Model()
+        model.add(pairs)
+        return run_dir, handle, model
+
+    def test_reopen_after_flush_and_compact(self, rng, tmp_path):
+        run_dir, handle, model = self.seeded_durable(rng, tmp_path)
+        extra = _contig_pairs(rng, 2, prefix="d")
+        with handle:
+            handle.add_contigs(SequenceSet.from_strings(extra))
+            model.add(extra)
+            handle.remove_contigs(["c1"])
+            model.remove("c1")
+            handle.flush()
+            handle.compact()
+            generation = handle.generation
+        with MutableSketchStore.open(run_dir) as reopened:
+            assert reopened.generation == generation
+            assert reopened.current.is_clean
+            assert_key_parity(reopened, model)
+
+    def test_reopen_replays_wal_suffix_without_flush(self, rng, tmp_path):
+        """Adds and removes that never flushed must survive via the WAL."""
+        run_dir, handle, model = self.seeded_durable(rng, tmp_path)
+        extra = _contig_pairs(rng, 2, prefix="w")
+        with handle:
+            handle.add_contigs(SequenceSet.from_strings(extra))
+            model.add(extra)
+            handle.remove_contigs(["c0"])
+            model.remove("c0")
+        with MutableSketchStore.open(run_dir) as reopened:
+            assert_key_parity(reopened, model)
+            assert_mapping_parity(reopened, model, reads_over(model, rng))
+
+    def test_load_index_dispatches_to_mutable_directory(self, rng, tmp_path):
+        run_dir, handle, model = self.seeded_durable(rng, tmp_path)
+        with handle:
+            handle.compact()
+        mapper = load_index(run_dir)
+        want = expected_trial_keys(model)
+        for t in range(CONFIG.trials):
+            assert np.array_equal(mapper.table.trial_keys(t), want[t])
+
+
+class TestBundleMigration:
+    def test_v3_bundle_loads_as_generation_zero(self, rng, tmp_path):
+        pairs = _contig_pairs(rng, 4)
+        mapper = JEMMapper(CONFIG, store_kind="columnar")
+        mapper.index(SequenceSet.from_strings(pairs))
+        bundle = str(tmp_path / "bundle.npz")
+        save_index(mapper, bundle)
+        handle = MutableSketchStore.from_bundle(bundle)
+        assert handle.generation == 0
+        assert handle.subject_names == mapper.subject_names
+        for t in range(CONFIG.trials):
+            assert np.array_equal(
+                handle.trial_keys(t), mapper.table.trial_keys(t)
+            )
+        assert handle.current.is_clean
+
+    def test_v3_bundle_migrates_to_durable_v4(self, rng, tmp_path):
+        pairs = _contig_pairs(rng, 4)
+        mapper = JEMMapper(CONFIG, store_kind="columnar")
+        mapper.index(SequenceSet.from_strings(pairs))
+        bundle = str(tmp_path / "bundle.npz")
+        save_index(mapper, bundle)
+        run_dir = str(tmp_path / "migrated")
+        model = Model()
+        model.add(pairs)
+        extra = _contig_pairs(rng, 1, prefix="post")
+        with MutableSketchStore.from_bundle(bundle, run_dir=run_dir) as handle:
+            handle.add_contigs(SequenceSet.from_strings(extra))
+            model.add(extra)
+        with MutableSketchStore.open(run_dir) as reopened:
+            assert_key_parity(reopened, model)
+
+
+#: Deterministic mutation schedule the chaos child walks; every step is
+#: guarded so a replayed prefix is recognised and skipped — running the
+#: script twice (kill, then clean) must land on the same final state.
+CHAOS_CHILD = textwrap.dedent(
+    """
+    import json, os, sys
+    sys.path.insert(0, sys.argv[3])
+    from repro import JEMConfig, JEMMapper
+    from repro.core.lsm import MANIFEST_NAME, MutableSketchStore
+    from repro.seq.records import SequenceSet
+
+    run_dir, payload_path = sys.argv[1], sys.argv[2]
+    payload = json.load(open(payload_path))
+    cfg = JEMConfig(**payload["config"])
+    if os.path.exists(os.path.join(run_dir, MANIFEST_NAME)):
+        handle = MutableSketchStore.open(run_dir)
+    else:
+        base = SequenceSet.from_strings([tuple(p) for p in payload["base"]])
+        mapper = JEMMapper(cfg, store_kind="columnar")
+        mapper.index(base)
+        handle = MutableSketchStore.create(
+            run_dir, cfg, base_store=mapper.table, subject_names=base.names
+        )
+    with handle:
+        for name, seq in payload["extra"]:
+            if name not in handle.subject_names:
+                handle.add_contigs(SequenceSet.from_strings([(name, seq)]))
+        for name in payload["remove"]:
+            if handle.is_live(name):
+                handle.remove_contigs([name])
+        handle.flush()
+        if not handle.current.is_clean:
+            handle.compact()
+    print("DONE", handle.generation)
+    """
+)
+
+
+class TestChaosRecovery:
+    """SIGKILL at a seeded WAL-record boundary; reopen replays; rerun completes."""
+
+    def run_child(self, script, run_dir, payload, env_overlay):
+        env = {**os.environ, **env_overlay}
+        env["PYTHONPATH"] = os.path.abspath(SRC)
+        return subprocess.run(
+            [sys.executable, script, run_dir, payload, os.path.abspath(SRC)],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_kill_resume_converges(self, seed, rng, tmp_path):
+        base = _contig_pairs(rng, 3)
+        extra = _contig_pairs(rng, 2, prefix="k")
+        model = Model()
+        model.add(base)
+        model.add(extra)
+        model.remove("c1")
+        payload = {
+            "config": {"k": CONFIG.k, "w": CONFIG.w, "ell": CONFIG.ell,
+                       "trials": CONFIG.trials, "seed": CONFIG.seed},
+            "base": base, "extra": extra, "remove": ["c1"],
+        }
+        payload_path = str(tmp_path / "payload.json")
+        with open(payload_path, "w") as fh:
+            json.dump(payload, fh)
+        script = str(tmp_path / "chaos_child.py")
+        with open(script, "w") as fh:
+            fh.write(CHAOS_CHILD)
+        run_dir = str(tmp_path / "idx")
+
+        # the schedule appends 5 WAL records: 2 adds, 1 remove, flush, compact
+        plan = ChaosPlan.seeded(seed, total_units=5)
+        first = self.run_child(script, run_dir, payload_path, plan.env())
+        assert first.returncode == -signal.SIGKILL, first.stderr
+
+        second = self.run_child(script, run_dir, payload_path, {})
+        assert second.returncode == 0, second.stderr
+        assert second.stdout.startswith("DONE")
+
+        with MutableSketchStore.open(run_dir) as recovered:
+            assert recovered.current.is_clean
+            assert_key_parity(recovered, model)
+            assert_mapping_parity(recovered, model, reads_over(model, rng))
+
+    def test_torn_tail_is_discarded_on_replay(self, rng, tmp_path):
+        """Explicit torn-write kill: the half-frame must not poison replay."""
+        base = _contig_pairs(rng, 3)
+        extra = _contig_pairs(rng, 2, prefix="t")
+        model = Model()
+        model.add(base)
+        model.add(extra)
+        model.remove("c0")
+        payload = {
+            "config": {"k": CONFIG.k, "w": CONFIG.w, "ell": CONFIG.ell,
+                       "trials": CONFIG.trials, "seed": CONFIG.seed},
+            "base": base, "extra": extra, "remove": ["c0"],
+        }
+        payload_path = str(tmp_path / "payload.json")
+        with open(payload_path, "w") as fh:
+            json.dump(payload, fh)
+        script = str(tmp_path / "chaos_child.py")
+        with open(script, "w") as fh:
+            fh.write(CHAOS_CHILD)
+        run_dir = str(tmp_path / "idx")
+
+        overlay = {"REPRO_CHAOS_KILL_AFTER": "2", "REPRO_CHAOS_TORN": "1"}
+        first = self.run_child(script, run_dir, payload_path, overlay)
+        assert first.returncode == -signal.SIGKILL, first.stderr
+
+        second = self.run_child(script, run_dir, payload_path, {})
+        assert second.returncode == 0, second.stderr
+
+        with MutableSketchStore.open(run_dir) as recovered:
+            assert_key_parity(recovered, model)

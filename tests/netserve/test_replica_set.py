@@ -187,7 +187,9 @@ class TestObservability:
         ranges = [h["key_range"] for h in health["replicas"]]
         assert ranges[0][0] == 0 and ranges[-1][1] == 1 << 32
         assert all(lo <= hi for lo, hi in ranges)
-        assert health["scatter"] == {"scattered": 0, "fallbacks": 0}
+        assert health["scatter"] == {
+            "scattered": 0, "fallbacks": 0, "mismatches": 0,
+        }
 
 
 class TestLifecycle:

@@ -202,7 +202,7 @@ class TestHealthSurface:
         native = health.pop("native")
         assert health == {
             "live": True, "ready": True, "draining": False,
-            "breaker": CLOSED, "queue_depth": 0,
+            "breaker": CLOSED, "queue_depth": 0, "index_generation": 0,
         }
         # the fused-kernel surface: availability, thread count, and a
         # recorded reason whenever the native path is off

@@ -135,9 +135,9 @@ class TestAdmissionControl:
         )
         original = service._map_misses
 
-        def blocking_map(requests):
+        def blocking_map(requests, view):
             release.wait(timeout=30)
-            return original(requests)
+            return original(requests, view)
 
         service._map_misses = blocking_map
         try:
