@@ -284,6 +284,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--tenant-quota", type=int, default=None,
                          help="max in-flight maps per tenant tag across all "
                               "connections (default: unlimited)")
+    p_serve.add_argument("--no-supervise", action="store_true",
+                         help="disable the fleet supervisor behind --listen "
+                              "(dead/wedged replicas are then never respawned)")
+    p_serve.add_argument("--probe-interval-ms", type=float, default=500.0,
+                         help="supervisor heartbeat interval behind --listen "
+                              "(default 500; probe deadline is half of it)")
+    p_serve.add_argument("--hedge-timeout-ms", type=float, default=2000.0,
+                         help="scatter share deadline before the gather stage "
+                              "hedges the answer inline from the root store "
+                              "(0 disables hedging; default 2000)")
+    p_serve.add_argument("--max-line-bytes", type=int, default=1 << 20,
+                         help="longest accepted NDJSON request line behind "
+                              "--listen; oversized lines get a typed error "
+                              "(default 1MiB)")
+    p_serve.add_argument("--idle-timeout", type=float, default=300.0,
+                         metavar="SECONDS",
+                         help="per-connection read deadline behind --listen "
+                              "(slow-loris guard; 0 disables, default 300)")
     _add_config_args(p_serve)
     _add_store_arg(p_serve)
     _add_service_args(p_serve)
@@ -314,11 +332,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeded kill-resume chaos cycles against index/map with "
              "output-parity verification (see docs/robustness.md)",
     )
-    p_chaos.add_argument("target", choices=("index", "map"),
-                         help="which checkpointed command to torture")
+    p_chaos.add_argument("target", choices=("index", "map", "serve"),
+                         help="which surface to torture: a checkpointed "
+                              "index/map run, or the supervised replica "
+                              "fleet behind the network service")
     p_chaos.add_argument("-s", "--subjects", required=True, help="contigs FASTA")
     p_chaos.add_argument("-q", "--queries",
-                         help="long reads FASTA/FASTQ (map target only)")
+                         help="long reads FASTA/FASTQ (map and serve targets)")
+    p_chaos.add_argument("--replicas", type=int, default=3,
+                         help="scatter fleet size for the serve target "
+                              "(default 3)")
+    p_chaos.add_argument("--max-events", type=int, default=2,
+                         help="most kills/wedges per serve plan (default 2)")
     p_chaos.add_argument("--seeds", default="1,2,3,4,5",
                          help="comma list of chaos plan seeds (default 1,2,3,4,5)")
     p_chaos.add_argument("--shards", type=int, default=4,
@@ -620,16 +645,38 @@ def _serve_listen(args: argparse.Namespace, engine: MappingEngine, t0: float) ->
     import json
     import signal
 
-    from .netserve import NetFrontend, ReplicaSet, make_placement, parse_hostport
+    from .netserve import (
+        FleetSupervisor,
+        NetFrontend,
+        ReplicaSet,
+        SupervisorConfig,
+        make_placement,
+        parse_hostport,
+    )
 
     host, port = parse_hostport(args.listen)
     placement = make_placement(args.placement, args.replicas)
     replica_set = ReplicaSet.from_engine(
-        engine, placement, _service_config_from(args)
+        engine, placement, _service_config_from(args),
+        hedge_timeout_s=(
+            args.hedge_timeout_ms / 1000.0 if args.hedge_timeout_ms > 0 else None
+        ),
     )
     frontend = NetFrontend(
-        replica_set, host=host, port=port, tenant_quota=args.tenant_quota
+        replica_set, host=host, port=port, tenant_quota=args.tenant_quota,
+        max_line_bytes=args.max_line_bytes,
+        idle_timeout_s=args.idle_timeout if args.idle_timeout > 0 else None,
     )
+    supervisor = None
+    if not args.no_supervise:
+        interval_s = max(args.probe_interval_ms, 1.0) / 1000.0
+        supervisor = FleetSupervisor(
+            replica_set,
+            SupervisorConfig(
+                probe_interval_s=interval_s,
+                probe_deadline_s=interval_s / 2.0,
+            ),
+        )
 
     async def main() -> None:
         bound_host, bound_port = await frontend.start()
@@ -642,11 +689,36 @@ def _serve_listen(args: argparse.Namespace, engine: MappingEngine, t0: float) ->
             file=sys.stderr,
             flush=True,
         )
+        if supervisor is not None:
+            supervisor.start()
         stop_requested = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
             with contextlib.suppress(NotImplementedError):
                 loop.add_signal_handler(sig, stop_requested.set)
+
+        def request_rolling_restart() -> None:
+            # SIGHUP: drain → respawn → parity-probe → re-admit one member
+            # at a time off the event loop; the fleet never drops below N-1
+            def run() -> None:
+                try:
+                    out = replica_set.rolling_restart()
+                    print(
+                        f"# jem-netserve rolling restart done: "
+                        f"replicas {out['restarted']}, "
+                        f"generation {out['generation']}",
+                        file=sys.stderr, flush=True,
+                    )
+                except Exception as exc:  # noqa: BLE001 - report, keep serving
+                    print(
+                        f"# jem-netserve rolling restart failed: {exc}",
+                        file=sys.stderr, flush=True,
+                    )
+            loop.run_in_executor(None, run)
+
+        if hasattr(signal, "SIGHUP"):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signal.SIGHUP, request_rolling_restart)
         await stop_requested.wait()
         await frontend.stop()
 
@@ -776,13 +848,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from .errors import ChaosError
     from .resilience import ChaosPlan, run_kill_resume_cycle
 
-    if args.target == "map" and args.queries is None:
-        print("error: chaos map requires -q/--queries", file=sys.stderr)
+    if args.target in ("map", "serve") and args.queries is None:
+        print(f"error: chaos {args.target} requires -q/--queries",
+              file=sys.stderr)
         return 2
     seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
     if not seeds:
         print("error: --seeds is empty", file=sys.stderr)
         return 2
+    if args.target == "serve":
+        return _chaos_serve(args, seeds)
     workdir = args.workdir or tempfile.mkdtemp(prefix="jem-chaos-")
     os.makedirs(workdir, exist_ok=True)
     config_argv = [
@@ -858,6 +933,46 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(f"{len(seeds) - failures}/{len(seeds)} chaos cycles reproduced the "
           f"uninterrupted {what}" + ("" if args.keep or args.workdir else
                                      " (run dirs removed; --keep to inspect)"))
+    return 1 if failures else 0
+
+
+def _chaos_serve(args: argparse.Namespace, seeds: list[int]) -> int:
+    """``jem chaos serve``: seeded fleet torture with a parity gate.
+
+    Per seed: draw a :class:`ServeChaosPlan`, kill/wedge replicas of a
+    supervised scatter fleet while the reads stream through it, and pass
+    only on byte-identical output, zero dropped accepted requests, a
+    fully recovered fleet, restored scatter throughput, and no leaked
+    shm segments.
+    """
+    from .errors import ChaosError
+    from .resilience import ServeChaosPlan, run_serve_chaos
+
+    config = _config_from(args)
+    contigs = read_fasta(args.subjects, on_error="raise")
+    reads = read_sequences(args.queries, on_error="raise")
+    failures = 0
+    for seed in seeds:
+        plan = ServeChaosPlan.seeded(
+            seed, n_replicas=args.replicas, total_reads=len(reads),
+            max_events=args.max_events,
+        )
+        try:
+            report = run_serve_chaos(
+                contigs, reads, config, plan=plan, n_replicas=args.replicas,
+            )
+        except ChaosError as exc:
+            failures += 1
+            print(f"seed {seed}: ERROR {exc}", file=sys.stderr)
+            continue
+        if not report.ok:
+            failures += 1
+        print(f"seed {seed}: {report.story()}")
+    print(
+        f"{len(seeds) - failures}/{len(seeds)} serve-chaos cycles kept "
+        f"{len(reads)} streamed reads byte-identical through kill/wedge "
+        f"storms ({args.replicas} scatter replicas, supervised)"
+    )
     return 1 if failures else 0
 
 

@@ -444,6 +444,32 @@ class ColumnarSketchStore:
 
     # -- key-range sharding -------------------------------------------------
 
+    def restrict(self, lo: int, hi: int) -> "StoreShard":
+        """One key-range shard: this store restricted to values in ``[lo, hi)``.
+
+        The single-shard building block behind :meth:`shard` — and the
+        fleet supervisor's respawn path, which must rebuild exactly one
+        replica's shard at the *current* placement boundaries without
+        re-slicing every other shard.
+        """
+        lo, hi = int(lo), int(hi)
+        values: list[np.ndarray] = []
+        subjects: list[np.ndarray] = []
+        for t in range(self.trials):
+            a = int(np.searchsorted(self.values[t], np.uint32(lo), side="left"))
+            b = (
+                int(np.searchsorted(self.values[t], np.uint32(hi - 1), side="right"))
+                if hi > lo
+                else a
+            )
+            values.append(self.values[t][a:b])
+            subjects.append(self.subjects[t][a:b])
+        return StoreShard(
+            store=ColumnarSketchStore(values, subjects, self.n_subjects),
+            lo=lo,
+            hi=hi,
+        )
+
     def shard(self, n_shards: int) -> list["StoreShard"]:
         """Split into ``n_shards`` disjoint key-range shards.
 
@@ -455,28 +481,10 @@ class ColumnarSketchStore:
         the unsharded order — the partitioned-lookup building block.
         """
         bounds = shard_bounds(self, n_shards)
-        shards: list[StoreShard] = []
-        for i in range(n_shards):
-            lo, hi = int(bounds[i]), int(bounds[i + 1])
-            values: list[np.ndarray] = []
-            subjects: list[np.ndarray] = []
-            for t in range(self.trials):
-                a = int(np.searchsorted(self.values[t], np.uint32(lo), side="left"))
-                b = (
-                    int(np.searchsorted(self.values[t], np.uint32(hi - 1), side="right"))
-                    if hi > lo
-                    else a
-                )
-                values.append(self.values[t][a:b])
-                subjects.append(self.subjects[t][a:b])
-            shards.append(
-                StoreShard(
-                    store=ColumnarSketchStore(values, subjects, self.n_subjects),
-                    lo=lo,
-                    hi=hi,
-                )
-            )
-        return shards
+        return [
+            self.restrict(int(bounds[i]), int(bounds[i + 1]))
+            for i in range(n_shards)
+        ]
 
     def __repr__(self) -> str:
         return (

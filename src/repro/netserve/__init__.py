@@ -14,6 +14,12 @@ decided by a pluggable :class:`PlacementPolicy`:
 * ``replicate`` — every replica attaches the full store from one shared
   segment; whole reads round-robin across healthy replicas.
 
+A :class:`FleetSupervisor` keeps the topology honest under failure:
+heartbeat probes detect dead or wedged members, hedged retry serves
+their scatter shares inline meanwhile, and respawn + parity probe
+re-admit a rebuilt replica at the current index generation — see
+``docs/robustness.md`` ("fleet recovery").
+
 See ``docs/serving.md`` for the topology and lifecycle contracts.
 """
 
@@ -27,6 +33,7 @@ from .placement import (
 )
 from .replica import Replica, ReplicaSet
 from .router import ScatterGatherStore
+from .supervisor import FleetSupervisor, SupervisorConfig
 
 __all__ = [
     "NetFrontend",
@@ -39,4 +46,6 @@ __all__ = [
     "Replica",
     "ReplicaSet",
     "ScatterGatherStore",
+    "FleetSupervisor",
+    "SupervisorConfig",
 ]

@@ -25,6 +25,15 @@ unanswered maps stops being read (TCP pushes back); an optional
 **per-tenant quota** caps in-flight maps per ``tenant`` tag across all
 connections, rejecting the excess in-band so one tenant cannot occupy
 the whole admission queue.
+
+Hostile or broken clients are contained per frame, not per connection:
+request lines are bounded by ``max_line_bytes`` (an oversized line is
+discarded through its newline and answered with a typed ``error``
+frame), a connection that cannot complete one line within
+``idle_timeout_s`` is cut loose (slow-loris), and any exception a
+malformed payload provokes during dispatch is answered in-band — the
+shared dispatcher task serving every other connection never dies for
+one client's garbage.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from dataclasses import dataclass, field
 
 from ..errors import ReproError, ServiceOverloadError
 from ..service.protocol import (
+    ADMIN_OPS,
     MAX_PENDING,
     MUTATION_OPS,
     mutation_response,
@@ -52,6 +62,73 @@ FAIR_CHUNK = 16
 #: retry hint for tenant-quota rejections (the tenant's own responses
 #: drain the quota, so a short client-side pause is enough).
 TENANT_RETRY_S = 0.05
+
+#: Longest accepted NDJSON request line.  Oversized lines are discarded
+#: through their terminating newline and answered with a typed error —
+#: the session survives.
+MAX_LINE_BYTES = 1 << 20
+
+#: Per-connection read deadline: a client that cannot deliver one
+#: complete line in this long (slow-loris) is disconnected.
+IDLE_TIMEOUT_S = 300.0
+
+
+def _error(detail: str, **extra) -> dict:
+    """Typed in-band protocol error frame."""
+    return {**extra, "type": "error", "error": detail}
+
+
+class _LineReader:
+    """Bounded NDJSON line assembly over a raw :class:`asyncio.StreamReader`.
+
+    ``StreamReader.readline`` raises once a line exceeds the stream limit
+    and leaves the stream unusable, so one hostile frame would take the
+    whole connection down.  This reader enforces ``max_line_bytes``
+    itself: an oversized line is discarded through its terminating
+    newline and reported as ``None``, letting the session answer with a
+    typed in-band error and keep serving.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, max_line_bytes: int) -> None:
+        self._reader = reader
+        self._max = int(max_line_bytes)
+        self._buf = bytearray()
+        self._eof = False
+
+    async def readline(self) -> bytes | None:
+        """Next line (newline kept), ``b""`` at EOF, ``None`` if oversized."""
+        while True:
+            nl = self._buf.find(b"\n")
+            if nl >= 0:
+                line = bytes(self._buf[: nl + 1])
+                del self._buf[: nl + 1]
+                return None if nl > self._max else line
+            if len(self._buf) > self._max:
+                del self._buf[:]
+                if await self._skip_to_newline():
+                    return None
+                return b""  # EOF inside the oversized line: session over
+            if self._eof:
+                line = bytes(self._buf)  # a final unterminated line, or b""
+                del self._buf[:]
+                return line
+            chunk = await self._reader.read(65536)
+            if not chunk:
+                self._eof = True
+            else:
+                self._buf.extend(chunk)
+
+    async def _skip_to_newline(self) -> bool:
+        """Drop the rest of an oversized line; False when EOF comes first."""
+        while True:
+            chunk = await self._reader.read(65536)
+            if not chunk:
+                self._eof = True
+                return False
+            nl = chunk.find(b"\n")
+            if nl >= 0:
+                self._buf.extend(chunk[nl + 1:])
+                return True
 
 
 def parse_hostport(spec: str, *, default_host: str = "127.0.0.1") -> tuple[str, int]:
@@ -109,15 +186,25 @@ class NetFrontend:
         tenant_quota: int | None = None,
         fair_chunk: int = FAIR_CHUNK,
         max_pending: int = MAX_PENDING,
+        max_line_bytes: int = MAX_LINE_BYTES,
+        idle_timeout_s: float | None = IDLE_TIMEOUT_S,
     ) -> None:
         if tenant_quota is not None and tenant_quota < 1:
             raise ReproError(f"tenant_quota must be >= 1, got {tenant_quota}")
+        if max_line_bytes < 1:
+            raise ReproError(f"max_line_bytes must be >= 1, got {max_line_bytes}")
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise ReproError(
+                f"idle_timeout_s must be > 0 or None, got {idle_timeout_s}"
+            )
         self.backend = backend
         self.host = host
         self.port = int(port)
         self.tenant_quota = tenant_quota
         self.fair_chunk = int(fair_chunk)
         self.max_pending = int(max_pending)
+        self.max_line_bytes = int(max_line_bytes)
+        self.idle_timeout_s = idle_timeout_s
         self.address: tuple[str, int] | None = None
         self._server: asyncio.AbstractServer | None = None
         self._handlers: set[asyncio.Task] = set()
@@ -190,12 +277,33 @@ class NetFrontend:
                 await conn.writer.wait_closed()
 
     async def _read_loop(self, conn: _Connection) -> None:
+        lines = _LineReader(conn.reader, self.max_line_bytes)
         while True:
             await conn.resume_read.wait()  # pending-cap backpressure
             try:
-                line = await conn.reader.readline()
+                if self.idle_timeout_s is not None:
+                    line = await asyncio.wait_for(
+                        lines.readline(), self.idle_timeout_s
+                    )
+                else:
+                    line = await lines.readline()
+            except asyncio.TimeoutError:
+                # slow-loris: the client held the connection without ever
+                # completing a request line — cut it loose
+                conn.send_json(_error(
+                    "idle timeout: no complete request line in "
+                    f"{self.idle_timeout_s:g}s"
+                ))
+                await self._drain_writer(conn)
+                return
             except ConnectionError:
                 return
+            if line is None:  # oversized, already discarded to its newline
+                conn.send_json(_error(
+                    f"line too long: limit is {self.max_line_bytes} bytes"
+                ))
+                await self._drain_writer(conn)
+                continue
             if not line:  # EOF = implicit drain, as in pipe mode
                 return
             line = line.strip()
@@ -204,8 +312,8 @@ class NetFrontend:
             try:
                 message = json.loads(line)
                 op = message.get("op", "map")
-            except (json.JSONDecodeError, AttributeError) as exc:
-                conn.send_json({"error": f"bad request line: {exc}"})
+            except (json.JSONDecodeError, AttributeError, UnicodeDecodeError) as exc:
+                conn.send_json(_error(f"bad request line: {exc}"))
                 continue
             if op == "health":
                 # immediate, off the ordered path: probes never queue
@@ -215,11 +323,15 @@ class NetFrontend:
                 conn.intake.append(("drain",))
                 self._dispatch_wake.set()
                 return
-            elif op in ("map", "ping", "metrics") or op in MUTATION_OPS:
+            elif (
+                op in ("map", "ping", "metrics")
+                or op in MUTATION_OPS
+                or op in ADMIN_OPS
+            ):
                 conn.intake.append(("msg", message))
                 self._dispatch_wake.set()
             else:
-                conn.send_json({"error": f"unknown op {op!r}"})
+                conn.send_json(_error(f"unknown op {op!r}"))
                 await self._drain_writer(conn)
 
     @staticmethod
@@ -263,11 +375,12 @@ class NetFrontend:
             # snapshot taken at *write* time, after earlier maps resolved
             conn.pending.put_nowait(("metrics",))
             return
-        if op in MUTATION_OPS:
-            # blocking work (sketching, segment rebuild, shm re-publish)
-            # runs off the loop; the reply stays in this connection's
-            # response order.  Maps already in flight keep the generation
-            # they captured — a mid-flight mutation never mixes into them.
+        if op in MUTATION_OPS or op in ADMIN_OPS:
+            # blocking work (sketching, segment rebuild, shm re-publish,
+            # rolling restart) runs off the loop; the reply stays in this
+            # connection's response order.  Maps already in flight keep
+            # the generation they captured — a mid-flight mutation never
+            # mixes into them.
             loop = asyncio.get_running_loop()
             afut = loop.run_in_executor(
                 None, mutation_response, self.backend, op, message
@@ -305,6 +418,14 @@ class NetFrontend:
             return
         except ReproError as exc:
             conn.pending.put_nowait(("ready", {**header, "error": str(exc)}))
+            conn.errors += 1
+            return
+        except Exception as exc:  # noqa: BLE001 - one client's hostile payload
+            # (e.g. a non-string "seq" or "deadline_ms") must answer in-band,
+            # never kill the dispatcher task shared by every connection
+            conn.pending.put_nowait(
+                ("ready", _error(f"bad request: {exc}", **header))
+            )
             conn.errors += 1
             return
         self._tenant_inflight[tenant] = self._tenant_inflight.get(tenant, 0) + 1

@@ -38,7 +38,7 @@ from ..core.lsm import MutableSketchStore, store_stats
 from ..core.mapper import JEMMapper, MappingResult
 from ..core.segments import PREFIX, SUFFIX, SegmentInfo
 from ..core.store import ColumnarSketchStore
-from ..errors import ServiceError, ServiceOverloadError
+from ..errors import ServiceClosedError, ServiceError, ServiceOverloadError
 from ..parallel.faults import FaultPlan
 from ..parallel.retry import RetryPolicy
 from ..parallel.shm import SharedStore, release, share_store
@@ -60,7 +60,7 @@ class Replica:
     def __init__(
         self,
         replica_id: int,
-        shared: SharedStore,
+        shared,
         lo: int,
         hi: int,
         subject_names: list[str],
@@ -74,7 +74,12 @@ class Replica:
         self.id = int(replica_id)
         self.lo = int(lo)
         self.hi = int(hi)
-        self.store = shared.materialise()  # zero-copy attach
+        # ``shared`` is a SharedStore to attach zero-copy — or, for a
+        # replicate-placement respawn after an online mutation, the
+        # in-memory IndexGeneration every member already serves
+        self.store = (
+            shared.materialise() if isinstance(shared, SharedStore) else shared
+        )
         mapper = JEMMapper(jem_config, store_kind="columnar")
         mapper.adopt_store(self.store, subject_names)
         self.service = MappingService(
@@ -109,6 +114,7 @@ class ReplicaSet:
         service_config: ServiceConfig | None = None,
         faults: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
+        hedge_timeout_s: float | None = 2.0,
     ) -> None:
         if not isinstance(store, ColumnarSketchStore):
             # sharding and column export are columnar-only; repack once
@@ -118,13 +124,21 @@ class ReplicaSet:
             service_config if service_config is not None else ServiceConfig()
         )
         self._store = store
+        self._root = store  # current unsharded index (follows mutations)
         self._subject_names = list(subject_names)
         self._jem_config = jem_config if jem_config is not None else JEMConfig()
         self._faults = faults
         self._retry = retry
+        self._hedge_timeout_s = hedge_timeout_s
         self._mutable: MutableSketchStore | None = None
         self._mutation_lock = threading.Lock()
         self._drained = False
+        self._respawns = 0
+        #: segments whose old lane thread outlived the respawn join —
+        #: kept mapped until drain rather than risk unmapping under it
+        self._deferred_segments: list[str] = []
+        self.supervisor = None  # set by FleetSupervisor.attach
+        self._extra_registries: list = []
         shards = placement.plan(store)
         if placement.kind == ReplicatedPlacement.kind:
             # one segment, every replica attaches it: memory stays ~1 copy
@@ -132,6 +146,10 @@ class ReplicaSet:
             shared_per_replica = [shared] * placement.n_replicas
         else:
             shared_per_replica = [share_store(s.store, "columnar") for s in shards]
+        #: per-replica attachment source — SharedStore, or the in-memory
+        #: generation after a replicate-placement mutation.  Respawn
+        #: rebuilds replica i from exactly this slot.
+        self._shared: list = list(shared_per_replica)
         self._segments = sorted({s.ref.name for s in shared_per_replica})
         self.replicas = [
             Replica(
@@ -147,6 +165,7 @@ class ReplicaSet:
         ]
         self._lanes: list[LookupLane] = []
         self._frontdoor: MappingService | None = None
+        self._router: ScatterGatherStore | None = None
         self.scatter_stats = None
         if isinstance(placement, ScatterPlacement):
             self._lanes = [
@@ -160,7 +179,11 @@ class ReplicaSet:
                 )
                 for r in self.replicas
             ]
-            virtual = ScatterGatherStore(self._lanes, placement, store)
+            virtual = ScatterGatherStore(
+                self._lanes, placement, store,
+                hedge_timeout_s=self._hedge_timeout_s,
+            )
+            self._router = virtual
             self.scatter_stats = virtual.stats
             central = JEMMapper(jem_config, store_kind="columnar")
             central.adopt_store(virtual, self._subject_names)
@@ -172,6 +195,7 @@ class ReplicaSet:
                 replace(self.config, processes=1),
                 metrics_labels={"replica": "front", "placement": placement.kind},
             )
+            virtual.bind_metrics(self._frontdoor.metrics)
         self._cursor = 0
         self._cursor_lock = threading.Lock()
 
@@ -217,9 +241,15 @@ class ReplicaSet:
             self._cursor = (self._cursor + 1) % n
         order = [(start + j) % n for j in range(n)]
         healthy = [
-            i for i in order if self.replicas[i].service.breaker.state != OPEN
+            i
+            for i in order
+            if self.replicas[i].service.breaker.state != OPEN
+            and not self.replicas[i].service.draining
         ]
-        return healthy if healthy else order
+        if healthy:
+            return healthy
+        # all breakers open/draining: any replica still accepting work
+        return [i for i in order if not self.replicas[i].service.draining] or order
 
     def submit(
         self,
@@ -322,10 +352,13 @@ class ReplicaSet:
         generation = handle.current
         names = list(handle.subject_names)
         self._subject_names = names
+        old_lanes: list[LookupLane] = []
         if self._frontdoor is None:
-            for replica in self.replicas:
+            for i, replica in enumerate(self.replicas):
                 replica.store = generation
                 replica.service.install_index(generation, names)
+                # respawns after this point re-adopt the generation object
+                self._shared[i] = generation
             old_segments = self._segments
             self._segments = []
         else:
@@ -356,19 +389,27 @@ class ReplicaSet:
             virtual = ScatterGatherStore(
                 new_lanes, placement, merged,
                 stats=self.scatter_stats,
+                hedge_timeout_s=self._hedge_timeout_s,
+                metrics=self._frontdoor.metrics,
                 generation=generation.generation,
             )
             old_lanes, self._lanes = self._lanes, new_lanes
             old_segments = self._segments
+            self._shared = list(shared_per_replica)
             self._segments = sorted({s.ref.name for s in shared_per_replica})
             self.placement = placement
+            self._root = merged
+            self._router = virtual
             self._frontdoor.install_index(virtual, names)
             for lane in old_lanes:
                 lane.close()
-        for name in old_segments:
-            # unlink only: attached views in still-draining batches keep
-            # their mappings until those batches finish
-            release(name)
+        if all(lane.join(10.0) for lane in old_lanes):
+            for name in old_segments:
+                release(name)
+        else:
+            # a lane thread outlived its close join: releasing would
+            # unmap the store it may still touch — defer to drain
+            self._deferred_segments.extend(old_segments)
         return self.store_stats()
 
     def add_contigs(self, contigs: SequenceSet) -> dict:
@@ -404,6 +445,187 @@ class ReplicaSet:
             handle = self._ensure_mutable()
             handle.compact()
             return self._install_generation()
+
+    # -- fleet recovery (chaos doors + respawn) ------------------------------
+
+    @property
+    def respawns(self) -> int:
+        return self._respawns
+
+    def kill_replica(self, i: int) -> None:
+        """Chaos door: replica ``i`` dies abruptly, SIGKILL-style.
+
+        Its lookup lane (scatter) stops answering — in-flight shares hit
+        the hedge deadline and are served inline — its service fails
+        queued work typed and reports dead, and its shm attachment is
+        left orphaned.  Nothing is repaired here: detection, sweep, and
+        respawn are the supervisor's job.
+        """
+        replica = self.replicas[i]
+        if self._lanes:
+            self._lanes[i].kill()
+        if not replica.service.drained:
+            replica.service.kill()
+
+    def wedge_replica(self, i: int, seconds: float) -> None:
+        """Chaos door: replica ``i``'s lane stalls for ``seconds`` per task."""
+        if not self._lanes:
+            raise ServiceError("wedge_replica requires scatter placement")
+        self._lanes[i].wedge(seconds)
+
+    def _parity_probe(self, lane: LookupLane, replica: Replica) -> None:
+        """Prove a respawned owner answers bit-identically before re-admission.
+
+        A deterministic sample of the shard's own stored values plus its
+        range boundaries is looked up *through the lane* (worker thread
+        and all) for every trial and compared bit-for-bit against the
+        root store over the same queries — the root covers ``[lo, hi)``
+        completely, so any disagreement means the rebuilt shard or its
+        shm attachment is wrong and the replica must not rejoin.
+        """
+        boundary = np.array(
+            [replica.lo, max(replica.lo, replica.hi - 1)], dtype=np.uint64
+        )
+        for t in range(self._root.trials):
+            col = replica.store.values[t]
+            if col.size:
+                picks = np.linspace(
+                    0, col.size - 1, num=min(64, col.size), dtype=np.int64
+                )
+                qv = np.unique(
+                    np.concatenate([col[picks].astype(np.uint64), boundary])
+                )
+            else:
+                qv = boundary
+            expected = self._root.lookup_trial(t, qv)
+            try:
+                got = lane.submit(t, qv).result(30.0)
+            except Exception as exc:
+                raise ServiceError(
+                    f"replica {replica.id} parity probe failed at trial {t}: {exc}"
+                ) from exc
+            if not (
+                np.array_equal(got.query_index, expected.query_index)
+                and np.array_equal(got.subjects, expected.subjects)
+            ):
+                raise ServiceError(
+                    f"replica {replica.id} parity probe mismatch at trial {t}"
+                )
+
+    def respawn_replica(
+        self, i: int, *, graceful: bool = False, timeout: float | None = None
+    ) -> dict:
+        """Tear down replica ``i`` and rebuild it at the current generation.
+
+        ``graceful`` drains the old member first (rolling restart: its
+        accepted work completes); otherwise whatever is left of a corpse
+        is killed off.  The dead attachment's shm segment is reclaimed
+        exactly once, the shard is rebuilt from the *current* root store
+        at the current placement bounds, re-published over fresh shared
+        memory, and the new member passes :meth:`_parity_probe` through
+        its new lane *before* the in-place lane swap re-admits it to the
+        scatter path.  Runs under the mutation lock so a concurrent
+        generation install can never interleave.
+        """
+        with self._mutation_lock:
+            if self._drained:
+                raise ServiceClosedError("replica set is drained")
+            old = self.replicas[i]
+            old_lane = self._lanes[i] if self._lanes else None
+            if graceful:
+                if old_lane is not None:
+                    old_lane.close()
+                if not old.service.drained:
+                    old.service.drain(timeout)
+            else:
+                if old_lane is not None:
+                    old_lane.kill()
+                if not old.service.drained:
+                    old.service.kill()
+            generation = self.index_generation
+            source = self._shared[i]
+            if self._frontdoor is not None:
+                # scatter: reclaim the orphaned segment (exactly once —
+                # release() forgets the name) and re-publish a fresh shard.
+                # The old worker thread must be confirmed gone first: its
+                # store is zero-copy views on the segment, and unmapping
+                # under a thread still wedged mid-stall is a segfault.  A
+                # thread that will not exit defers the release to drain.
+                if isinstance(source, SharedStore):
+                    if old_lane is None or old_lane.join(10.0):
+                        release(source.ref.name)
+                    else:
+                        self._deferred_segments.append(source.ref.name)
+                shard = self._root.restrict(old.lo, old.hi)
+                source = share_store(shard.store, "columnar")
+                self._shared[i] = source
+                self._segments = sorted(
+                    {s.ref.name for s in self._shared if isinstance(s, SharedStore)}
+                )
+            replica = Replica(
+                i, source, old.lo, old.hi,
+                self._subject_names, self._jem_config, self.config,
+                placement_kind=self.placement.kind,
+                faults=(
+                    self._faults
+                    if self.placement.kind == ReplicatedPlacement.kind
+                    else None
+                ),
+                retry=self._retry,
+            )
+            if self._frontdoor is not None and generation != 0:
+                # stamp the rebuilt shard with the fleet's generation so
+                # healthz agreement and the lane stamp line up
+                replica.service.install_index(
+                    replica.store, self._subject_names, generation=generation
+                )
+            if self._frontdoor is not None:
+                lane = LookupLane(
+                    replica.id, replica.store,
+                    breaker=replica.service.breaker,
+                    metrics=replica.service.metrics,
+                    capacity=self.config.queue_capacity,
+                    faults=self._faults,
+                    retry=self._retry,
+                    generation=generation,
+                )
+                try:
+                    self._parity_probe(lane, replica)
+                except ServiceError:
+                    lane.close()
+                    replica.service.drain()
+                    raise
+                # in-place swap into the list the live router scatters
+                # over: this single assignment *is* re-admission
+                self._lanes[i] = lane
+            self.replicas[i] = replica
+            self._respawns += 1
+            if self._frontdoor is not None:
+                self._frontdoor.metrics.replica_respawns_total.inc()
+            return {
+                "replica": i,
+                "generation": generation,
+                "graceful": graceful,
+                "key_range": [replica.lo, replica.hi],
+            }
+
+    def rolling_restart(self, timeout: float | None = None) -> dict:
+        """Drain → respawn → re-admit each replica in turn.
+
+        Strictly sequential, so the fleet never runs below N-1 members
+        and scatter coverage stays complete throughout (the one draining
+        owner's shares are hedged inline).  Wired to SIGHUP and the
+        NDJSON ``restart`` op by the network front-end.
+        """
+        restarted = [
+            self.respawn_replica(i, graceful=True, timeout=timeout)["replica"]
+            for i in range(len(self.replicas))
+        ]
+        return {
+            "restarted": restarted,
+            "generation": self.index_generation,
+            "respawns": self._respawns,
+        }
 
     # -- health, metrics, lifecycle ------------------------------------------
 
@@ -441,17 +663,17 @@ class ReplicaSet:
         if front is not None:
             health["front"] = front
         if self.scatter_stats is not None:
-            health["scatter"] = {
-                "scattered": self.scatter_stats.scattered,
-                "fallbacks": self.scatter_stats.fallbacks,
-                "mismatches": self.scatter_stats.mismatches,
-            }
+            health["scatter"] = self.scatter_stats.as_dict()
+        health["respawns"] = self._respawns
+        if self.supervisor is not None:
+            health["supervisor"] = self.supervisor.status()
         return health
 
     def metrics_registries(self) -> list:
         regs = [r.service.metrics for r in self.replicas]
         if self._frontdoor is not None:
             regs.append(self._frontdoor.metrics)
+        regs.extend(self._extra_registries)
         return regs
 
     def metrics_snapshot(self) -> dict:
@@ -476,14 +698,17 @@ class ReplicaSet:
         """
         if self._drained:
             return
+        if self.supervisor is not None:  # no respawns during teardown
+            self.supervisor.stop()
         if self._frontdoor is not None:
             self._frontdoor.drain(timeout)
         for lane in self._lanes:
             lane.close()
         for replica in self.replicas:
             replica.service.drain(timeout)
-        for name in self._segments:
+        for name in self._segments + self._deferred_segments:
             release(name)
+        self._deferred_segments = []
         self._drained = True
 
     close = drain

@@ -91,10 +91,22 @@ class LookupLane:
         self._retry = retry if retry is not None else RetryPolicy()
         self._queue: AdmissionQueue[_LookupTask] = AdmissionQueue(capacity)
         self._seq = 0
+        self._killed = False
+        self._draining = False
+        self._wedge_until = 0.0
         self._thread = threading.Thread(
             target=self._run, name=f"jem-lookup-{replica_id}", daemon=True
         )
         self._thread.start()
+
+    @property
+    def alive(self) -> bool:
+        """True while the lane can still accept and answer lookups."""
+        return (
+            not self._killed
+            and not self._queue.closed
+            and self._thread.is_alive()
+        )
 
     def submit(self, t: int, qv: np.ndarray) -> MapFuture:
         """Queue one trial's owned query slice; rejections raise immediately."""
@@ -105,8 +117,44 @@ class LookupLane:
         return task.future
 
     def close(self) -> None:
+        self._draining = True
         self._queue.close()
         self._thread.join(timeout=10.0)
+
+    def join(self, timeout: float) -> bool:
+        """Wait for the worker thread to exit; True when it has.
+
+        The respawn path must not release a dead owner's shm segment
+        while this thread could still touch the store views built on it
+        — join first, and only a confirmed-exited lane's segment may be
+        unmapped.
+        """
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    # -- chaos doors ---------------------------------------------------------
+
+    def kill(self) -> None:
+        """Chaos door: die like a SIGKILLed owner — without answering.
+
+        Everything already queued is abandoned with its future left
+        unresolved (a killed process never replies; the gather side's
+        hedge deadline is what bounds the wait), the worker thread exits,
+        and later submits are refused.  The replica's store attachment is
+        deliberately *not* released — the orphaned shm segment is the
+        supervisor's to sweep.
+        """
+        self._killed = True
+        self._queue.dump()  # abandoned: futures stay pending forever
+
+    def wedge(self, seconds: float) -> None:
+        """Chaos door: the worker stalls for ``seconds`` before each task.
+
+        Unlike :meth:`kill` the lane is still alive — it answers
+        eventually — which is exactly the failure mode heartbeat probes
+        with a deadline exist to catch.
+        """
+        self._wedge_until = time.monotonic() + float(seconds)
 
     # -- worker thread -------------------------------------------------------
 
@@ -115,6 +163,17 @@ class LookupLane:
             batch = self._queue.take_batch(1, 0.0)
             if not batch:
                 return  # closed and drained
+            # honour a wedge in short slices so kill()/close() still
+            # bound this thread's lifetime: the store views are built on
+            # a shm mapping, and a stalled worker that outlives the
+            # segment's release would fault on its next lookup
+            while not self._killed and not self._draining:
+                stall = self._wedge_until - time.monotonic()
+                if stall <= 0:
+                    break
+                time.sleep(min(stall, 0.05))
+            if self._killed:
+                return  # a killed owner never answers or touches the store
             self._execute(batch[0])
 
     def _execute(self, task: _LookupTask) -> None:
@@ -165,15 +224,31 @@ class ScatterStats:
     scattered: int = 0  # owner lookups dispatched to lanes
     fallbacks: int = 0  # owner shares answered inline from the root store
     mismatches: int = 0  # shares refused because the lane's generation differed
+    hedged: int = 0  # fallbacks taken because the owner missed the hedge deadline
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def note(
-        self, *, scattered: int = 0, fallbacks: int = 0, mismatches: int = 0
+        self,
+        *,
+        scattered: int = 0,
+        fallbacks: int = 0,
+        mismatches: int = 0,
+        hedged: int = 0,
     ) -> None:
         with self._lock:
             self.scattered += scattered
             self.fallbacks += fallbacks
             self.mismatches += mismatches
+            self.hedged += hedged
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "scattered": self.scattered,
+                "fallbacks": self.fallbacks,
+                "mismatches": self.mismatches,
+                "hedged": self.hedged,
+            }
 
 
 class ScatterGatherStore:
@@ -193,6 +268,8 @@ class ScatterGatherStore:
         *,
         stats: ScatterStats | None = None,
         lookup_timeout_s: float = LOOKUP_TIMEOUT_S,
+        hedge_timeout_s: float | None = None,
+        metrics=None,
         generation: int = 0,
     ) -> None:
         if len(lanes) != placement.n_replicas:
@@ -203,11 +280,25 @@ class ScatterGatherStore:
         self._placement = placement
         self._root = root_store
         self._timeout = float(lookup_timeout_s)
+        #: hedge deadline: how long to wait for an owner before serving its
+        #: share inline from the root store (first answer wins — both are
+        #: bit-identical by construction, so hedging never changes bytes).
+        #: ``None`` keeps the plain long wait.
+        self._hedge = float(hedge_timeout_s) if hedge_timeout_s is not None else None
+        self._metrics = metrics
         #: index generation this router serves; lanes stamped differently
         #: are refused (fail closed to the root fallback) — a mis-wired
         #: lane would otherwise answer from a different index version
         self.generation = int(generation)
         self.stats = stats if stats is not None else ScatterStats()
+
+    def bind_metrics(self, metrics) -> None:
+        """Late-bind the registry counting ``hedged_requests_total``.
+
+        The front-door service (whose registry outlives lane swaps) is
+        constructed *after* its virtual store, hence the two-step wiring.
+        """
+        self._metrics = metrics
 
     # -- protocol: shape delegates to the root store -------------------------
 
@@ -250,6 +341,14 @@ class ScatterGatherStore:
         subset — every entry for a value in ``[lo, hi)`` lives in that
         shard, so root and shard agree bit for bit and the fallback only
         costs front-end CPU, never answer quality.
+
+        With ``hedge_timeout_s`` set, the wait for each owner is bounded
+        by the hedge deadline instead of the long lookup timeout: an
+        owner that has not answered by then (killed mid-task, wedged,
+        overloaded) has its share *re-computed inline immediately* and
+        the late answer — identical anyway — is discarded.  This is what
+        keeps in-flight requests flowing while the supervisor is still
+        detecting and respawning a corpse.
         """
         qv = _check_query_values(query_values)
         owner = self._placement.owner_of(qv)
@@ -273,15 +372,21 @@ class ScatterGatherStore:
             shares.append((mine, sub, future))
         idx_chunks: list[np.ndarray] = []
         sub_chunks: list[np.ndarray] = []
+        wait = self._hedge if self._hedge is not None else self._timeout
         for mine, sub, future in shares:
             hits = None
+            hedged = 0
             if future is not None:
                 try:
-                    hits = future.result(self._timeout)
-                except (FaultError, TimeoutError):
+                    hits = future.result(wait)
+                except TimeoutError:
+                    hedged = 1 if self._hedge is not None else 0
+                except FaultError:
                     hits = None
             if hits is None:
-                self.stats.note(fallbacks=1)
+                self.stats.note(fallbacks=1, hedged=hedged)
+                if hedged and self._metrics is not None:
+                    self._metrics.hedged_requests_total.inc()
                 hits = self._root.lookup_trial(t, sub)
             if len(hits):
                 idx_chunks.append(mine[hits.query_index])

@@ -9,13 +9,25 @@ Three cooperating pieces (see ``docs/robustness.md``):
 * :mod:`~repro.resilience.chaos` — a seeded, deterministic
   :class:`ChaosPlan` that kills live processes mid-unit, tears and
   corrupts checkpoint/index files, and drops shared-memory segments, with
-  a kill→resume→verify cycle runner behind ``jem chaos``;
+  a kill→resume→verify cycle runner behind ``jem chaos``; its serve
+  flavour (:class:`ServeChaosPlan` + :func:`run_serve_chaos`, ``jem
+  chaos serve``) kills and wedges supervised replicas mid-load and gates
+  on byte-identical serving output, full recovery, and zero shm leaks;
 * :mod:`~repro.resilience.pool` — a :class:`ResilientWorkerPool` of real
   worker processes over a shared-memory resident store that rebuilds
   itself (and re-publishes the store) when workers die.
 """
 
-from .chaos import ChaosCycleResult, ChaosPlan, ChaosSpec, run_kill_resume_cycle
+from .chaos import (
+    ChaosCycleResult,
+    ChaosPlan,
+    ChaosSpec,
+    ServeChaosEvent,
+    ServeChaosPlan,
+    ServeChaosReport,
+    run_kill_resume_cycle,
+    run_serve_chaos,
+)
 from .checkpoint import (
     CheckpointContext,
     CheckpointLog,
@@ -36,6 +48,10 @@ __all__ = [
     "ChaosSpec",
     "ChaosCycleResult",
     "run_kill_resume_cycle",
+    "ServeChaosEvent",
+    "ServeChaosPlan",
+    "ServeChaosReport",
+    "run_serve_chaos",
     "ResilientWorkerPool",
     "build_index_checkpointed",
     "save_invocation",

@@ -17,6 +17,13 @@ kill point and the post-mortem file damage from its seed;
 under the plan, confirm the SIGKILL, vandalise the run directory, resume,
 and report what happened.  ``jem chaos`` wraps this in a parity check
 against an uninterrupted run.
+
+The *serve* flavour (:class:`ServeChaosPlan` + :func:`run_serve_chaos`,
+``jem chaos serve``) tortures the network tier instead: replicas of a
+supervised scatter fleet are killed and wedged mid-load while a client
+streams reads, and the cycle passes only if every accepted read answers
+byte-identically to an undisturbed reference, the supervisor restores
+full scatter throughput, and no shm segment leaks.
 """
 
 from __future__ import annotations
@@ -46,6 +53,11 @@ __all__ = [
     "apply_damage",
     "run_kill_resume_cycle",
     "read_tsv_body",
+    "SERVE_CHAOS_KINDS",
+    "ServeChaosEvent",
+    "ServeChaosPlan",
+    "ServeChaosReport",
+    "run_serve_chaos",
 ]
 
 #: Post-kill vandalism a plan may order on the run directory.
@@ -268,3 +280,279 @@ def read_tsv_body(path: str) -> list[str]:
     """
     with open(path, "r", encoding="utf-8") as fh:
         return [line.rstrip("\n") for line in fh if not line.startswith("#")]
+
+
+# -- serve chaos: replica fleet torture under live load ----------------------
+
+#: Mid-load faults a serve plan may order against the replica fleet.
+SERVE_CHAOS_KINDS = ("kill", "wedge")
+
+
+@dataclass(frozen=True)
+class ServeChaosEvent:
+    """One fleet fault, fired once ``after_mapped`` reads have answered.
+
+    ``kill`` is the SIGKILL analogue for an in-process replica: the
+    lookup lane dies with its queued futures unresolved and the member's
+    shm segment is orphaned.  ``wedge`` stalls the lane for ``wedge_s``
+    seconds — alive but silent, the failure mode heartbeats exist for.
+    """
+
+    kind: str
+    replica: int
+    after_mapped: int
+    wedge_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVE_CHAOS_KINDS:
+            raise ChaosError(f"unknown serve chaos kind {self.kind!r}")
+        if self.replica < 0:
+            raise ChaosError(f"replica must be >= 0, got {self.replica}")
+        if self.after_mapped < 1:
+            raise ChaosError(f"after_mapped must be >= 1, got {self.after_mapped}")
+
+
+@dataclass(frozen=True)
+class ServeChaosPlan:
+    """A seeded, replayable fault schedule for one serve-chaos cycle."""
+
+    seed: int
+    events: tuple[ServeChaosEvent, ...]
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        n_replicas: int,
+        total_reads: int,
+        max_events: int = 2,
+    ) -> "ServeChaosPlan":
+        """Draw 1..max_events kills/wedges strictly inside the stream."""
+        if n_replicas < 1:
+            raise ChaosError(f"n_replicas must be >= 1, got {n_replicas}")
+        if total_reads < 2:
+            raise ChaosError(f"total_reads must be >= 2, got {total_reads}")
+        rng = np.random.default_rng((seed, 0x5E12FE))
+        events = [
+            ServeChaosEvent(
+                kind="kill" if rng.random() < 0.5 else "wedge",
+                replica=int(rng.integers(n_replicas)),
+                after_mapped=int(rng.integers(1, total_reads)),
+            )
+            for _ in range(int(rng.integers(1, max_events + 1)))
+        ]
+        events.sort(key=lambda e: e.after_mapped)
+        return cls(seed=seed, events=tuple(events))
+
+
+@dataclass
+class ServeChaosReport:
+    """What one serve-chaos cycle observed; ``ok`` is the gate CI trusts."""
+
+    plan: ServeChaosPlan
+    n_replicas: int
+    reads_streamed: int
+    responses: int
+    dropped: int
+    parity: bool
+    events_fired: list[str] = field(default_factory=list)
+    respawns: int = 0
+    hedged: int = 0
+    recovered: bool = False
+    rescatter_ok: bool = False
+    leaked_segments: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.parity
+            and self.dropped == 0
+            and self.recovered
+            and self.rescatter_ok
+            and not self.leaked_segments
+        )
+
+    def story(self) -> str:
+        verdict = "ok" if self.ok else "FAIL"
+        fired = "; ".join(self.events_fired) or "no events fired"
+        return (
+            f"{verdict} [{fired}] {self.responses}/{self.reads_streamed} "
+            f"answered, dropped={self.dropped}, "
+            f"parity={'exact' if self.parity else 'DRIFTED'}, "
+            f"hedged={self.hedged}, respawns={self.respawns}, "
+            f"recovered={self.recovered}, rescatter={self.rescatter_ok}, "
+            f"leaks={len(self.leaked_segments)}"
+        )
+
+
+def _jem_shm_segments() -> set[str]:
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("jem-")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux fallback
+        from ..parallel.shm import created_segment_names
+
+        return set(created_segment_names())
+
+
+def _stream_wire_lines(backend, reads, *, window: int = 4, timeout: float = 120.0):
+    """Stream reads with a small pipeline window; return (wire lines, dropped).
+
+    Responses are rendered through the protocol's single formatting path,
+    so two backends agree exactly when their serving bytes agree.
+    """
+    import json
+    from collections import deque
+
+    from ..errors import ReproError
+    from ..service.protocol import response_for_mapping
+
+    lines: list[str] = []
+    dropped = 0
+    futures: deque = deque()
+
+    def settle(entry) -> None:
+        nonlocal dropped
+        i, future = entry
+        header = {"id": i, "name": reads.names[i]}
+        try:
+            mapping = future.result(timeout)
+        except ReproError:
+            dropped += 1
+            return
+        lines.append(json.dumps(response_for_mapping(header, mapping)))
+
+    for i in range(len(reads)):
+        futures.append((i, backend.submit(reads.names[i], reads.codes_of(i))))
+        while len(futures) > window:
+            settle(futures.popleft())
+    while futures:
+        settle(futures.popleft())
+    return lines, dropped
+
+
+def run_serve_chaos(
+    contigs,
+    reads,
+    config,
+    *,
+    plan: ServeChaosPlan,
+    n_replicas: int = 3,
+    hedge_timeout_s: float = 0.25,
+    service_config=None,
+    supervision=None,
+) -> ServeChaosReport:
+    """One serve-chaos cycle: torture a supervised scatter fleet mid-load.
+
+    Phases, all against one live :class:`~repro.netserve.ReplicaSet`:
+
+    A. *Reference* — the same reads through an undisturbed single
+       :class:`~repro.service.MappingService`, rendered to wire lines.
+    B. *Storm* — stream the reads through the fleet while an injector
+       thread fires the plan's kills/wedges once the answered-read count
+       crosses each event's trigger; the running
+       :class:`~repro.netserve.FleetSupervisor` detects, respawns, and
+       re-admits behind the traffic.  Every accepted read must answer,
+       byte-identical to the reference (hedged fallback is exact by
+       construction).
+    C. *Recovery* — wait until every member probes healthy, then
+       re-stream: the scattered count must grow while inline fallbacks
+       stay flat, proving full scatter throughput returned (no permanent
+       inline serving), and draining must leave zero shm segments.
+    """
+    import threading
+    import time as _time
+
+    from ..core.mapper import JEMMapper
+    from ..netserve import (
+        FleetSupervisor,
+        ReplicaSet,
+        SupervisorConfig,
+        make_placement,
+    )
+    from ..service import MappingService, ServiceConfig
+
+    if service_config is None:
+        # result cache off: every read must exercise the scatter path the
+        # chaos is aimed at, not the front door's content-key cache
+        service_config = ServiceConfig(
+            max_batch_size=8, max_wait_ms=1.0, cache_capacity=0
+        )
+    if supervision is None:
+        supervision = SupervisorConfig(
+            probe_interval_s=0.05, probe_deadline_s=0.1, suspect_strikes=2
+        )
+
+    # phase A: undisturbed reference bytes
+    with MappingService.from_contigs(contigs, config, service_config) as ref_svc:
+        reference, ref_dropped = _stream_wire_lines(ref_svc, reads)
+    if ref_dropped:
+        raise ChaosError(f"reference run dropped {ref_dropped} read(s)")
+
+    mapper = JEMMapper(config, store_kind="columnar")
+    mapper.index(contigs)
+
+    shm_before = _jem_shm_segments()
+    replica_set = ReplicaSet(
+        mapper.table, mapper.subject_names, config,
+        placement=make_placement("scatter", n_replicas),
+        service_config=service_config,
+        hedge_timeout_s=hedge_timeout_s,
+    )
+    report = ServeChaosReport(
+        plan=plan, n_replicas=n_replicas, reads_streamed=len(reads),
+        responses=0, dropped=0, parity=False,
+    )
+    supervisor = FleetSupervisor(replica_set, supervision)
+    stop_injector = threading.Event()
+
+    def injector() -> None:
+        pending = list(plan.events)
+        front = replica_set._frontdoor.metrics
+        while pending and not stop_injector.is_set():
+            answered = front.responses_total.value
+            while pending and answered >= pending[0].after_mapped:
+                event = pending.pop(0)
+                if event.kind == "kill":
+                    replica_set.kill_replica(event.replica)
+                else:
+                    replica_set.wedge_replica(
+                        event.replica, seconds=event.wedge_s
+                    )
+                report.events_fired.append(
+                    f"{event.kind} replica {event.replica} "
+                    f"after {event.after_mapped} mapped"
+                )
+            _time.sleep(0.002)
+
+    try:
+        supervisor.start()
+        thread = threading.Thread(
+            target=injector, name="jem-serve-chaos", daemon=True
+        )
+        thread.start()
+        # phase B: the storm — stream through the fleet under fire
+        lines, dropped = _stream_wire_lines(replica_set, reads)
+        stop_injector.set()
+        thread.join(10.0)
+        report.responses = len(lines)
+        report.dropped = dropped
+        report.parity = lines == reference
+        report.hedged = replica_set.scatter_stats.as_dict()["hedged"]
+        # phase C: recovery — fleet healthy, scatter throughput restored
+        report.recovered = supervisor.wait_healthy(timeout=60.0)
+        before = replica_set.scatter_stats.as_dict()
+        relines, redropped = _stream_wire_lines(replica_set, reads)
+        after = replica_set.scatter_stats.as_dict()
+        report.rescatter_ok = (
+            relines == reference
+            and redropped == 0
+            and after["scattered"] > before["scattered"]
+            and after["fallbacks"] == before["fallbacks"]
+        )
+        report.respawns = replica_set.respawns
+    finally:
+        stop_injector.set()
+        replica_set.drain()
+    report.leaked_segments = sorted(_jem_shm_segments() - shm_before)
+    return report

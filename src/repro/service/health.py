@@ -43,6 +43,12 @@ class CircuitBreaker:
     runs cannot change behaviour).  ``cooldown_batches`` is how many
     batches are served degraded before a half-open probe of the primary
     path.
+
+    Sustained failure also ratchets :attr:`shed_level`: every ``opened``
+    transition sheds the degraded path's trial budget by another factor
+    of two, every ``recovered`` transition restores one step — so a
+    service that keeps flapping converges towards the cheapest possible
+    (single-trial) degraded answer instead of oscillating at full cost.
     """
 
     def __init__(
@@ -51,6 +57,7 @@ class CircuitBreaker:
         window: int = 16,
         failure_threshold: int = 0,
         cooldown_batches: int = 2,
+        max_shed_level: int = 8,
     ) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -62,11 +69,17 @@ class CircuitBreaker:
             raise ValueError(
                 f"cooldown_batches must be >= 1, got {cooldown_batches}"
             )
+        if max_shed_level < 1:
+            raise ValueError(
+                f"max_shed_level must be >= 1, got {max_shed_level}"
+            )
         self.failure_threshold = int(failure_threshold)
         self.cooldown_batches = int(cooldown_batches)
+        self.max_shed_level = int(max_shed_level)
         self._outcomes: deque[bool] = deque(maxlen=int(window))
         self._state = CLOSED
         self._degraded_since_open = 0
+        self._shed_level = 0
         self._lock = threading.Lock()
 
     @property
@@ -77,6 +90,19 @@ class CircuitBreaker:
     def state(self) -> str:
         with self._lock:
             return self._state
+
+    @property
+    def shed_level(self) -> int:
+        """How aggressively the degraded path should shed work.
+
+        0 while healthy; each ``"opened"`` transition steps it up (to at
+        most ``max_shed_level``) and each ``"recovered"`` transition steps
+        it back down — the stepwise T → T/2 → … → 1 ladder from ROADMAP
+        item 5.  The mapping side interprets level *s* as "serve the
+        first ``max(1, trials >> s)`` sketch trials".
+        """
+        with self._lock:
+            return self._shed_level
 
     def decide(self) -> str:
         """Routing decision for the next batch: ``"primary"`` or ``"degraded"``.
@@ -106,6 +132,8 @@ class CircuitBreaker:
                 self._state = CLOSED
                 self._degraded_since_open = 0
                 self._outcomes.clear()
+                if self._shed_level > 0:
+                    self._shed_level -= 1
                 return "recovered"
             return None
 
@@ -117,12 +145,16 @@ class CircuitBreaker:
             if self._state == HALF_OPEN:
                 self._state = OPEN
                 self._degraded_since_open = 0
+                if self._shed_level < self.max_shed_level:
+                    self._shed_level += 1
                 return "opened"
             self._outcomes.append(False)
             failures = sum(1 for ok in self._outcomes if not ok)
             if self._state == CLOSED and failures >= self.failure_threshold:
                 self._state = OPEN
                 self._degraded_since_open = 0
+                if self._shed_level < self.max_shed_level:
+                    self._shed_level += 1
                 return "opened"
             return None
 

@@ -36,7 +36,14 @@ QUANTILES = ((50, "p50"), (95, "p95"), (99, "p99"))
 #: breaker state, where any open breaker is worth surfacing; and the index
 #: generation, where the fleet-wide number is the *oldest* generation any
 #: replica still serves (a lagging replica is the operationally relevant one).
-GAUGE_AGGREGATION = {"ready": min, "breaker_open": max, "index_generation": min}
+GAUGE_AGGREGATION = {
+    "ready": min,
+    "breaker_open": max,
+    "index_generation": min,
+    # the fleet's effective shed level is its worst member's: one replica
+    # answering at 1/2^s trials is what an operator needs to see.
+    "shed_level": max,
+}
 
 
 class Counter:
@@ -187,11 +194,15 @@ class ServiceMetrics:
         degraded single-trial path while the breaker was open),
         ``breaker_open_total`` (breaker trips), ``recovered_total``
         (half-open probes that closed the breaker),
-        ``pool_rebuilds_total`` (watchdog worker-pool rebuilds).
+        ``pool_rebuilds_total`` (watchdog worker-pool rebuilds),
+        ``replica_respawns_total`` (fleet supervisor respawns),
+        ``hedged_requests_total`` (scatter shares answered inline because
+        the owning replica missed the hedge deadline).
     Gauges
         ``queue_depth``, ``inflight``, ``cache_size``, ``ready``
         (1 while the service passes its readiness check, 0 otherwise),
-        ``breaker_open`` (1 while the breaker is open).
+        ``breaker_open`` (1 while the breaker is open), ``shed_level``
+        (the breaker's current degraded-path trial-shedding step).
     Histograms (seconds unless noted)
         ``queue_wait`` (submit → batch pickup), ``map_latency`` (batch
         compute), ``request_latency`` (submit → response), ``batch_size``
@@ -209,11 +220,12 @@ class ServiceMetrics:
         "reads_mapped_total", "shed_total", "degraded_total",
         "breaker_open_total", "recovered_total", "pool_rebuilds_total",
         "mutations_total", "flushes_total", "compactions_total",
+        "replica_respawns_total", "hedged_requests_total",
     )
     GAUGES = (
         "queue_depth", "inflight", "cache_size", "ready", "breaker_open",
         "index_generation", "memtable_entries", "index_tombstones",
-        "index_segments",
+        "index_segments", "shed_level",
     )
     #: attribute name -> snapshot key (histograms carry their unit suffix).
     HISTOGRAMS = (
@@ -243,6 +255,8 @@ class ServiceMetrics:
         self.mutations_total = Counter()
         self.flushes_total = Counter()
         self.compactions_total = Counter()
+        self.replica_respawns_total = Counter()
+        self.hedged_requests_total = Counter()
         self.queue_depth = Gauge()
         self.inflight = Gauge()
         self.cache_size = Gauge()
@@ -252,6 +266,7 @@ class ServiceMetrics:
         self.memtable_entries = Gauge()
         self.index_tombstones = Gauge()
         self.index_segments = Gauge()
+        self.shed_level = Gauge()
         self.queue_wait = LatencyHistogram(window)
         self.map_latency = LatencyHistogram(window)
         self.request_latency = LatencyHistogram(window)

@@ -25,9 +25,18 @@ One JSON object per line, in both directions.  Requests:
   segment / fold the whole index into one compacted segment.
 * ``{"op": "stats"}`` → the current store stats block (generation,
   segments, memtable entries, tombstones, nbytes breakdown).
+* ``{"op": "restart"}`` — rolling restart of a replica-set backend: each
+  member is drained, respawned over fresh shared memory, parity-probed,
+  and re-admitted in turn, so the fleet never drops below N-1 members.
+  Answers ``{"op": "restart", "restarted": [...], ...}``.
 * ``{"op": "drain"}`` — stop admission, finish everything, answer
   ``{"op": "drained", ...}`` with a final snapshot, and end the session.
   EOF on the input stream is an implicit drain.
+
+Malformed frames (unparseable JSON, oversized lines on the TCP door,
+unknown ops, non-string payload fields) are answered with a typed
+in-band ``{"type": "error", "error": ...}`` object; the session — and on
+the TCP door, every *other* session — keeps serving.
 
 Backpressure surfaces in-band: an admission rejection produces
 ``{"id": ..., "error": "overloaded", "retry_after": <seconds>}`` and the
@@ -57,6 +66,7 @@ __all__ = [
     "response_for_mapping",
     "mutation_response",
     "MUTATION_OPS",
+    "ADMIN_OPS",
     "PipeTransport",
     "SocketTransport",
     "ClientStats",
@@ -65,6 +75,10 @@ __all__ = [
 #: Index-mutation / introspection ops shared by pipe mode and the TCP
 #: front-end; both execute them through :func:`mutation_response`.
 MUTATION_OPS = ("add_contigs", "remove_contigs", "flush", "compact", "stats")
+
+#: Fleet-administration ops (replica-set backends only); dispatched like
+#: mutations — ordered after every read the session already submitted.
+ADMIN_OPS = ("restart",)
 
 #: Map requests kept in flight before the serve loop flushes responses.
 #: Bounds server memory while still letting batches fill.
@@ -113,6 +127,13 @@ def mutation_response(backend, op: str, message: dict) -> dict:
     every session style, like :func:`response_for_mapping`.
     """
     try:
+        if op == "restart":
+            if not hasattr(backend, "rolling_restart"):
+                raise ReproError(
+                    "restart requires a replica-set backend "
+                    "(single-service sessions have nothing to roll)"
+                )
+            return {"op": op, **backend.rolling_restart()}
         if op == "add_contigs":
             names = message.get("names") or []
             seqs = message.get("seqs") or []
@@ -192,7 +213,7 @@ def serve_loop(service: MappingService, in_stream, out_stream) -> ServeStats:
                 message = json.loads(line)
                 op = message.get("op", "map")
             except (json.JSONDecodeError, AttributeError) as exc:
-                emit({"error": f"bad request line: {exc}"})
+                emit({"type": "error", "error": f"bad request line: {exc}"})
                 continue
             if op == "map":
                 header = {"id": message.get("id"), "name": message.get("name", "")}
@@ -215,6 +236,14 @@ def serve_loop(service: MappingService, in_stream, out_stream) -> ServeStats:
                     ))
                 except ReproError as exc:
                     pending.append(({**header, "error": str(exc)}, None))
+                except Exception as exc:  # noqa: BLE001 - a hostile payload
+                    # (non-string seq, absurd deadline) must not end the
+                    # session; answer typed and keep reading
+                    pending.append((
+                        {**header, "type": "error",
+                         "error": f"bad request: {exc}"},
+                        None,
+                    ))
                 if len(pending) >= MAX_PENDING:
                     flush_pending()
                 else:
@@ -228,7 +257,7 @@ def serve_loop(service: MappingService, in_stream, out_stream) -> ServeStats:
             elif op == "metrics":
                 flush_pending()
                 emit({"op": "metrics", "metrics": service.metrics.snapshot()})
-            elif op in MUTATION_OPS:
+            elif op in MUTATION_OPS or op in ADMIN_OPS:
                 # order the mutation after every read this session already
                 # submitted: those futures resolve on their old generation
                 flush_pending()
@@ -236,7 +265,7 @@ def serve_loop(service: MappingService, in_stream, out_stream) -> ServeStats:
             elif op == "drain":
                 break
             else:
-                emit({"error": f"unknown op {op!r}"})
+                emit({"type": "error", "error": f"unknown op {op!r}"})
         flush_pending()
         service.drain()
         stats.drained = True

@@ -172,3 +172,18 @@ class AdmissionQueue(Generic[T]):
         with self._lock:
             self._closed = True
             self._not_empty.notify_all()
+
+    def dump(self) -> list[T]:
+        """Abort door: close *and* seize everything still queued.
+
+        Unlike :meth:`close`, nothing is left for the scheduler to drain —
+        the caller owns failing the seized items.  Used by the chaos kill
+        path, where accepted work must die abruptly (but still typed)
+        instead of completing.
+        """
+        with self._lock:
+            self._closed = True
+            items = list(self._items)
+            self._items.clear()
+            self._not_empty.notify_all()
+            return items

@@ -42,6 +42,7 @@ from ..core.sketch_table import SketchTable
 from ..errors import (
     DeadlineExceededError,
     SequenceError,
+    ServiceClosedError,
     ServiceError,
     ServiceOverloadError,
 )
@@ -188,6 +189,7 @@ class MappingService:
         self._ewma_read_seconds = _INITIAL_READ_SECONDS
         self._ewma_lock = threading.Lock()
         self._drained = False
+        self._killed = False
         self._breaker = CircuitBreaker(
             window=self.config.breaker_window,
             failure_threshold=self.config.breaker_failures,
@@ -199,8 +201,9 @@ class MappingService:
             else None
         )
         self._pool: "ResilientWorkerPool | None" = None
-        #: (generation, single-trial table, family slice) — rebuilt on swap
-        self._degraded_view: tuple[int, SketchTable, object] | None = None
+        #: ((generation, trials kept), table, family slice) — rebuilt on swap
+        #: and whenever the breaker's shed level moves the trial budget
+        self._degraded_view: tuple[tuple[int, int], SketchTable, object] | None = None
         self._refresh_index_gauges()
         if auto_start:
             self.start()
@@ -348,6 +351,31 @@ class MappingService:
         """Chaos hook: swap the injected fault plan of future batches."""
         self._faults = faults
 
+    @property
+    def killed(self) -> bool:
+        return self._killed
+
+    def kill(self) -> None:
+        """Chaos door: die abruptly, the in-process stand-in for SIGKILL.
+
+        Admission closes, everything still queued fails *typed*
+        (:class:`~repro.errors.ServiceClosedError` — a real kill would
+        simply never answer, but in-process futures must not hang), the
+        scheduler thread exits on the emptied queue, and the service
+        reports ``live`` False.  Unlike :meth:`drain`, no accepted work is
+        completed and nothing is cleaned up — dangling shm attachments and
+        all.  That mess is exactly what the fleet supervisor exists to
+        detect and repair.
+        """
+        for request in self._queue.dump():
+            if not request.future.done():
+                self._fail(request, ServiceClosedError("replica killed"))
+        if self._watchdog is not None:  # a killed process takes its threads
+            self._watchdog.stop()
+        self._killed = True
+        self._drained = True
+        self.metrics.ready.set(0.0)
+
     # -- online index mutation -----------------------------------------------
 
     @property
@@ -493,8 +521,10 @@ class MappingService:
             and breaker_state != OPEN
             and pool_healthy
         )
+        shed = self._breaker.shed_level
         self.metrics.ready.set(1.0 if ready else 0.0)
         self.metrics.breaker_open.set(1.0 if breaker_state == OPEN else 0.0)
+        self.metrics.shed_level.set(shed)
         from ..sketch import _native
 
         health: dict = {
@@ -502,6 +532,7 @@ class MappingService:
             "ready": ready,
             "draining": self.draining,
             "breaker": breaker_state,
+            "shed_level": shed,
             "queue_depth": self._queue.depth,
             "index_generation": self._view.generation,
             # whether the fused/native map path is actually in effect, its
@@ -573,11 +604,22 @@ class MappingService:
         ``retry_after`` hint) when the admission queue is full and
         :class:`~repro.errors.ServiceClosedError` once draining started.
         """
-        codes = (
-            encode(sequence)
-            if isinstance(sequence, str)
-            else np.ascontiguousarray(sequence, dtype=np.uint8)
-        )
+        if isinstance(sequence, str):
+            codes = encode(sequence)
+        elif isinstance(sequence, np.ndarray):
+            codes = np.ascontiguousarray(sequence, dtype=np.uint8)
+        else:
+            # protocol hygiene: a JSON number/list/object in "seq" must be
+            # a typed refusal, not a silently coerced one-byte read
+            raise SequenceError(
+                f"read {name!r} payload must be a string of bases or a "
+                f"code array, got {type(sequence).__name__}"
+            )
+        if codes.ndim != 1:
+            raise SequenceError(
+                f"read {name!r} payload must be one flat sequence, "
+                f"got a {codes.ndim}-d array"
+            )
         if codes.size == 0:
             raise SequenceError(f"read {name!r} is empty")
         if deadline_s is not None and deadline_s <= 0:
@@ -703,38 +745,55 @@ class MappingService:
             builder.add(request.name, request.codes)
         return builder.build()
 
+    @property
+    def shed_level(self) -> int:
+        """Current degraded-path shedding step (0 = full trial budget)."""
+        return self._breaker.shed_level
+
+    def degraded_trials(self) -> int:
+        """How many sketch trials the degraded path would use right now.
+
+        The stepwise ladder from ROADMAP item 5: shed level *s* keeps the
+        first ``max(1, trials >> s)`` trials, so sustained failure walks
+        T → T/2 → … → 1 and each recovery walks one step back up.
+        """
+        return max(1, self.jem_config.trials >> self._breaker.shed_level)
+
     def _map_degraded(
         self, requests: list[_MapRequest], view: _IndexView
     ) -> list[tuple[SketchCacheEntry | None, str | None]]:
-        """Best-effort single-trial mapping — the open-breaker fallback.
+        """Best-effort reduced-trial mapping — the open-breaker fallback.
 
-        Uses trial 0 of the batch's index view with the matching slice of
-        the hash family (slicing, never regenerating, so the trial is the
-        same one the full mapping uses) and ``min_hits=1``: with a single
-        trial a subject can collect at most one hit, so the configured
-        multi-trial threshold would unmap everything.  Needs no parallel
+        Uses the first :meth:`degraded_trials` trials of the batch's index
+        view with the matching slice of the hash family (slicing, never
+        regenerating, so the trials are the same ones the full mapping
+        uses).  ``min_hits`` scales with the kept fraction (floored at 1:
+        with few trials a subject collects few hits, so the configured
+        multi-trial threshold would unmap everything).  Needs no parallel
         dispatch and no retry machinery, which is the point: it cannot be
         taken down by the worker failures that opened the breaker.
         Results are never cached — they are lower-sensitivity answers.
         """
         reads = self._reads_of(requests)
         cfg = self.jem_config
+        t_eff = self.degraded_trials()
         degraded = self._degraded_view
-        if degraded is None or degraded[0] != view.generation:
+        if degraded is None or degraded[0] != (view.generation, t_eff):
             degraded = (
-                view.generation,
+                (view.generation, t_eff),
                 SketchTable(
-                    [np.asarray(view.table.trial_keys(0))],
+                    [np.asarray(view.table.trial_keys(t)) for t in range(t_eff)],
                     view.table.n_subjects,
                 ),
-                self._family.trial_slice(0, 1),
+                self._family.trial_slice(0, t_eff),
             )
             self._degraded_view = degraded
         _, table, family = degraded
+        min_hits = max(1, (cfg.min_hits * t_eff) // cfg.trials)
         segments, _ = extract_end_segments(reads, cfg.ell)
         sketches = query_sketch_values(segments, cfg.k, cfg.w, family)
         hits = count_hits_vectorised(
-            table, sketches.values, min_hits=1, query_mask=sketches.has
+            table, sketches.values, min_hits=min_hits, query_mask=sketches.has
         )
         result = MappingResult.from_best_hits(segments.names, hits)
         return [(e, None) for e in self._entries_from_result(result, len(requests))]

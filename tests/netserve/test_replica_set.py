@@ -188,7 +188,7 @@ class TestObservability:
         assert ranges[0][0] == 0 and ranges[-1][1] == 1 << 32
         assert all(lo <= hi for lo, hi in ranges)
         assert health["scatter"] == {
-            "scattered": 0, "fallbacks": 0, "mismatches": 0,
+            "scattered": 0, "fallbacks": 0, "mismatches": 0, "hedged": 0,
         }
 
 

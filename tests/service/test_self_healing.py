@@ -86,6 +86,108 @@ class TestCircuitBreakerUnit:
         assert breaker.state == OPEN
 
 
+class TestAdaptiveShedUnit:
+    def test_shed_ladder_steps_per_open_and_backs_off_per_recovery(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_batches=1, max_shed_level=3
+        )
+        assert breaker.shed_level == 0
+        assert breaker.record_failure() == "opened"
+        assert breaker.shed_level == 1
+        breaker.decide()  # degraded cooldown
+        assert breaker.decide() == "primary"  # half-open probe
+        assert breaker.record_failure() == "opened"  # probe failed: reopen
+        assert breaker.shed_level == 2
+        breaker.decide()
+        breaker.decide()
+        assert breaker.record_success() == "recovered"
+        assert breaker.shed_level == 1  # one step back per recovery
+
+    def test_shed_level_is_clamped_at_max(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_batches=1, max_shed_level=2
+        )
+        for _ in range(6):  # open, fail the probe, reopen, ...
+            breaker.record_failure()
+            breaker.decide()
+            breaker.decide()
+        assert breaker.shed_level == 2
+
+    def test_max_shed_level_validated(self):
+        with pytest.raises(ValueError, match="max_shed_level"):
+            CircuitBreaker(max_shed_level=0)
+
+
+class TestAdaptiveShedEndToEnd:
+    def pump(self, service, reads, i):
+        """One read through the service, swallowing typed batch failures."""
+        try:
+            service.submit(f"pump{i}", reads.codes_of(i % len(reads))).result(60)
+        except ReproError:
+            pass
+
+    def test_degraded_trials_halve_as_opens_repeat(
+        self, tiling_contigs, clean_reads
+    ):
+        plan = FaultPlan.kill_all_workers(2, once=False)
+        with MappingService.from_contigs(
+            tiling_contigs, CONFIG, BREAKER_CFG, faults=plan
+        ) as service:
+            assert service.degraded_trials() == CONFIG.trials
+            with pytest.raises(ServiceError):
+                service.submit("r0", clean_reads.codes_of(0)).result(60)
+            # first open: half the trials on the degraded path
+            assert service.shed_level == 1
+            assert service.degraded_trials() == CONFIG.trials >> 1
+            assert service.healthz()["shed_level"] == 1
+            assert service.metrics.snapshot()["gauges"]["shed_level"] == 1.0
+
+            # every failed half-open probe steps the ladder again: T/4, ...
+            for expected in (2, 3):
+                i = 0
+                while service.shed_level < expected and i < 64:
+                    self.pump(service, clean_reads, i)
+                    i += 1
+                assert service.shed_level == expected
+                assert service.degraded_trials() == max(
+                    1, CONFIG.trials >> expected
+                )
+                # the shed degraded path still answers, flagged degraded
+                degraded = service.submit(
+                    f"shed{expected}", clean_reads.codes_of(1)
+                ).result(60)
+                assert degraded.degraded is True
+
+    def test_recovery_steps_the_ladder_back_down(
+        self, tiling_contigs, clean_reads
+    ):
+        plan = FaultPlan.kill_all_workers(2, once=False)
+        with MappingService.from_contigs(
+            tiling_contigs, CONFIG, BREAKER_CFG, faults=plan
+        ) as service:
+            with pytest.raises(ServiceError):
+                service.submit("r0", clean_reads.codes_of(0)).result(60)
+            i = 0
+            while service.shed_level < 2 and i < 64:
+                self.pump(service, clean_reads, i)
+                i += 1
+            assert service.shed_level == 2
+
+            service.set_fault_plan(None)  # workers heal
+            i = 0
+            while service.breaker.state != CLOSED and i < 64:
+                self.pump(service, clean_reads, i)
+                i += 1
+            assert service.breaker.state == CLOSED
+            assert service.shed_level == 1  # one recovery = one step down
+            # recovered answers are primary-path and exact
+            sequential = JEMMapper(CONFIG)
+            sequential.index(tiling_contigs)
+            expected = sequential.map_reads(clean_reads)
+            result = service.map_reads(clean_reads)
+            assert list(result.subject) == list(expected.subject)
+
+
 class TestBreakerEndToEnd:
     def test_dead_pool_opens_breaker_degrades_then_recovers(
         self, tiling_contigs, clean_reads
@@ -202,7 +304,8 @@ class TestHealthSurface:
         native = health.pop("native")
         assert health == {
             "live": True, "ready": True, "draining": False,
-            "breaker": CLOSED, "queue_depth": 0, "index_generation": 0,
+            "breaker": CLOSED, "shed_level": 0, "queue_depth": 0,
+            "index_generation": 0,
         }
         # the fused-kernel surface: availability, thread count, and a
         # recorded reason whenever the native path is off
